@@ -1,0 +1,67 @@
+"""Benches for the extension studies built on the paper's outlook.
+
+* tiering vs the weighted-interleave baseline (§5's baseline claim);
+* near-memory inline acceleration (§6's final guideline);
+* multi-device pooling (§5.2's bandwidth anticipation).
+"""
+
+from repro import build_system, combined_testbed
+from repro.apps.dlrm import DlrmInferenceStudy
+from repro.apps.dlrm.nearmem import NearMemoryReduction
+from repro.config import pooled_cxl_testbed
+from repro.tiering import (
+    MigrationEngine,
+    NoMigration,
+    PageMigrator,
+    TieringSimulator,
+    TppLikePolicy,
+)
+
+
+def test_bench_ext_tiering_vs_baseline(benchmark):
+    system = build_system(combined_testbed())
+    simulator = TieringSimulator(system, num_pages=4096,
+                                 dram_capacity_pages=1024,
+                                 accesses_per_epoch=20_000)
+    migrator = PageMigrator(system, engine=MigrationEngine.DSA_ASYNC)
+
+    def run():
+        static = simulator.run(NoMigration(), migrator, epochs=16)
+        tpp = simulator.run(TppLikePolicy(max_migrations_per_epoch=512),
+                            migrator, epochs=16)
+        return (simulator.steady_state_ns(static),
+                simulator.steady_state_ns(tpp))
+
+    static_ns, tpp_ns = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\neffective ns/access: weighted-interleave={static_ns:.0f} "
+          f"TPP-like={tpp_ns:.0f}")
+    assert tpp_ns < static_ns       # tiering beats the §5 baseline
+
+
+def test_bench_ext_nearmem_acceleration(benchmark):
+    study = DlrmInferenceStudy(combined_testbed())
+
+    def run():
+        kernel = study.kernel("cxl")
+        nearmem = NearMemoryReduction(kernel)
+        return (kernel.throughput(16), nearmem.throughput(16),
+                nearmem.link_traffic_reduction())
+
+    host, offload, reduction = benchmark(run)
+    print(f"\nDLRM @16T: host-gather={host:.0f} near-mem={offload:.0f} "
+          f"inf/s; link traffic /{reduction:.0f}")
+    assert offload > host
+
+
+def test_bench_ext_device_pooling(benchmark):
+    def run():
+        bounds = {}
+        for devices in (1, 2, 4):
+            study = DlrmInferenceStudy(pooled_cxl_testbed(devices))
+            bounds[devices] = study.kernel("cxl-pool").throughput(32)
+        return bounds
+
+    bounds = benchmark(run)
+    print(f"\nDLRM 32T inf/s by pooled devices: "
+          f"{ {k: round(v) for k, v in bounds.items()} }")
+    assert bounds[2] > 1.8 * bounds[1]

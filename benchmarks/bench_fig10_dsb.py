@@ -1,0 +1,10 @@
+"""Fig 10: DeathStarBench p99 latency and memory breakdown (DES-backed)."""
+
+from repro.experiments import get
+
+
+def test_bench_fig10(benchmark):
+    result = benchmark.pedantic(lambda: get("fig10").run(fast=True),
+                                rounds=1, iterations=1)
+    print(result.render())
+    assert result.passed

@@ -1,0 +1,9 @@
+"""Fig 2: access-latency probes and the pointer-chase staircase."""
+
+from repro.experiments import get
+
+
+def test_bench_fig2(benchmark):
+    result = benchmark(lambda: get("fig2").run(fast=True))
+    print(result.render())
+    assert result.passed

@@ -1,0 +1,9 @@
+"""Fig 3: sequential bandwidth sweeps over all three schemes."""
+
+from repro.experiments import get
+
+
+def test_bench_fig3(benchmark):
+    result = benchmark(lambda: get("fig3").run(fast=True))
+    print(result.render())
+    assert result.passed

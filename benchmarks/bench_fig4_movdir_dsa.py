@@ -1,0 +1,9 @@
+"""Fig 4: movdir64B routes and DSA offload methods."""
+
+from repro.experiments import get
+
+
+def test_bench_fig4(benchmark):
+    result = benchmark(lambda: get("fig4").run(fast=True))
+    print(result.render())
+    assert result.passed

@@ -1,0 +1,9 @@
+"""Fig 5: random block-access bandwidth grid."""
+
+from repro.experiments import get
+
+
+def test_bench_fig5(benchmark):
+    result = benchmark(lambda: get("fig5").run(fast=True))
+    print(result.render())
+    assert result.passed

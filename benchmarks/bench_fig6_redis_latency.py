@@ -1,0 +1,10 @@
+"""Fig 6: Redis p99 latency vs QPS (DES-backed)."""
+
+from repro.experiments import get
+
+
+def test_bench_fig6(benchmark):
+    result = benchmark.pedantic(lambda: get("fig6").run(fast=True),
+                                rounds=1, iterations=1)
+    print(result.render())
+    assert result.passed

@@ -1,0 +1,9 @@
+"""Fig 7: Redis max sustainable QPS table."""
+
+from repro.experiments import get
+
+
+def test_bench_fig7(benchmark):
+    result = benchmark(lambda: get("fig7").run(fast=True))
+    print(result.render())
+    assert result.passed

@@ -1,0 +1,9 @@
+"""Fig 8: DLRM embedding-reduction throughput sweep."""
+
+from repro.experiments import get
+
+
+def test_bench_fig8(benchmark):
+    result = benchmark(lambda: get("fig8").run(fast=True))
+    print(result.render())
+    assert result.passed

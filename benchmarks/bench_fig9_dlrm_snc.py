@@ -1,0 +1,9 @@
+"""Fig 9: DLRM under SNC with CXL interleaving."""
+
+from repro.experiments import get
+
+
+def test_bench_fig9(benchmark):
+    result = benchmark(lambda: get("fig9").run(fast=True))
+    print(result.render())
+    assert result.passed

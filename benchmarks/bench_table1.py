@@ -1,0 +1,9 @@
+"""Table 1: testbed construction and rendering."""
+
+from repro.experiments import get
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(lambda: get("table1").run(fast=True))
+    print(result.render())
+    assert result.passed

@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures
+under pytest-benchmark timing.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Benchmarks print the regenerated rows/series (``-s`` to see them) and
+assert the experiment's shape checks, so a benchmark run doubles as a
+full reproduction pass.
+"""
+
+import pytest
+
+from repro import build_system, combined_testbed
+
+
+@pytest.fixture(scope="session")
+def system():
+    """One combined testbed shared across benchmark modules."""
+    return build_system(combined_testbed())

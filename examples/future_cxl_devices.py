@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""What the paper predicts about future CXL devices, simulated.
+
+Three forward-looking claims from the paper, each runnable here:
+
+1. §4.2 — "an ASIC implementation ... will result in improved latency
+   [but] still be higher than that of regular cross-NUMA access";
+2. §5.2 — devices with DRAM-class bandwidth "will further enhance the
+   throughput of memory bandwidth-bound applications" (modeled as a
+   pool of expanders);
+3. §6 — inline near-memory acceleration whose extra latency "will not
+   be visible from an end-to-end point of view".
+
+Run:  python examples/future_cxl_devices.py
+"""
+
+from dataclasses import replace
+
+from repro import build_system
+from repro.apps.dlrm import DlrmInferenceStudy
+from repro.apps.dlrm.nearmem import NearMemoryReduction
+from repro.config import combined_testbed, pooled_cxl_testbed
+from repro.cpu import MemoryScheme
+from repro.perfmodel import LatencyModel
+
+
+def main() -> None:
+    base = combined_testbed()
+
+    print("1) ASIC vs FPGA controller (pointer-chase latency, ns)")
+    fpga = LatencyModel(build_system(base))
+    asic_config = replace(base, cxl_devices=(base.cxl.as_asic(),))
+    asic = LatencyModel(build_system(asic_config))
+    for name, model in (("FPGA", fpga), ("ASIC", asic)):
+        print(f"   {name}: CXL={model.pointer_chase_ns(MemoryScheme.CXL):.0f}"
+              f"  (DDR5-R1={model.pointer_chase_ns(MemoryScheme.DDR5_R1):.0f},"
+              f" DDR5-L8={model.pointer_chase_ns(MemoryScheme.DDR5_L8):.0f})")
+    print("   -> faster, but still above cross-NUMA, as §4.2 predicts")
+    print()
+
+    print("2) Pooled expanders lift bandwidth-bound DLRM (32 threads)")
+    for devices in (1, 2, 4):
+        study = DlrmInferenceStudy(pooled_cxl_testbed(devices))
+        kernel = study.kernel("cxl-pool")
+        print(f"   {devices} device(s): "
+              f"{kernel.throughput(32):10,.0f} inferences/s")
+    dram = DlrmInferenceStudy(base).kernel("local").throughput(32)
+    print(f"   (pure DRAM:      {dram:10,.0f})")
+    print()
+
+    print("3) Inline near-memory embedding reduction")
+    study = DlrmInferenceStudy(base)
+    kernel = study.kernel("cxl")
+    nearmem = NearMemoryReduction(kernel)
+    print(f"   host-gather @16T: {kernel.throughput(16):10,.0f} inf/s")
+    print(f"   near-memory @16T: {nearmem.throughput(16):10,.0f} inf/s "
+          f"({nearmem.speedup_over_host_gather(16):.2f}x)")
+    print(f"   link traffic:     {nearmem.link_traffic_reduction():.0f}x "
+          "less per inference")
+    print(f"   accel latency hidden at throughput: "
+          f"{nearmem.accel_latency_hidden(16)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Microservices on CXL: the paper's favorable offload case.
+
+Reproduces Fig 10 in miniature: pins the DeathStarBench social
+network's databases (cache + storage) to DRAM vs CXL and compares p99
+latency per request type, then prints the memory breakdown and what the
+§6 advisor says about this workload.
+
+Run:  python examples/microservice_offload.py
+"""
+
+from repro import build_system, combined_testbed
+from repro.analysis.guidelines import LatencyClass, WorkloadProfile, advise
+from repro.analysis.tables import format_table, series_table
+from repro.apps.dsb import DsbRunner, RequestType, memory_breakdown
+
+
+def main() -> None:
+    system = build_system(combined_testbed())
+    dram = DsbRunner(system, database_node=system.LOCAL_NODE)
+    cxl = DsbRunner(system, database_node=system.cxl_node_id)
+    qps_points = [200.0, 600.0, 1000.0]
+
+    for request_type in (RequestType.COMPOSE_POST,
+                         RequestType.READ_USER_TIMELINE, None):
+        name = request_type.value if request_type else "mixed (60/30/10)"
+        print(f"Fig 10: {name} p99 (ms), databases on DRAM vs CXL")
+        curves = [runner.p99_curve(qps_points, request_type=request_type,
+                                   requests=2000)
+                  for runner in (dram, cxl)]
+        print(series_table(curves, y_format="{:.2f}"))
+        print()
+
+    print("Memory breakdown by functionality (Fig 10 right):")
+    rows = [[name, f"{share * 100:.0f}%"]
+            for name, share in memory_breakdown().items()]
+    print(format_table(["component", "share"], rows))
+    print()
+
+    profile = WorkloadProfile("social-network", LatencyClass.MILLISECONDS,
+                              read_fraction=0.85,
+                              has_intermediate_compute=True)
+    print("§6 advisor on this workload:")
+    for advice in advise(profile):
+        print(f"  {advice}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: build the paper's testbed and probe CXL memory.
+
+Builds the combined testbed (dual-socket SPR + Agilex-I CXL device),
+measures the Fig-2 latency probes, and asks the throughput model for a
+few Fig-3 bandwidth points — about thirty lines covering the library's
+core API surface.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_system, combined_testbed
+from repro.cpu import AccessKind, MemoryScheme
+from repro.memo import LatencyBench
+from repro.perfmodel import ThroughputModel
+
+
+def main() -> None:
+    system = build_system(combined_testbed())
+
+    print("NUMA topology (the CXL device appears as a CPU-less node):")
+    for node in system.topology.nodes:
+        print(f"  node {node.node_id}: {node.label:8s} "
+              f"{node.capacity_bytes >> 30} GiB, {node.cpus} cpus")
+    print()
+
+    print("Fig-2 latency probes (prefetch disabled):")
+    print(LatencyBench(system).run().render())
+    print()
+
+    model = ThroughputModel(system)
+    print("Sequential bandwidth highlights (Fig 3):")
+    for scheme, kind, threads in [
+            (MemoryScheme.DDR5_L8, AccessKind.LOAD, 26),
+            (MemoryScheme.DDR5_L8, AccessKind.NT_STORE, 16),
+            (MemoryScheme.CXL, AccessKind.LOAD, 8),
+            (MemoryScheme.CXL, AccessKind.LOAD, 16),
+            (MemoryScheme.CXL, AccessKind.NT_STORE, 2),
+            (MemoryScheme.DDR5_R1, AccessKind.LOAD, 8)]:
+        result = model.bandwidth(scheme, kind, threads=threads)
+        print(f"  {scheme.label:8s} {kind.value:6s} x{threads:2d} threads: "
+              f"{result.gb_per_s:6.1f} GB/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""A tiered-memory daemon on DRAM + CXL, end to end.
+
+The paper positions its weighted-interleave results as "a baseline for
+most memory tiering policies" (§5) and recommends DSA for the page
+movement tiering performs (§6).  This example runs that comparison: a
+TPP-like promotion/demotion daemon against the static weighted
+interleave, on a Zipfian workload whose hot set drifts — with both DSA
+and CPU migration engines.
+
+Run:  python examples/tiered_memory_daemon.py
+"""
+
+from repro import build_system, combined_testbed
+from repro.analysis.tables import series_table
+from repro.tiering import (
+    MigrationEngine,
+    NoMigration,
+    PageMigrator,
+    TieringSimulator,
+    TppLikePolicy,
+)
+
+
+def main() -> None:
+    system = build_system(combined_testbed())
+    simulator = TieringSimulator(system, num_pages=8192,
+                                 dram_capacity_pages=2048,
+                                 accesses_per_epoch=30_000,
+                                 shift_every=8)
+    policy = TppLikePolicy(max_migrations_per_epoch=1024)
+
+    runs = {
+        "weighted-interleave": (NoMigration(),
+                                PageMigrator(system)),
+        "TPP-like (DSA)": (policy, PageMigrator(
+            system, engine=MigrationEngine.DSA_ASYNC)),
+        "TPP-like (memcpy)": (policy, PageMigrator(
+            system, engine=MigrationEngine.CPU_MEMCPY)),
+    }
+
+    curves = []
+    print("Effective memory latency per epoch (hot set shifts every 8):")
+    for name, (run_policy, migrator) in runs.items():
+        stats = simulator.run(run_policy, migrator, epochs=24)
+        curves.append(TieringSimulator.latency_series(stats, name))
+        steady = simulator.steady_state_ns(stats)
+        migrated = sum(s.migrated_pages for s in stats)
+        print(f"  {name:22s} steady-state {steady:6.1f} ns/access, "
+              f"{migrated:6d} pages migrated")
+    print()
+    print(series_table(curves, y_format="{:.0f}"))
+    print()
+    print("Takeaways: the tiering daemon beats the paper's round-robin "
+          "baseline once\nthe hot set stabilizes, pays a re-convergence "
+          "spike at each shift, and DSA\nmigration keeps the overhead "
+          "lower than CPU copies (§6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package, so PEP-517 editable
+installs fail with ``invalid command 'bdist_wheel'``.  Keeping a minimal
+``setup.py`` lets ``pip install -e . --no-build-isolation --no-use-pep517``
+work; all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

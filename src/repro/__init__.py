@@ -1,0 +1,55 @@
+"""repro — a simulation-based reproduction of *Demystifying CXL Memory with
+Genuine CXL-Ready Systems and Devices* (MICRO 2023).
+
+The package models the paper's two Sapphire-Rapids testbeds and the
+Agilex-I CXL 1.1 Type-3 memory device in enough architectural detail to
+reproduce the *shape* of every figure in the paper:
+
+* :mod:`repro.config` — the Table-1 testbeds and all calibrated constants.
+* :mod:`repro.memo` — MEMO, the paper's microbenchmark (Figs 2–5).
+* :mod:`repro.apps` — Redis-YCSB, DLRM embedding reduction, and
+  DeathStarBench application studies (Figs 6–10).
+* :mod:`repro.experiments` — one module per paper table/figure, plus a
+  registry and ``repro-experiments`` CLI.
+* :mod:`repro.analysis` — result series/tables and the §6 best-practice
+  guideline advisor.
+
+Quickstart::
+
+    from repro import single_socket_testbed, build_system
+    from repro.memo import LatencyBench
+
+    system = build_system(single_socket_testbed())
+    print(LatencyBench(system).run().render())
+"""
+
+from .config import (
+    combined_testbed,
+    dual_socket_testbed,
+    single_socket_testbed,
+    SystemConfig,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "SystemConfig",
+    "single_socket_testbed",
+    "dual_socket_testbed",
+    "combined_testbed",
+    "build_system",
+]
+
+
+def build_system(config: SystemConfig):
+    """Construct a runnable :class:`repro.cpu.system.System` from a config.
+
+    Defined here (lazily) so ``import repro`` stays cheap and avoids
+    circular imports between ``config`` and the model packages.
+    """
+    from .cpu.system import System
+
+    return System(config)

@@ -1,0 +1,25 @@
+"""Result containers, table rendering, shape checks, and the §6 advisor.
+
+* :class:`~repro.analysis.series.Series` — one named curve (the unit
+  every figure is made of);
+* :mod:`~repro.analysis.tables` — fixed-width text tables, the library's
+  output format (we print the same rows/series the paper plots);
+* :mod:`~repro.analysis.compare` — "shape checks": machine-checkable
+  statements like *CXL pointer chase is 3.7x DDR5-L8* used by the
+  integration tests and EXPERIMENTS.md;
+* :mod:`~repro.analysis.guidelines` — the §6 best-practice advisor.
+"""
+
+from .series import Series
+from .tables import format_table, series_table
+from .compare import ShapeCheck, check_monotone, check_peak_near, check_ratio
+
+__all__ = [
+    "Series",
+    "format_table",
+    "series_table",
+    "ShapeCheck",
+    "check_ratio",
+    "check_monotone",
+    "check_peak_near",
+]

@@ -1,0 +1,62 @@
+"""Shape checks: machine-verifiable statements about reproduced figures.
+
+EXPERIMENTS.md records, for every figure, the paper's qualitative claim
+and our measured value; these helpers make those claims executable so
+integration tests and the experiment runner can assert them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .series import Series
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One verified (or failed) claim about a result."""
+
+    claim: str
+    passed: bool
+    measured: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.claim} (measured: {self.measured})"
+
+
+def check_ratio(claim: str, numerator: float, denominator: float,
+                expected: float, tolerance: float) -> ShapeCheck:
+    """Check ``numerator/denominator ~= expected`` within ± tolerance."""
+    if denominator == 0:
+        return ShapeCheck(claim, False, "denominator is zero")
+    ratio = numerator / denominator
+    passed = abs(ratio - expected) <= tolerance
+    return ShapeCheck(claim, passed, f"ratio={ratio:.2f} vs {expected:.2f}"
+                                     f"±{tolerance:.2f}")
+
+
+def check_monotone(claim: str, series: Series,
+                   tolerance: float = 0.0) -> ShapeCheck:
+    """Check a series never decreases (beyond a relative tolerance)."""
+    passed = series.is_monotone_increasing(tolerance)
+    return ShapeCheck(claim, passed,
+                      f"{series.name}: y={['%.3g' % v for v in series.y]}")
+
+
+def check_peak_near(claim: str, series: Series, expected_x: float,
+                    slack: float) -> ShapeCheck:
+    """Check the series peaks within ``slack`` of ``expected_x``."""
+    peak_x, peak_y = series.peak
+    passed = abs(peak_x - expected_x) <= slack
+    return ShapeCheck(claim, passed,
+                      f"peak at x={peak_x:g} (y={peak_y:.3g}), expected "
+                      f"x={expected_x:g}±{slack:g}")
+
+
+def check_ordering(claim: str, values: dict[str, float]) -> ShapeCheck:
+    """Check the dict's values are strictly increasing in insertion order."""
+    items = list(values.items())
+    passed = all(a[1] < b[1] for a, b in zip(items, items[1:]))
+    measured = " < ".join(f"{k}={v:.3g}" for k, v in items)
+    return ShapeCheck(claim, passed, measured)

@@ -1,0 +1,74 @@
+"""Interleave-ratio optimization for bandwidth-bound workloads.
+
+§6: "Interleave memory using NUMA polices ... to evenly distribute the
+memory load across all DRAM and CXL channels" — the load is distributed
+*evenly* when each tier receives traffic proportional to the bandwidth
+it can serve.  For a bandwidth-bound workload the optimal CXL page
+fraction is therefore::
+
+    f* = BW_cxl / (BW_dram + BW_cxl)
+
+computed for the workload's actual access shape.  For latency-bound
+workloads (Redis), the optimum is f* = 0 — interleaving only ever adds
+latency, matching §5.1's finding that "none ... can surpass the
+performance of running Redis purely on DRAM".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cpu.system import System
+from ..errors import WorkloadError
+from ..mem.dram import AccessPattern
+
+
+@dataclass(frozen=True)
+class InterleaveRecommendation:
+    """The advisor's output for one workload shape."""
+
+    cxl_fraction: float
+    dram_bandwidth: float          # B/s, for the workload's shape
+    cxl_bandwidth: float
+    bandwidth_bound: bool
+
+    @property
+    def dram_to_cxl_ratio(self) -> tuple[int, int]:
+        """The nearest small-integer N:M ratio for the kernel patch."""
+        if self.cxl_fraction <= 0.0:
+            return (1, 0)
+        best = (1, 1)
+        best_err = float("inf")
+        for dram in range(1, 64):
+            for cxl in range(1, 64):
+                err = abs(cxl / (dram + cxl) - self.cxl_fraction)
+                if err < best_err - 1e-12:
+                    best, best_err = (dram, cxl), err
+        return best
+
+
+def bandwidth_matched_fraction(system: System, *,
+                               pattern: AccessPattern,
+                               block_bytes: int,
+                               streams: int,
+                               bandwidth_bound: bool = True
+                               ) -> InterleaveRecommendation:
+    """The §6 'evenly distribute the bandwidth' interleave fraction.
+
+    ``bandwidth_bound=False`` models a latency-bound workload, for which
+    the recommendation collapses to all-DRAM (§5.1).
+    """
+    if streams <= 0:
+        raise WorkloadError("streams must be positive")
+    dram_bw = system.backend_for_node(system.LOCAL_NODE).bus_ceiling(
+        pattern, block_bytes, streams=streams)
+    cxl_backend = system.backend_for_node(system.cxl_node_id)
+    cxl_bw = (cxl_backend.bus_ceiling(pattern, block_bytes,
+                                      streams=streams)
+              * cxl_backend.concurrency_derate(readers=streams,
+                                               writers=0))
+    fraction = (cxl_bw / (dram_bw + cxl_bw)) if bandwidth_bound else 0.0
+    return InterleaveRecommendation(cxl_fraction=fraction,
+                                    dram_bandwidth=dram_bw,
+                                    cxl_bandwidth=cxl_bw,
+                                    bandwidth_bound=bandwidth_bound)

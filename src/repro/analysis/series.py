@@ -1,0 +1,70 @@
+"""Named data series — the unit of every reproduced figure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExperimentError
+
+
+@dataclass
+class Series:
+    """One curve: a name, x values, y values, and unit labels."""
+
+    name: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ExperimentError(
+                f"series {self.name!r}: {len(self.x)} x values vs "
+                f"{len(self.y)} y values")
+
+    def append(self, x: float, y: float) -> None:
+        self.x.append(x)
+        self.y.append(y)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def y_at(self, x: float) -> float:
+        """The y value recorded at exactly ``x``."""
+        for xi, yi in zip(self.x, self.y):
+            if xi == x:
+                return yi
+        raise ExperimentError(f"series {self.name!r} has no point x={x}")
+
+    @property
+    def peak(self) -> tuple[float, float]:
+        """(x, y) of the maximum y."""
+        if not self.y:
+            raise ExperimentError(f"series {self.name!r} is empty")
+        index = max(range(len(self.y)), key=lambda i: self.y[i])
+        return self.x[index], self.y[index]
+
+    @property
+    def max_y(self) -> float:
+        return self.peak[1]
+
+    def scaled(self, factor: float, name: str | None = None) -> "Series":
+        """A copy with every y multiplied by ``factor``."""
+        return Series(name or self.name, list(self.x),
+                      [value * factor for value in self.y],
+                      x_label=self.x_label, y_label=self.y_label)
+
+    def normalized_to(self, reference: float,
+                      name: str | None = None) -> "Series":
+        """y values divided by ``reference`` (Fig 8 right is normalized)."""
+        if reference == 0:
+            raise ExperimentError("cannot normalize to zero")
+        return self.scaled(1.0 / reference, name=name)
+
+    def is_monotone_increasing(self, tolerance: float = 0.0) -> bool:
+        """True if y never drops by more than ``tolerance`` (relative)."""
+        for before, after in zip(self.y, self.y[1:]):
+            if after < before * (1.0 - tolerance):
+                return False
+        return True

@@ -1,0 +1,52 @@
+"""Fixed-width text tables — the library's figure output format.
+
+The benchmarks regenerate the paper's figures as *tables of the plotted
+values* (one row per x, one column per series), which diff cleanly and
+need no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExperimentError
+from .series import Series
+
+
+def format_table(headers: list[str], rows: list[list[str]],
+                 title: str | None = None) -> str:
+    """Render a left-padded fixed-width table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ExperimentError("every row must match the header width")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_table(series_list: list[Series], *, title: str | None = None,
+                 x_format: str = "{:g}", y_format: str = "{:.1f}") -> str:
+    """Tabulate several series sharing one x axis (a figure's panel)."""
+    if not series_list:
+        raise ExperimentError("no series to tabulate")
+    x_axis = series_list[0].x
+    for series in series_list[1:]:
+        if series.x != x_axis:
+            raise ExperimentError(
+                f"series {series.name!r} has a different x axis than "
+                f"{series_list[0].name!r}")
+    headers = [series_list[0].x_label] + [s.name for s in series_list]
+    rows = []
+    for index, x in enumerate(x_axis):
+        row = [x_format.format(x)]
+        row += [y_format.format(s.y[index]) for s in series_list]
+        rows.append(row)
+    return format_table(headers, rows, title=title)

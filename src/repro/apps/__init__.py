@@ -1,0 +1,9 @@
+"""End-to-end application studies (§5).
+
+* :mod:`repro.apps.kvstore` — a Redis-like in-memory KV store driven by
+  YCSB (Figs 6 and 7);
+* :mod:`repro.apps.dlrm` — DLRM embedding reduction in the MERCI setup
+  (Figs 8 and 9);
+* :mod:`repro.apps.dsb` — a DeathStarBench-style social-network
+  microservice graph (Fig 10).
+"""

@@ -1,0 +1,7 @@
+"""DLRM embedding reduction in the MERCI setup (§5.2)."""
+
+from .embedding import EmbeddingTables
+from .reduction import ReductionKernel
+from .inference import DlrmInferenceStudy
+
+__all__ = ["EmbeddingTables", "ReductionKernel", "DlrmInferenceStudy"]

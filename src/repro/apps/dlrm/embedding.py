@@ -1,0 +1,64 @@
+"""Embedding tables placed on simulated memory.
+
+§5.2: "Embedding reduction, a step within the DLRM inference, is known
+to have a high memory footprint and occupies 50% to 70% of the
+inference latency."  Tables hold dense float32 rows; a lookup gathers
+one row (a few cachelines at a random offset), which is why the study
+correlates with MEMO's small-block random-access results (§4.3.2).
+"""
+
+from __future__ import annotations
+
+from ...cpu.system import System
+from ...errors import WorkloadError
+from ...topology.interleave import PlacementPolicy
+from ...units import CACHELINE
+
+FLOAT_BYTES = 4
+
+
+class EmbeddingTables:
+    """A set of embedding tables under one placement policy."""
+
+    def __init__(self, system: System, policy: PlacementPolicy, *,
+                 num_tables: int = 26, rows_per_table: int = 200_000,
+                 embedding_dim: int = 64) -> None:
+        if num_tables <= 0 or rows_per_table <= 0 or embedding_dim <= 0:
+            raise WorkloadError("table geometry must be positive")
+        self.system = system
+        self.num_tables = num_tables
+        self.rows_per_table = rows_per_table
+        self.embedding_dim = embedding_dim
+        self.row_bytes = embedding_dim * FLOAT_BYTES
+        total = num_tables * rows_per_table * self.row_bytes
+        self.allocation = system.allocator.allocate(total, policy)
+        self._node_read_ns = {
+            node.node_id: system.edge_ns()
+            + system.backend_for_node(node.node_id).idle_read_ns()
+            for node in system.topology.nodes}
+
+    @property
+    def total_bytes(self) -> int:
+        return self.allocation.size_bytes
+
+    @property
+    def lines_per_lookup(self) -> int:
+        """Cachelines gathered per embedding row."""
+        return -(-self.row_bytes // CACHELINE)
+
+    def node_fractions(self) -> dict[int, float]:
+        """Where the table pages live (verifies the interleave ratio)."""
+        return self.allocation.node_fractions()
+
+    def average_lookup_latency_ns(self) -> float:
+        """Expected gather latency for one row, weighted by placement.
+
+        Rows land uniformly over the allocation, so the placement
+        fractions are exactly the probability a lookup hits each node.
+        """
+        return sum(share * self._node_read_ns[node]
+                   for node, share in self.node_fractions().items())
+
+    def cxl_fraction(self) -> float:
+        return sum(share for node, share in self.node_fractions().items()
+                   if self.system.topology.node(node).kind.is_cxl)

@@ -1,0 +1,155 @@
+"""The DLRM study harness (Figs 8 and 9).
+
+Placements mirror the paper's five schemes: all-DRAM, all-CXL,
+all-remote (DDR5-R1-like), and CXL interleaves at 3.23 % and 50 %.
+Fig 9 adds the SNC variant: the memory system is limited to one SNC
+cluster's two DDR5 channels while threads still scale to 32 ("By
+running inference on one SNC node, we are effectively limiting the
+inference to run on two DDR5 channels, making it memory bounded").
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ...analysis.series import Series
+from ...config import SystemConfig
+from ...cpu.system import System
+from ...errors import WorkloadError
+from ...topology.interleave import (
+    Interleaved,
+    Membind,
+    PlacementPolicy,
+    WeightedInterleave,
+)
+from .embedding import EmbeddingTables
+from .reduction import ReductionKernel
+
+Placement = "str | float"
+
+
+def r1_remote_config(config: SystemConfig) -> SystemConfig:
+    """Remote socket restricted to one DDR5 channel (the paper's R1).
+
+    Fig 8 compares against DDR5-R1, not the full remote socket — "the
+    overall trend of DDR5-R1 and CXL memory is similar", which only
+    holds with matched channel counts (§4.4).
+    """
+    if len(config.sockets) < 2:
+        raise WorkloadError("no remote socket to restrict")
+    remote = config.sockets[1]
+    r1_socket = replace(remote, name=f"{remote.name}-r1",
+                        dram=remote.dram.with_channels(1),
+                        snc_clusters=1)
+    return replace(config, sockets=(config.sockets[0], r1_socket)
+                   + config.sockets[2:])
+
+
+def snc_memory_config(config: SystemConfig) -> SystemConfig:
+    """The Fig-9 memory system: one SNC cluster's channels, all cores.
+
+    The paper pins *memory* to one SNC node; threads still spread over
+    the whole package.  (LLC partitioning is ignored here — the tables
+    dwarf any LLC slice.)
+    """
+    socket0 = config.sockets[0]
+    channels = socket0.dram.channels // socket0.snc_clusters
+    snc_socket = replace(socket0, name=f"{socket0.name}-sncmem",
+                         dram=socket0.dram.with_channels(channels),
+                         snc_clusters=1)
+    return replace(config, sockets=(snc_socket,) + config.sockets[1:])
+
+
+class DlrmInferenceStudy:
+    """Builds kernels per placement and sweeps thread counts."""
+
+    def __init__(self, config: SystemConfig, *,
+                 num_tables: int = 26, rows_per_table: int = 200_000) -> None:
+        self.config = config
+        self.num_tables = num_tables
+        self.rows_per_table = rows_per_table
+
+    # -- kernel construction ----------------------------------------------
+
+    def kernel(self, placement: str | float, *,
+               snc: bool = False) -> ReductionKernel:
+        """A reduction kernel with tables placed per ``placement``.
+
+        ``placement`` is ``"local"``, ``"remote"``, ``"cxl"``, or a float
+        CXL fraction in (0, 1).  A fresh system is built per kernel so
+        repeated sweeps do not exhaust the allocator.
+        """
+        config = self.config
+        if snc:
+            config = snc_memory_config(config)
+        if placement == "remote":
+            config = r1_remote_config(config)
+        system = System(config)
+        policy = self._policy(system, placement)
+        tables = EmbeddingTables(system, policy,
+                                 num_tables=self.num_tables,
+                                 rows_per_table=self.rows_per_table)
+        return ReductionKernel(tables)
+
+    @staticmethod
+    def _policy(system: System, placement: str | float) -> PlacementPolicy:
+        if placement == "local":
+            return Membind(system.LOCAL_NODE)
+        if placement == "remote":
+            if not system.has_remote_socket:
+                raise WorkloadError("no remote socket for this placement")
+            return Membind(system.REMOTE_NODE)
+        if placement == "cxl":
+            return Membind(system.cxl_node_id)
+        if placement == "cxl-pool":
+            # Interleave over every pooled expander (pooled_cxl_testbed).
+            nodes = tuple(node.node_id
+                          for node in system.topology.cxl_nodes)
+            return Interleaved(nodes)
+        if isinstance(placement, float) and 0.0 < placement < 1.0:
+            return WeightedInterleave.from_cxl_fraction(
+                system.LOCAL_NODE, system.cxl_node_id, placement)
+        raise WorkloadError(f"bad placement {placement!r}")
+
+    # -- sweeps ----------------------------------------------------------
+
+    def curve(self, placement: str | float, thread_counts: list[int], *,
+              snc: bool = False, name: str | None = None) -> Series:
+        """Throughput (inferences/s) versus thread count."""
+        kernel = self.kernel(placement, snc=snc)
+        label = name or self._label(placement, snc)
+        series = Series(label, x_label="threads",
+                        y_label="inferences/s")
+        for threads in thread_counts:
+            series.append(float(threads), kernel.throughput(threads))
+        return series
+
+    def normalized_at(self, placements: list[str | float],
+                      threads: int = 32) -> dict[str, float]:
+        """Fig 8 right: throughput at ``threads``, normalized to DRAM."""
+        reference = self.kernel("local").throughput(threads)
+        normalized = {}
+        for placement in placements:
+            kernel = self.kernel(placement)
+            normalized[self._label(placement, False)] = \
+                kernel.throughput(threads) / reference
+        return normalized
+
+    def snc_gain(self, cxl_fraction: float, threads: int = 32) -> float:
+        """Fig 9's headline: relative gain of interleaving under SNC.
+
+        "at 32 threads, putting 20% of memory on CXL increases the
+        inference throughput by 11% compared to the SNC case."
+        """
+        baseline = self.kernel("local", snc=True).throughput(threads)
+        mixed = self.kernel(cxl_fraction, snc=True).throughput(threads)
+        return mixed / baseline - 1.0
+
+    @staticmethod
+    def _label(placement: str | float, snc: bool) -> str:
+        if isinstance(placement, float):
+            label = f"CXL-{placement * 100:.2f}%"
+        else:
+            label = {"local": "DDR5-L8", "remote": "DDR5-R1",
+                     "cxl": "CXL", "cxl-pool": "CXL-pool"}[placement]
+        return f"SNC-{label}" if snc else label

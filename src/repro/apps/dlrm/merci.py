@@ -1,0 +1,96 @@
+"""MERCI-style sub-query memoization over the embedding reduction.
+
+The paper's DLRM study uses "the same setup as MERCI [22]", whose core
+idea is memoizing partial sums of frequently co-occurring lookup
+clusters: a small, hot memoization table absorbs a fraction of the
+gathers, trading a little fast memory for fewer slow ones.
+
+On a CXL-resident table this compounds: every memoized hit replaces a
+~390 ns CXL gather with a ~106 ns DRAM read *and* removes CXL random-
+access traffic from the bandwidth bound — so memoization is worth more,
+not less, when embeddings are offloaded.  That interaction is the
+module's payoff, and the tests pin it down.
+"""
+
+from __future__ import annotations
+
+from ...cpu.system import System
+from ...errors import WorkloadError
+from ...mem.dram import AccessPattern
+from ...units import MIB, SEC
+from .reduction import GATHER_MLP, ReductionKernel
+
+
+class MerciMemoization:
+    """A memoized view of a :class:`ReductionKernel`."""
+
+    def __init__(self, kernel: ReductionKernel, *,
+                 memo_hit_rate: float = 0.35,
+                 memo_table_bytes: int = 256 * MIB) -> None:
+        if not 0.0 <= memo_hit_rate < 1.0:
+            raise WorkloadError(
+                f"memo hit rate must be in [0, 1): {memo_hit_rate}")
+        if memo_table_bytes <= 0:
+            raise WorkloadError("memo table must have positive size")
+        self.kernel = kernel
+        self.system: System = kernel.system
+        self.memo_hit_rate = memo_hit_rate
+        self.memo_table_bytes = memo_table_bytes
+        # The memoization table is small and hot: it lives in local DRAM
+        # regardless of where the embedding tables sit (MERCI's design).
+        self._memo_read_ns = (self.system.edge_ns()
+                              + self.system.backend_for_node(
+                                  self.system.LOCAL_NODE).idle_read_ns())
+
+    # -- per-inference costs ---------------------------------------------------
+
+    @property
+    def table_lookups(self) -> float:
+        """Gathers that still hit the embedding tables."""
+        return self.kernel.lookups * (1.0 - self.memo_hit_rate)
+
+    @property
+    def memo_lookups(self) -> float:
+        """Reads served by the memoization table."""
+        return self.kernel.lookups * self.memo_hit_rate
+
+    def service_ns_per_inference(self) -> float:
+        """Single-thread inference time with memoization."""
+        table_ns = (self.table_lookups / GATHER_MLP
+                    * self.kernel.tables.average_lookup_latency_ns())
+        memo_ns = self.memo_lookups / GATHER_MLP * self._memo_read_ns
+        return self.kernel.dense_compute_ns + table_ns + memo_ns
+
+    def bytes_per_inference_on_tables(self) -> float:
+        """Embedding-table traffic after memoization."""
+        return self.table_lookups * self.kernel.tables.lines_per_lookup \
+            * 64
+
+    # -- throughput --------------------------------------------------------
+
+    def bandwidth_bound(self, threads: int) -> float:
+        """Memory-bound inferences/s with the reduced table traffic."""
+        if threads <= 0:
+            raise WorkloadError(f"threads must be positive: {threads}")
+        block = self.kernel.tables.row_bytes
+        bound = float("inf")
+        for node_id, share in self.kernel.tables.node_fractions().items():
+            if share <= 0:
+                continue
+            backend = self.system.backend_for_node(node_id)
+            bandwidth = backend.bus_ceiling(AccessPattern.RANDOM_BLOCK,
+                                            block, streams=threads)
+            bandwidth *= backend.concurrency_derate(readers=threads,
+                                                    writers=0)
+            bound = min(bound, bandwidth
+                        / (share * self.bytes_per_inference_on_tables()))
+        return bound
+
+    def throughput(self, threads: int) -> float:
+        """Aggregate inferences/s with memoization."""
+        demand = threads * SEC / self.service_ns_per_inference()
+        return min(demand, self.bandwidth_bound(threads))
+
+    def speedup(self, threads: int) -> float:
+        """Throughput gain over the unmemoized kernel."""
+        return self.throughput(threads) / self.kernel.throughput(threads)

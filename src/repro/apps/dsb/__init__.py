@@ -1,0 +1,15 @@
+"""A DeathStarBench-style social-network microservice graph (§5.3)."""
+
+from .service import ServiceStage, StageRuntime
+from .socialnet import RequestType, SocialNetwork, memory_breakdown
+from .runner import DsbRunner, DsbResult
+
+__all__ = [
+    "ServiceStage",
+    "StageRuntime",
+    "RequestType",
+    "SocialNetwork",
+    "memory_breakdown",
+    "DsbRunner",
+    "DsbResult",
+]

@@ -1,0 +1,140 @@
+"""Open-loop DES driver for the social network (Fig 10's p99 curves)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...cpu.system import System
+from ...errors import WorkloadError
+from ...sim import Engine, LatencyRecorder
+from ...sim.process import spawn
+from ...sim.rng import substream
+from .service import StageRuntime
+from .socialnet import (
+    MIXED_WORKLOAD,
+    PARALLEL_GROUPS,
+    RequestType,
+    SocialNetwork,
+)
+
+
+@dataclass(frozen=True)
+class DsbResult:
+    """p99 (and mean) end-to-end latency of one (mix, node, QPS) run."""
+
+    target_qps: float
+    achieved_qps: float
+    p99_ms: float
+    mean_ms: float
+    requests: int
+
+    @property
+    def saturated(self) -> bool:
+        return self.achieved_qps < 0.95 * self.target_qps
+
+
+class DsbRunner:
+    """Simulates the service graph under Poisson load."""
+
+    def __init__(self, system: System, *, database_node: int,
+                 seed: int = 3) -> None:
+        self.system = system
+        self.network = SocialNetwork(system, database_node=database_node)
+        self.seed = seed
+
+    def run(self, qps: float, *,
+            mix: dict[RequestType, float] | None = None,
+            requests: int = 4000) -> DsbResult:
+        """Drive ``requests`` arrivals at ``qps``; measure sojourn p99."""
+        if qps <= 0:
+            raise WorkloadError(f"QPS must be positive: {qps}")
+        if requests <= 0:
+            raise WorkloadError("requests must be positive")
+        mix = mix or MIXED_WORKLOAD
+        if abs(sum(mix.values()) - 1.0) > 1e-9:
+            raise WorkloadError("request mix must sum to 1")
+
+        engine = Engine()
+        rng = substream(f"dsb-{self.seed}", self.seed)
+        sojourn = LatencyRecorder("dsb")
+        completed = [0]
+        last_done = [0.0]
+        types = list(mix.keys())
+        shares = np.array([mix[t] for t in types])
+
+        def stage_visits(stage: StageRuntime, visits: float):
+            for _ in range(int(visits)):
+                yield from self._visit(engine, stage, rng)
+            fractional = visits - int(visits)
+            if fractional > 0 and rng.random() < fractional:
+                yield from self._visit(engine, stage, rng)
+
+        def request_body(request: RequestType, arrival: float):
+            group = PARALLEL_GROUPS[request]
+            forked = []
+            for stage, visits in self.network.recipe(request):
+                if stage.stage.name in group:
+                    forked.append((stage, visits))
+                else:
+                    yield from stage_visits(stage, visits)
+            if forked:
+                # Fork the concurrent legs, then join them all — the
+                # compose-post pattern where media/text processing and
+                # the database writes overlap.
+                children = [spawn(engine, stage_visits(stage, visits),
+                                  name=stage.stage.name)
+                            for stage, visits in forked]
+                for child in children:
+                    yield child
+            sojourn.record(engine.now - arrival)
+            completed[0] += 1
+            last_done[0] = engine.now
+
+        gaps = rng.exponential(1e9 / qps, size=requests)
+        arrival = 0.0
+        for gap in gaps:
+            arrival += float(gap)
+            choice = types[int(rng.choice(len(types), p=shares))]
+            engine.schedule_at(
+                arrival,
+                lambda r=choice, t=arrival: spawn(
+                    engine, request_body(r, t), name=r.value))
+        engine.run()
+
+        if completed[0] == 0:
+            raise WorkloadError("no requests completed")
+        elapsed_s = last_done[0] / 1e9
+        return DsbResult(target_qps=qps,
+                         achieved_qps=completed[0] / elapsed_s,
+                         p99_ms=sojourn.p99() / 1e6,
+                         mean_ms=sojourn.mean() / 1e6,
+                         requests=completed[0])
+
+    @staticmethod
+    def _visit(engine: Engine, stage: StageRuntime, rng):
+        """One stage visit as process commands (acquire/serve/release)."""
+        from ...sim.process import Acquire, Release, Timeout
+        yield Acquire(stage.server)
+        yield Timeout(stage.sample_service_ns(rng))
+        yield Release(stage.server)
+
+    # -- convenience -----------------------------------------------------------
+
+    def p99_curve(self, qps_points: list[float], *,
+                  request_type: RequestType | None = None,
+                  requests: int = 4000):
+        """p99 (ms) vs QPS for one request type (or the mixed workload)."""
+        from ...analysis.series import Series
+        mix = (MIXED_WORKLOAD if request_type is None
+               else {request_type: 1.0})
+        label = request_type.value if request_type else "mixed"
+        node = self.network.database_node
+        kind = self.system.topology.node(node).kind.value
+        series = Series(f"{label}@{kind}", x_label="QPS",
+                        y_label="p99 (ms)")
+        for qps in qps_points:
+            series.append(qps, self.run(qps, mix=mix,
+                                        requests=requests).p99_ms)
+        return series

@@ -1,0 +1,67 @@
+"""Microservice stages: worker pools with memory-dependent service times.
+
+Each component (nginx, application logic, memcached-style cache,
+mongodb-style storage) is a worker pool.  A visit's service time is CPU
+work plus memory stalls — ``mem_lines`` effective dependent misses paying
+the read path of whichever NUMA node the component's working set is
+pinned to.  Pinning the *databases* (cache + storage) to CXL while
+compute stays on DRAM is exactly the paper's §5.3 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...cpu.system import System
+from ...errors import WorkloadError
+from ...sim import Server
+
+
+@dataclass(frozen=True)
+class ServiceStage:
+    """Static description of one microservice component."""
+
+    name: str
+    workers: int
+    cpu_ns: float               # mean CPU time per visit
+    mem_lines: float            # effective dependent misses per visit
+    resident_bytes: int         # working-set size (Fig 10 right)
+    cpu_sigma: float = 0.25     # log-normal CPU jitter
+    pinnable: bool = False      # True for the high-WSS database stages
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise WorkloadError(f"{self.name}: workers must be positive")
+        if self.cpu_ns < 0 or self.mem_lines < 0 or self.resident_bytes < 0:
+            raise WorkloadError(f"{self.name}: negative parameters")
+
+
+class StageRuntime:
+    """A stage bound to a NUMA node, with a DES worker pool."""
+
+    def __init__(self, stage: ServiceStage, system: System,
+                 node_id: int) -> None:
+        if node_id not in system.topology:
+            raise WorkloadError(f"unknown node {node_id}")
+        if (system.topology.node(node_id).kind.is_cxl
+                and not stage.pinnable):
+            raise WorkloadError(
+                f"{stage.name} is computation-intensive and stays on DRAM "
+                "(§5.3 pins only the storage and caching components)")
+        self.stage = stage
+        self.node_id = node_id
+        self.server = Server(stage.workers, name=stage.name)
+        backend = system.backend_for_node(node_id)
+        self._miss_ns = system.edge_ns() + backend.idle_read_ns()
+
+    @property
+    def mean_service_ns(self) -> float:
+        """Expected visit time (capacity planning / saturation math)."""
+        return self.stage.cpu_ns + self.stage.mem_lines * self._miss_ns
+
+    def sample_service_ns(self, rng: np.random.Generator) -> float:
+        """One visit's service time with CPU jitter."""
+        cpu = self.stage.cpu_ns * rng.lognormal(0.0, self.stage.cpu_sigma)
+        return cpu + self.stage.mem_lines * self._miss_ns

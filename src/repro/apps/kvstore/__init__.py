@@ -1,0 +1,7 @@
+"""A Redis-like single-threaded KV store on simulated memory."""
+
+from .store import KvStore
+from .server import KvServer, RunResult
+from .ycsb_runner import RedisYcsbStudy
+
+__all__ = ["KvStore", "KvServer", "RunResult", "RedisYcsbStudy"]

@@ -1,0 +1,117 @@
+"""The single-threaded KV server under open-loop load (DES).
+
+Redis processes queries on one event-loop thread, so the server is a
+capacity-1 station.  YCSB clients throttle to a target QPS (§5.1:
+"conducted multiple workloads while throttling query per second in the
+YCSB clients"), modeled as a Poisson arrival process; the recorded
+sojourn time (queue wait + service) is what the p99 curves plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import WorkloadError
+from ...sim import Engine, LatencyRecorder, Server
+from ...sim.rng import substream
+from ...workloads.ycsb import Operation
+from .store import KvStore
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one (workload, placement, QPS) run."""
+
+    target_qps: float
+    achieved_qps: float
+    p50_ns: float
+    p99_ns: float
+    mean_service_ns: float
+    requests: int
+
+    @property
+    def saturated(self) -> bool:
+        """True when the server could not keep up with the offered load."""
+        return self.achieved_qps < 0.95 * self.target_qps
+
+    @property
+    def p99_us(self) -> float:
+        return self.p99_ns / 1000.0
+
+
+class KvServer:
+    """Drives a :class:`KvStore` with Poisson arrivals on the DES engine.
+
+    ``workers=1`` is Redis' single-threaded event loop; ``workers>1``
+    models a memcached-style threaded server (§6.1 names both as
+    µs-level, latency-bound stores).  More workers raise the saturation
+    QPS linearly but do nothing for the per-query CXL latency penalty —
+    which is the §6.1 point: latency-bound is about *service time*, not
+    concurrency.
+    """
+
+    def __init__(self, store: KvStore, *, seed: int = 1,
+                 workers: int = 1) -> None:
+        if workers <= 0:
+            raise WorkloadError(f"workers must be positive: {workers}")
+        self.store = store
+        self.seed = seed
+        self.workers = workers
+
+    def run(self, target_qps: float, *, requests: int = 20_000) -> RunResult:
+        """Simulate ``requests`` queries at ``target_qps`` offered load."""
+        if target_qps <= 0:
+            raise WorkloadError(f"QPS must be positive: {target_qps}")
+        if requests <= 0:
+            raise WorkloadError(f"requests must be positive: {requests}")
+        engine = Engine()
+        name = ("redis-event-loop" if self.workers == 1
+                else f"memcached-{self.workers}w")
+        server = Server(self.workers, name=name)
+        arrivals = substream(f"arrivals-{self.seed}", self.seed)
+        sojourn = LatencyRecorder("sojourn")
+        service_total = [0.0]
+        completed = [0]
+        last_completion = [0.0]
+        mean_gap_ns = 1e9 / target_qps
+
+        def submit(index: int, arrival_time: float) -> None:
+            def start() -> None:
+                op = self.store.workload.next_operation(arrivals)
+                if op is Operation.INSERT:
+                    # Workload D: new records append and become the
+                    # "latest" keys subsequent reads favor.
+                    key = self.store.insert_record()
+                else:
+                    key = self.store.chooser.next_key(arrivals)
+                service = self.store.sample_service_ns(op, key)
+                service_total[0] += service
+
+                def finish() -> None:
+                    server.release()
+                    sojourn.record(engine.now - arrival_time)
+                    completed[0] += 1
+                    last_completion[0] = engine.now
+
+                engine.schedule(service, finish)
+
+            server.acquire(start)
+
+        # Pre-draw all arrival times (exponential gaps).
+        gaps = arrivals.exponential(mean_gap_ns, size=requests)
+        arrival_time = 0.0
+        for index in range(requests):
+            arrival_time += float(gaps[index])
+            engine.schedule_at(arrival_time,
+                               lambda i=index, t=arrival_time: submit(i, t))
+        engine.run()
+
+        elapsed = last_completion[0]
+        if elapsed <= 0:
+            raise WorkloadError("no requests completed")
+        return RunResult(target_qps=target_qps,
+                         achieved_qps=completed[0] / (elapsed / 1e9),
+                         p50_ns=sojourn.p50(),
+                         p99_ns=sojourn.p99(),
+                         mean_service_ns=service_total[0] / completed[0],
+                         requests=completed[0])

@@ -1,0 +1,169 @@
+"""The Redis-like store: records on policy-placed pages.
+
+Service-time model
+------------------
+One query's latency decomposes into
+
+* a CPU part — request parsing, hashing, reply serialization — with
+  log-normal jitter (Redis' own processing is µs-scale, §5.1);
+* a memory part — the *effective dependent misses* of walking the hash
+  bucket and touching the record's value lines.  Each miss pays the
+  unloaded read path of whichever NUMA node backs the touched page, so
+  interleave ratios shift the mix of ~106 ns (DRAM) and ~390 ns (CXL)
+  misses;
+* cache absorption — requests to keys hot enough to live in the LLC
+  skip most of the memory part.  Hot mass comes from the workload's key
+  distribution, which is how Fig 7's lat/zipf/uni variants differ.
+
+This is the mechanism behind both paper observations: µs-level queries
+are highly sensitive to memory latency (the p99 gap of Fig 6), and the
+max QPS ordering across interleave ratios (Fig 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cpu.system import System
+from ...errors import WorkloadError
+from ...topology.interleave import PlacementPolicy
+from ...topology.pages import Allocation
+from ...units import CACHELINE
+from ...workloads.ycsb import Operation, YcsbWorkload
+
+CPU_BASE_NS = 10_400.0
+"""Per-query CPU work (parse + hash + reply), Redis-like."""
+
+CPU_JITTER_SIGMA = 0.12
+"""Log-normal sigma of the CPU part."""
+
+EFFECTIVE_MISSES_MEAN = 20.0
+"""Mean dependent memory misses per query (bucket walk + 1 KB value)."""
+
+MISS_JITTER_SIGMA = 0.5
+"""Log-normal sigma of the miss count — the tail that p99 sees."""
+
+RECORD_OVERHEAD_BYTES = 200
+"""Redis object headers, SDS strings, dict entry per record."""
+
+LLC_USABLE_FRACTION = 0.5
+"""Share of the LLC realistically holding hot records."""
+
+
+class KvStore:
+    """Keyspace layout + per-operation service-time sampling."""
+
+    def __init__(self, system: System, policy: PlacementPolicy, *,
+                 workload: YcsbWorkload, num_keys: int = 1_000_000,
+                 capacity_keys: int | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        if num_keys <= 0:
+            raise WorkloadError(f"num_keys must be positive: {num_keys}")
+        self.system = system
+        self.workload = workload
+        self.num_keys = num_keys
+        # Inserts (workload D is 5% inserts) grow the keyspace into
+        # pre-allocated headroom, like a store started with maxmemory.
+        self.capacity_keys = capacity_keys if capacity_keys is not None \
+            else int(num_keys * 1.1)
+        if self.capacity_keys < num_keys:
+            raise WorkloadError("capacity below the initial keyspace")
+        self.record_bytes = _round_lines(
+            workload.value_bytes + RECORD_OVERHEAD_BYTES)
+        self.allocation: Allocation = system.allocator.allocate(
+            self.capacity_keys * self.record_bytes, policy)
+        self.chooser = workload.make_chooser(num_keys)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        # Unloaded read path per node, precomputed once.
+        self._node_read_ns = {
+            node.node_id: system.edge_ns()
+            + system.backend_for_node(node.node_id).idle_read_ns()
+            for node in system.topology.nodes}
+        self._cache_hit_prob = self._estimate_cache_hit_prob()
+
+    def free(self) -> None:
+        """Return the store's pages to the allocator (sweep hygiene)."""
+        self.system.allocator.free(self.allocation)
+
+    def insert_record(self) -> int:
+        """Append a new record (a YCSB INSERT); returns its key.
+
+        Raises once the pre-allocated capacity is exhausted — the
+        simulated analogue of hitting maxmemory.
+        """
+        if self.num_keys >= self.capacity_keys:
+            raise WorkloadError(
+                f"keyspace capacity {self.capacity_keys} exhausted")
+        key = self.num_keys
+        self.num_keys += 1
+        self.chooser.grow(self.num_keys)
+        return key
+
+    # -- layout ------------------------------------------------------------
+
+    def record_offset(self, key: int) -> int:
+        if not 0 <= key < self.num_keys:
+            raise WorkloadError(f"key {key} outside keyspace")
+        return key * self.record_bytes
+
+    def record_node_mix(self, key: int) -> dict[int, float]:
+        """Fraction of the record's lines on each node."""
+        start = self.record_offset(key)
+        offsets = np.arange(start, start + self.record_bytes, CACHELINE)
+        nodes = self.allocation.nodes_of(offsets)
+        ids, counts = np.unique(nodes, return_counts=True)
+        return {int(n): float(c) / len(offsets)
+                for n, c in zip(ids, counts)}
+
+    def cxl_resident_fraction(self) -> float:
+        """Fraction of the whole store on CXL nodes (verifies policies)."""
+        fractions = self.allocation.node_fractions()
+        return sum(share for node, share in fractions.items()
+                   if self.system.topology.node(node).kind.is_cxl)
+
+    # -- caching -------------------------------------------------------------
+
+    def _estimate_cache_hit_prob(self) -> float:
+        llc = self.system.socket.config.cache.llc.capacity_bytes
+        hot_records = int(llc * LLC_USABLE_FRACTION / self.record_bytes)
+        return self.chooser.hot_mass(hot_records)
+
+    @property
+    def cache_hit_prob(self) -> float:
+        return self._cache_hit_prob
+
+    # -- service times ---------------------------------------------------------
+
+    def average_miss_latency_ns(self, key: int) -> float:
+        """Expected per-miss latency given the record's node mix."""
+        mix = self.record_node_mix(key)
+        return sum(share * self._node_read_ns[node]
+                   for node, share in mix.items())
+
+    def sample_service_ns(self, op: Operation, key: int) -> float:
+        """One query's service time (CPU + memory), sampled."""
+        rng = self._rng
+        cpu = CPU_BASE_NS * rng.lognormal(0.0, CPU_JITTER_SIGMA)
+        misses = EFFECTIVE_MISSES_MEAN * rng.lognormal(0.0, MISS_JITTER_SIGMA)
+        if op in (Operation.UPDATE, Operation.READ_MODIFY_WRITE,
+                  Operation.INSERT):
+            # Mutations rewrite the value: extra dirty-line traffic.
+            misses *= 1.15
+        if rng.random() < self._cache_hit_prob:
+            misses *= 0.1        # hot record: index + value mostly cached
+        return cpu + misses * self.average_miss_latency_ns(key)
+
+    def mean_service_ns(self, samples: int = 2000) -> float:
+        """Monte-Carlo mean service time under the workload."""
+        if samples <= 0:
+            raise WorkloadError("samples must be positive")
+        total = 0.0
+        for _ in range(samples):
+            op = self.workload.next_operation(self._rng)
+            key = self.chooser.next_key(self._rng)
+            total += self.sample_service_ns(op, key)
+        return total / samples
+
+
+def _round_lines(nbytes: int) -> int:
+    return -(-nbytes // CACHELINE) * CACHELINE

@@ -1,0 +1,56 @@
+"""Cachelines and their MESI states."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..units import CACHELINE
+
+
+class MesiState(enum.Enum):
+    """The four MESI coherence states (§4.2 mentions CXL's MESI protocol)."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not MesiState.INVALID
+
+    @property
+    def is_dirty(self) -> bool:
+        """Only M holds data the memory below does not."""
+        return self is MesiState.MODIFIED
+
+    @property
+    def can_write_silently(self) -> bool:
+        """States allowing a store without a bus transaction."""
+        return self in (MesiState.MODIFIED, MesiState.EXCLUSIVE)
+
+
+@dataclass
+class CacheLine:
+    """One resident line: an aligned address plus its coherence state."""
+
+    address: int
+    state: MesiState = MesiState.INVALID
+    last_touch: int = 0     # LRU timestamp maintained by the owning set
+
+    def __post_init__(self) -> None:
+        if self.address % CACHELINE:
+            raise ValueError(
+                f"line address {self.address:#x} not {CACHELINE}-byte aligned")
+
+    @property
+    def tag(self) -> int:
+        return self.address // CACHELINE
+
+
+def line_address(byte_address: int) -> int:
+    """The aligned line address containing ``byte_address``."""
+    if byte_address < 0:
+        raise ValueError(f"negative address: {byte_address}")
+    return byte_address - byte_address % CACHELINE

@@ -1,0 +1,100 @@
+"""The MESI state machine, with RFO made explicit.
+
+Transitions are pure functions returning ``(new_state, bus_actions)``,
+where bus actions name the memory traffic implied:
+
+* ``"fill"`` — read the line from the level below (a MemRd on CXL);
+* ``"rfo"`` — read-for-ownership: fetch with intent to modify;
+* ``"writeback"`` — push dirty data down (a MemWr on CXL);
+* ``"invalidate"`` — drop other caches' copies.
+
+The paper leans on exactly this accounting: "RFO requires extra core
+resources and additional flit round trips for both loading and evicting a
+cache line compared to non-temporal stores" (§4.3.1).
+"""
+
+from __future__ import annotations
+
+from ..errors import CacheError
+from .cacheline import MesiState
+
+BusActions = tuple[str, ...]
+
+
+class MesiCoherence:
+    """MESI transitions for a single cache holding one copy of a line."""
+
+    @staticmethod
+    def on_load(state: MesiState) -> tuple[MesiState, BusActions]:
+        """CPU load.  Misses fill from below; hits keep their state."""
+        if state is MesiState.INVALID:
+            # Single-socket model: fills arrive Exclusive (no sharer).
+            return MesiState.EXCLUSIVE, ("fill",)
+        return state, ()
+
+    @staticmethod
+    def on_store(state: MesiState) -> tuple[MesiState, BusActions]:
+        """CPU temporal store: write-allocate with RFO."""
+        if state is MesiState.INVALID:
+            return MesiState.MODIFIED, ("rfo",)
+        if state is MesiState.SHARED:
+            return MesiState.MODIFIED, ("invalidate",)
+        return MesiState.MODIFIED, ()
+
+    @staticmethod
+    def on_nt_store(state: MesiState) -> tuple[MesiState, BusActions]:
+        """Non-temporal store: write around the cache.
+
+        Any resident copy must be dropped (written back first if dirty)
+        so the cache never holds stale data; the store itself goes
+        straight to memory.
+        """
+        if state is MesiState.MODIFIED:
+            return MesiState.INVALID, ("writeback", "nt-write")
+        if state.is_valid:
+            return MesiState.INVALID, ("nt-write",)
+        return MesiState.INVALID, ("nt-write",)
+
+    @staticmethod
+    def on_clflush(state: MesiState) -> tuple[MesiState, BusActions]:
+        """clflush: invalidate, writing back first if dirty."""
+        if state is MesiState.MODIFIED:
+            return MesiState.INVALID, ("writeback",)
+        return MesiState.INVALID, ()
+
+    @staticmethod
+    def on_clwb(state: MesiState) -> tuple[MesiState, BusActions]:
+        """clwb: write back dirty data but *keep* the line (unlike clflush)."""
+        if state is MesiState.MODIFIED:
+            # Retained clean: E in this single-cache model.
+            return MesiState.EXCLUSIVE, ("writeback",)
+        return state, ()
+
+    @staticmethod
+    def on_eviction(state: MesiState) -> tuple[MesiState, BusActions]:
+        """Capacity eviction: dirty lines write back, clean ones drop."""
+        if state is MesiState.INVALID:
+            raise CacheError("evicting an invalid line")
+        if state is MesiState.MODIFIED:
+            return MesiState.INVALID, ("writeback",)
+        return MesiState.INVALID, ()
+
+    @classmethod
+    def validate_transition(cls, before: MesiState, event: str,
+                            after: MesiState) -> None:
+        """Assert that ``before --event--> after`` is a legal transition."""
+        handlers = {
+            "load": cls.on_load,
+            "store": cls.on_store,
+            "nt_store": cls.on_nt_store,
+            "clflush": cls.on_clflush,
+            "clwb": cls.on_clwb,
+            "eviction": cls.on_eviction,
+        }
+        if event not in handlers:
+            raise CacheError(f"unknown coherence event: {event}")
+        expected, _ = handlers[event](before)
+        if expected is not after:
+            raise CacheError(
+                f"illegal MESI transition {before.value} --{event}--> "
+                f"{after.value} (expected {expected.value})")

@@ -1,0 +1,370 @@
+"""Hardware configuration dataclasses and the paper's Table-1 testbeds.
+
+Every latency / bandwidth constant the simulator uses lives here, so the
+calibration story is auditable in one place.  The two preset builders,
+:func:`single_socket_testbed` and :func:`dual_socket_testbed`, mirror the
+paper's Table 1:
+
+* **Single socket** — Intel Xeon Gold 6414U @ 2.0 GHz, 32 cores (SMT on),
+  60 MB shared LLC, eight DDR5-4800 channels (128 GB), plus an Intel
+  Agilex-I CXL 1.1 Type-3 device on PCIe Gen5 x16 backed by a single
+  DDR4-2666 DIMM (16 GB).
+* **Dual socket** — 2x Intel Xeon Platinum 8460H, 40 cores/socket,
+  105 MB LLC per socket, eight DDR5-4800 channels per socket.
+
+Numeric calibration targets (see DESIGN.md §5) come from the paper's
+stated ratios, not from any proprietary datasheet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .errors import ConfigError
+from .units import CACHELINE, GIB, KIB, MIB, ddr_peak_bandwidth, gb_per_s
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """One DRAM subsystem: a generation, a transfer rate and channels."""
+
+    generation: str            # "DDR5" or "DDR4"
+    transfer_mt_s: float       # e.g. 4800 for DDR5-4800
+    channels: int
+    capacity_bytes: int
+    # Loaded-bank access time for a row-buffer miss, device side only
+    # (excludes any interconnect / cache traversal).
+    access_ns: float
+    # Fraction of theoretical peak a stream of reads can sustain once the
+    # channel scheduler is warm (row-buffer locality, refresh, turnaround).
+    sequential_efficiency: float = 0.72
+    # Fraction sustainable when requests arrive with little address
+    # locality (many threads or small random blocks -> row misses).
+    random_efficiency: float = 0.38
+    # Efficiency lost when traffic is pure writes (bus turnaround,
+    # write-recovery).  DDR5-L8 nt-store peaks at 170 of 307 GB/s where
+    # loads reach 221 (Fig. 3a) -> ~0.235 penalty; the CXL device's DDR4
+    # shows none (nt-store reaches the theoretical line, Fig. 3b).
+    write_penalty: float = 0.235
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ConfigError(f"channel count must be positive: {self.channels}")
+        if self.transfer_mt_s <= 0:
+            raise ConfigError(f"MT/s must be positive: {self.transfer_mt_s}")
+        if not 0 < self.random_efficiency <= self.sequential_efficiency <= 1:
+            raise ConfigError(
+                "efficiencies must satisfy 0 < random <= sequential <= 1, got "
+                f"random={self.random_efficiency} sequential={self.sequential_efficiency}")
+        if not 0 <= self.write_penalty < 1:
+            raise ConfigError(
+                f"write_penalty must be in [0, 1): {self.write_penalty}")
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Theoretical peak of all channels combined, in B/s."""
+        return ddr_peak_bandwidth(self.transfer_mt_s, self.channels)
+
+    @property
+    def per_channel_peak(self) -> float:
+        """Theoretical peak of a single channel, in B/s."""
+        return ddr_peak_bandwidth(self.transfer_mt_s, 1)
+
+    def with_channels(self, channels: int) -> "DramConfig":
+        """A copy of this config restricted to ``channels`` channels."""
+        scale = channels / self.channels
+        return replace(self, channels=channels,
+                       capacity_bytes=int(self.capacity_bytes * scale))
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    capacity_bytes: int
+    ways: int
+    latency_ns: float
+    line_bytes: int = CACHELINE
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes % (self.ways * self.line_bytes):
+            raise ConfigError(
+                f"{self.name}: capacity {self.capacity_bytes} not divisible by "
+                f"ways*line ({self.ways}*{self.line_bytes})")
+
+    @property
+    def num_sets(self) -> int:
+        return self.capacity_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """The three-level hierarchy of one socket."""
+
+    l1: CacheLevelConfig
+    l2: CacheLevelConfig
+    llc: CacheLevelConfig
+
+    @property
+    def levels(self) -> tuple[CacheLevelConfig, ...]:
+        return (self.l1, self.l2, self.llc)
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Per-core resources that bound memory-level parallelism.
+
+    The paper's bandwidth trends are first-order explained by how many
+    64 B lines a single thread can keep in flight:
+
+    * loads are bounded by ``fill_buffers`` (L1 miss-status registers);
+    * temporal stores by ``store_buffer`` drain + RFO fill-buffer usage;
+    * non-temporal stores by ``wc_buffers`` (write-combining buffers) and,
+      crucially, they do *not* occupy core tracking resources once handed
+      to the uncore — §4.3.2 uses this to explain device-buffer overflow.
+    """
+
+    frequency_ghz: float = 2.0
+    fill_buffers: int = 16
+    store_buffer: int = 56
+    wc_buffers: int = 12
+    # Cycles of fixed pipeline overhead per memory instruction issue.
+    issue_overhead_cycles: int = 4
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.frequency_ghz
+
+    @property
+    def issue_overhead_ns(self) -> float:
+        return self.issue_overhead_cycles * self.cycle_ns
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """A point-to-point interconnect link (UPI or PCIe-based CXL)."""
+
+    name: str
+    bandwidth_bytes_per_s: float   # per direction
+    hop_latency_ns: float          # one-way propagation + SerDes
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0 or self.hop_latency_ns < 0:
+            raise ConfigError(f"invalid link parameters for {self.name}")
+
+
+@dataclass(frozen=True)
+class CxlDeviceConfig:
+    """An Agilex-I-like CXL 1.1 Type-3 memory expander.
+
+    ``controller_ns`` is the device-side CXL controller + memory-controller
+    traversal per access.  The FPGA implementation hardens both IPs but is
+    still clocked at 400 MHz, so we model an ``fpga_penalty_ns`` the paper
+    expects an ASIC to remove (§4.2 — "we anticipate that an ASIC
+    implementation ... will result in improved latency").
+    """
+
+    dram: DramConfig
+    link: LinkConfig
+    controller_ns: float = 70.0
+    fpga_penalty_ns: float = 70.0
+    # Device-side write buffer, in 64 B entries.  nt-stores bypass core
+    # tracking and can overflow this (§4.3.2's "sweet spot" explanation).
+    write_buffer_entries: int = 128
+    # Request scheduler quality: how badly interleaved request streams from
+    # many threads reduce DRAM row locality behind the controller (§4.3.1's
+    # closing observation).  0 = no degradation; 1 = worst case.
+    thread_mixing_sensitivity: float = 0.55
+    # Threads beyond which the mixing penalty starts to apply for loads.
+    load_thread_knee: int = 8
+
+    def __post_init__(self) -> None:
+        if self.write_buffer_entries <= 0:
+            raise ConfigError("write buffer must have at least one entry")
+        if not 0 <= self.thread_mixing_sensitivity <= 1:
+            raise ConfigError("thread_mixing_sensitivity must be in [0, 1]")
+
+    @property
+    def device_latency_ns(self) -> float:
+        """Controller + FPGA + backing-DRAM access, one request."""
+        return self.controller_ns + self.fpga_penalty_ns + self.dram.access_ns
+
+    def as_asic(self) -> "CxlDeviceConfig":
+        """An ablation twin of this device with the FPGA penalty removed."""
+        return replace(self, fpga_penalty_ns=0.0)
+
+
+@dataclass(frozen=True)
+class SocketConfig:
+    """One CPU package: cores, caches, local DRAM, and uncore latencies."""
+
+    name: str
+    cores: int
+    smt: int
+    core: CoreConfig
+    cache: CacheConfig
+    dram: DramConfig
+    # On-die mesh traversal from a core to an iMC or the CXL root port.
+    mesh_ns: float = 12.0
+    # Home-agent / CHA processing per memory transaction.
+    home_agent_ns: float = 8.0
+    # Number of SNC clusters the package can be split into.
+    snc_clusters: int = 4
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.smt <= 0:
+            raise ConfigError("cores and smt must be positive")
+        if self.snc_clusters <= 0 or self.cores % self.snc_clusters:
+            raise ConfigError(
+                f"{self.cores} cores not divisible into {self.snc_clusters} SNC clusters")
+        if self.dram.channels % self.snc_clusters:
+            raise ConfigError(
+                f"{self.dram.channels} channels not divisible into "
+                f"{self.snc_clusters} SNC clusters")
+
+    @property
+    def hardware_threads(self) -> int:
+        return self.cores * self.smt
+
+    def snc_node(self) -> "SocketConfig":
+        """The slice of this socket seen by one SNC cluster.
+
+        SNC splits the four SPR chiplets into independent NUMA nodes, each
+        owning a quarter of the cores and two of the eight DDR5 channels
+        (§5.2, Fig. 9).  LLC is also partitioned.
+        """
+        cluster_cores = self.cores // self.snc_clusters
+        cluster_channels = self.dram.channels // self.snc_clusters
+        cache = CacheConfig(
+            l1=self.cache.l1,
+            l2=self.cache.l2,
+            llc=replace(self.cache.llc,
+                        capacity_bytes=self.cache.llc.capacity_bytes
+                        // self.snc_clusters),
+        )
+        return replace(self, name=f"{self.name}-snc",
+                       cores=cluster_cores, cache=cache,
+                       dram=self.dram.with_channels(cluster_channels),
+                       snc_clusters=1)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A whole testbed: sockets, the inter-socket link, and CXL devices."""
+
+    name: str
+    sockets: tuple[SocketConfig, ...]
+    upi: LinkConfig | None = None
+    cxl_devices: tuple[CxlDeviceConfig, ...] = ()
+    # Extra ns for touching a cacheline that was explicitly flushed
+    # (coherence-directory handshake; the paper cites the Optane study [31]).
+    flushed_line_penalty_ns: float = 95.0
+
+    def __post_init__(self) -> None:
+        if not self.sockets:
+            raise ConfigError("a system needs at least one socket")
+        if len(self.sockets) > 1 and self.upi is None:
+            raise ConfigError("multi-socket systems need a UPI link")
+
+    @property
+    def socket(self) -> SocketConfig:
+        """The first (or only) socket — convenience for single-socket runs."""
+        return self.sockets[0]
+
+    @property
+    def cxl(self) -> CxlDeviceConfig:
+        """The first CXL device; raises if none is attached."""
+        if not self.cxl_devices:
+            raise ConfigError(f"system {self.name!r} has no CXL device")
+        return self.cxl_devices[0]
+
+
+# --------------------------------------------------------------------------
+# Table-1 presets
+# --------------------------------------------------------------------------
+
+def _spr_core() -> CoreConfig:
+    return CoreConfig(frequency_ghz=2.0, fill_buffers=16, store_buffer=56,
+                      wc_buffers=12, issue_overhead_cycles=4)
+
+
+def _spr_cache(llc_mib: int) -> CacheConfig:
+    return CacheConfig(
+        l1=CacheLevelConfig("L1d", capacity_bytes=48 * KIB, ways=12,
+                            latency_ns=2.5),
+        l2=CacheLevelConfig("L2", capacity_bytes=2 * MIB, ways=16,
+                            latency_ns=7.0),
+        llc=CacheLevelConfig("LLC", capacity_bytes=llc_mib * MIB, ways=15,
+                             latency_ns=24.0),
+    )
+
+
+def _ddr5_l8(capacity_gib: int) -> DramConfig:
+    return DramConfig(generation="DDR5", transfer_mt_s=4800, channels=8,
+                      capacity_bytes=capacity_gib * GIB, access_ns=52.0)
+
+
+def _agilex_cxl_device() -> CxlDeviceConfig:
+    ddr4 = DramConfig(generation="DDR4", transfer_mt_s=2666, channels=1,
+                      capacity_bytes=16 * GIB, access_ns=60.0,
+                      sequential_efficiency=0.97, random_efficiency=0.42,
+                      write_penalty=0.0)
+    pcie5_x16 = LinkConfig(name="PCIe5x16",
+                           bandwidth_bytes_per_s=gb_per_s(64.0),
+                           hop_latency_ns=55.0)
+    return CxlDeviceConfig(dram=ddr4, link=pcie5_x16)
+
+
+def single_socket_testbed() -> SystemConfig:
+    """Table 1, first block: Xeon Gold 6414U + Agilex-I CXL device."""
+    socket = SocketConfig(name="Xeon-6414U", cores=32, smt=2,
+                          core=_spr_core(), cache=_spr_cache(60),
+                          dram=_ddr5_l8(128))
+    return SystemConfig(name="single-socket",
+                        sockets=(socket,),
+                        cxl_devices=(_agilex_cxl_device(),))
+
+
+def dual_socket_testbed() -> SystemConfig:
+    """Table 1, second block: 2x Xeon Platinum 8460H (NUMA baseline)."""
+    socket0 = SocketConfig(name="Xeon-8460H-0", cores=40, smt=2,
+                           core=_spr_core(), cache=_spr_cache(105),
+                           dram=_ddr5_l8(128))
+    socket1 = replace(socket0, name="Xeon-8460H-1")
+    upi = LinkConfig(name="UPI", bandwidth_bytes_per_s=gb_per_s(48.0),
+                     hop_latency_ns=34.0)
+    return SystemConfig(name="dual-socket", sockets=(socket0, socket1),
+                        upi=upi)
+
+
+def pooled_cxl_testbed(num_devices: int = 2) -> SystemConfig:
+    """A forward-looking testbed with several CXL expanders pooled.
+
+    The paper anticipates "CXL devices will have a bandwidth that is
+    comparable to native DRAM, which will further enhance the throughput
+    of memory bandwidth-bound applications" (§5.2) and recommends
+    interleaving "especially when the CXL memory device has more memory
+    channels" (§6).  Pooling N single-channel devices behind independent
+    root ports is the same experiment from the software side.
+    """
+    if num_devices <= 0:
+        raise ConfigError(f"need at least one device: {num_devices}")
+    single = single_socket_testbed()
+    devices = tuple(_agilex_cxl_device() for _ in range(num_devices))
+    return SystemConfig(name=f"pooled-{num_devices}cxl",
+                        sockets=single.sockets, cxl_devices=devices)
+
+
+def combined_testbed() -> SystemConfig:
+    """Both testbeds merged into one model system.
+
+    The paper runs microbenchmarks against three memory schemes —
+    DDR5-L8 (local), DDR5-R1 (remote socket, one channel) and CXL —
+    comparing across its two physical machines.  For experiments that
+    need all three schemes simultaneously we model a dual-socket system
+    with the CXL device attached to socket 0.
+    """
+    dual = dual_socket_testbed()
+    return SystemConfig(name="combined", sockets=dual.sockets, upi=dual.upi,
+                        cxl_devices=(_agilex_cxl_device(),))

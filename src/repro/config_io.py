@@ -1,0 +1,116 @@
+"""Testbed configuration serialization (JSON).
+
+Lets users describe their own machines — different channel counts, an
+ASIC-latency CXL device, more expanders — in version-controllable files
+instead of Python, and round-trips the built-in presets exactly.
+
+Format: a plain JSON object mirroring the dataclass tree.  Unknown keys
+are rejected (typos should fail loudly, not silently default).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+from .config import (
+    CacheConfig,
+    CacheLevelConfig,
+    CoreConfig,
+    CxlDeviceConfig,
+    DramConfig,
+    LinkConfig,
+    SocketConfig,
+    SystemConfig,
+)
+from .errors import ConfigError
+
+
+def _to_dict(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: _to_dict(getattr(value, field.name))
+                for field in dataclasses.fields(value)}
+    if isinstance(value, tuple):
+        return [_to_dict(item) for item in value]
+    return value
+
+
+def system_to_dict(config: SystemConfig) -> dict:
+    """A JSON-ready dict for a whole testbed."""
+    return _to_dict(config)
+
+
+def _build(cls, data: dict | None, context: str):
+    if data is None:
+        return None
+    if not isinstance(data, dict):
+        raise ConfigError(f"{context}: expected an object, got "
+                          f"{type(data).__name__}")
+    field_names = {field.name for field in dataclasses.fields(cls)}
+    unknown = set(data) - field_names
+    if unknown:
+        raise ConfigError(
+            f"{context}: unknown keys {sorted(unknown)}; "
+            f"valid keys: {sorted(field_names)}")
+    return data
+
+
+def system_from_dict(data: dict) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from its dict form."""
+    payload = dict(_build(SystemConfig, data, "system"))
+    sockets = tuple(_socket_from(entry, f"sockets[{i}]")
+                    for i, entry in enumerate(payload.pop("sockets", [])))
+    upi_data = payload.pop("upi", None)
+    upi = LinkConfig(**_build(LinkConfig, upi_data, "upi")) \
+        if upi_data else None
+    devices = tuple(_cxl_from(entry, f"cxl_devices[{i}]")
+                    for i, entry in enumerate(
+                        payload.pop("cxl_devices", [])))
+    return SystemConfig(sockets=sockets, upi=upi, cxl_devices=devices,
+                        **payload)
+
+
+def _socket_from(data: dict, context: str) -> SocketConfig:
+    payload = dict(_build(SocketConfig, data, context))
+    payload["core"] = CoreConfig(
+        **_build(CoreConfig, payload["core"], f"{context}.core"))
+    cache = _build(CacheConfig, payload["cache"], f"{context}.cache")
+    payload["cache"] = CacheConfig(
+        l1=CacheLevelConfig(**_build(CacheLevelConfig, cache["l1"],
+                                     f"{context}.cache.l1")),
+        l2=CacheLevelConfig(**_build(CacheLevelConfig, cache["l2"],
+                                     f"{context}.cache.l2")),
+        llc=CacheLevelConfig(**_build(CacheLevelConfig, cache["llc"],
+                                      f"{context}.cache.llc")))
+    payload["dram"] = DramConfig(
+        **_build(DramConfig, payload["dram"], f"{context}.dram"))
+    return SocketConfig(**payload)
+
+
+def _cxl_from(data: dict, context: str) -> CxlDeviceConfig:
+    payload = dict(_build(CxlDeviceConfig, data, context))
+    payload["dram"] = DramConfig(
+        **_build(DramConfig, payload["dram"], f"{context}.dram"))
+    payload["link"] = LinkConfig(
+        **_build(LinkConfig, payload["link"], f"{context}.link"))
+    return CxlDeviceConfig(**payload)
+
+
+def save_system(config: SystemConfig, path: str | Path) -> None:
+    """Write a testbed to a JSON file."""
+    Path(path).write_text(json.dumps(system_to_dict(config), indent=2)
+                          + "\n")
+
+
+def load_system(path: str | Path) -> SystemConfig:
+    """Read a testbed from a JSON file."""
+    target = Path(path)
+    if not target.exists():
+        raise ConfigError(f"no such config file: {target}")
+    try:
+        data = json.loads(target.read_text())
+    except json.JSONDecodeError as error:
+        raise ConfigError(f"{target}: invalid JSON ({error})") from error
+    return system_from_dict(data)

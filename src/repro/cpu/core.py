@@ -1,0 +1,90 @@
+"""The core model: how many 64 B lines one thread keeps in flight.
+
+Every bandwidth curve in the paper is a story about per-thread
+memory-level parallelism (MLP) meeting a device ceiling.  The calibrated
+values here, together with unloaded latencies, set the *slopes* of
+Figs 3 and 5; the ceilings set the plateaus.
+"""
+
+from __future__ import annotations
+
+from ..config import CoreConfig
+from ..mem.dram import AccessPattern
+from .isa import AccessKind
+
+WRITE_ACCEPTANCE_NS = 70.0
+"""Effective service time of one posted (non-temporal) 64 B write.
+
+Posted writes complete, from the core's perspective, when the uncore
+accepts them — not when the device finishes.  ~70 ns reproduces both
+calibration anchors: DDR5-L8 nt-store saturating 170 GB/s at ~16 threads
+and CXL nt-store reaching ~22 GB/s with just 2 threads (Fig. 3).
+"""
+
+
+class Core:
+    """One physical core executing AVX-512 memory kernels."""
+
+    def __init__(self, config: CoreConfig, core_id: int = 0) -> None:
+        self.config = config
+        self.core_id = core_id
+
+    def effective_mlp(self, kind: AccessKind,
+                      pattern: AccessPattern) -> float:
+        """Sustained in-flight 64 B lines for one thread.
+
+        * Dependent chains (pointer chase) have no parallelism at all.
+        * Loads use most of the fill buffers; out-of-order plus the
+          hardware prefetcher keep ~13 of 16 busy on streaming kernels.
+        * Temporal stores are throttled by store-buffer drain and share
+          fill buffers with their RFO reads (~10).
+        * nt-stores / movdir64B are bounded by the write-combining
+          buffers — but see :data:`WRITE_ACCEPTANCE_NS`: their service
+          time is acceptance, not a full device round trip.
+        """
+        if pattern is AccessPattern.POINTER_CHASE:
+            return 1.0
+        if kind is AccessKind.LOAD:
+            return min(self.config.fill_buffers, 15.0)
+        if kind is AccessKind.STORE:
+            return min(self.config.fill_buffers, 10.0)
+        if kind is AccessKind.NT_STORE:
+            return float(self.config.wc_buffers)
+        if kind is AccessKind.MOVDIR64B:
+            # Direct-store moves track both a read and a write; fewer fit.
+            return min(self.config.wc_buffers, 8.0)
+        raise AssertionError(f"unhandled kind {kind}")
+
+    def service_latency_ns(self, kind: AccessKind, *, read_latency_ns: float,
+                           write_latency_ns: float) -> float:
+        """Latency one in-flight slot is occupied for, per line.
+
+        ``read_latency_ns`` / ``write_latency_ns`` are the end-to-end
+        (possibly loaded) path latencies of the target memory.
+        """
+        issue = self.config.issue_overhead_ns
+        if kind is AccessKind.LOAD:
+            return issue + read_latency_ns
+        if kind is AccessKind.STORE:
+            # The RFO fill is the blocking part; the writeback drains in
+            # the background but occupies the slot for a fraction of it.
+            return issue + read_latency_ns + 0.3 * write_latency_ns
+        if kind is AccessKind.NT_STORE:
+            return issue + WRITE_ACCEPTANCE_NS
+        if kind is AccessKind.MOVDIR64B:
+            # The cache-bypassing source read dominates (§4.3.1: "the
+            # slower load from CXL memory leads to the lower throughput
+            # in movdir64B").
+            return issue + read_latency_ns + WRITE_ACCEPTANCE_NS
+        raise AssertionError(f"unhandled kind {kind}")
+
+    def peak_thread_bandwidth(self, kind: AccessKind,
+                              pattern: AccessPattern, *,
+                              read_latency_ns: float,
+                              write_latency_ns: float) -> float:
+        """Little's-law per-thread application bandwidth, B/s."""
+        mlp = self.effective_mlp(kind, pattern)
+        service = self.service_latency_ns(
+            kind, read_latency_ns=read_latency_ns,
+            write_latency_ns=write_latency_ns)
+        return mlp * 64 / (service / 1e9)

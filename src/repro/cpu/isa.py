@@ -1,0 +1,84 @@
+"""The memory-access instruction kinds MEMO exercises (§4.1).
+
+All accesses are 64 B AVX-512 operations; the kinds differ in how they
+interact with the cache hierarchy and what bus traffic one application
+line implies:
+
+===========  =============  ==========  =====================================
+kind         bus reads      bus writes  notes
+===========  =============  ==========  =====================================
+LOAD         1              0           demand fill
+STORE        1              1           RFO fill now + writeback later
+NT_STORE     0              1           write-combining, bypasses caches
+MOVDIR64B    1 (src)        1 (dst)     cache-bypassing 64 B move [7]
+===========  =============  ==========  =====================================
+
+``STORE`` is what MEMO times as "st+wb" (temporal store + ``clwb``);
+``NT_STORE`` is timed with a trailing ``sfence``.  Both nt-store and
+movdir64B are weakly ordered — the §6 guidelines remind users to fence.
+"""
+
+from __future__ import annotations
+
+import enum
+
+FENCE_NS = 2.0
+"""Approximate cost of an mfence/sfence when the pipeline is quiet."""
+
+
+class AccessKind(enum.Enum):
+    """One 64 B memory operation class."""
+
+    LOAD = "ld"
+    STORE = "st+wb"
+    NT_STORE = "nt-st"
+    MOVDIR64B = "movdir64B"
+
+    @property
+    def bus_reads_per_line(self) -> int:
+        """64 B reads on the memory bus per application line."""
+        if self in (AccessKind.LOAD, AccessKind.STORE, AccessKind.MOVDIR64B):
+            return 1
+        return 0
+
+    @property
+    def bus_writes_per_line(self) -> int:
+        """64 B writes on the memory bus per application line."""
+        if self in (AccessKind.STORE, AccessKind.NT_STORE,
+                    AccessKind.MOVDIR64B):
+            return 1
+        return 0
+
+    @property
+    def traffic_factor(self) -> int:
+        """Total bus lines moved per application line.
+
+        The RFO penalty in one number: a temporal store moves twice the
+        traffic of a non-temporal store (§4.3.1).
+        """
+        return self.bus_reads_per_line + self.bus_writes_per_line
+
+    @property
+    def is_weakly_ordered(self) -> bool:
+        """Needs an explicit fence for ordering (§6 best practices)."""
+        return self in (AccessKind.NT_STORE, AccessKind.MOVDIR64B)
+
+    @property
+    def allocates_in_cache(self) -> bool:
+        """Whether the line lands in the hierarchy."""
+        return self in (AccessKind.LOAD, AccessKind.STORE)
+
+    @property
+    def occupies_core_tracking(self) -> bool:
+        """Whether in-flight lines consume core miss-tracking resources.
+
+        nt-stores hand off to write-combining buffers and stop being the
+        core's problem — which is exactly why they can overflow the CXL
+        device's internal buffer (§4.3.2: "nt-store does not occupy
+        tracking resources in the CPU core").
+        """
+        return self is not AccessKind.NT_STORE
+
+    @property
+    def is_write(self) -> bool:
+        return self.bus_writes_per_line > 0

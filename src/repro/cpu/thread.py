@@ -1,0 +1,38 @@
+"""Software threads pinned to cores (MEMO pins every test thread, §4.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .core import Core
+
+
+@dataclass(frozen=True)
+class PinnedThread:
+    """One benchmark thread bound to a physical core."""
+
+    thread_id: int
+    core: Core
+    prefetch_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.thread_id < 0:
+            raise ConfigError(f"negative thread id: {self.thread_id}")
+
+
+def pin_threads(count: int, cores: list[Core], *,
+                prefetch_enabled: bool = True) -> list[PinnedThread]:
+    """Pin ``count`` threads one-per-core, in core order.
+
+    MEMO's convention: one thread per physical core, no SMT sharing —
+    oversubscription would muddy the MLP story, so it is rejected.
+    """
+    if count <= 0:
+        raise ConfigError(f"thread count must be positive: {count}")
+    if count > len(cores):
+        raise ConfigError(
+            f"cannot pin {count} threads on {len(cores)} cores "
+            "(one thread per physical core)")
+    return [PinnedThread(i, cores[i], prefetch_enabled=prefetch_enabled)
+            for i in range(count)]

@@ -1,0 +1,58 @@
+"""CXL 1.1 protocol and Type-3 device models.
+
+Implements the pieces of the CXL spec the paper describes (§2.1):
+
+* :mod:`~repro.cxl.flit` — 68 B flits (64 B slots + 2 B CRC + 2 B
+  protocol ID) with slot-granular packing;
+* :mod:`~repro.cxl.messages` — the CXL.mem M2S/S2M message classes
+  (MemRd, MemWr/RwD, Cmp/NDR, MemData/DRS) and round-trip accounting;
+* :mod:`~repro.cxl.port` — a CXL port over a PCIe Gen5 PHY;
+* :mod:`~repro.cxl.controller` — the device-side controller with a
+  finite write buffer and FPGA latency penalty;
+* :mod:`~repro.cxl.hdm` — host-managed device memory (HDM) decoding;
+* :mod:`~repro.cxl.device` — the composed Type-3
+  :class:`~repro.cxl.device.CxlMemoryBackend`.
+"""
+
+from .flit import Flit, Slot, SlotKind, pack_slots
+from .messages import (
+    CXL_HEADER_SLOTS,
+    DATA_SLOTS_PER_LINE,
+    MemOpcode,
+    MemTransaction,
+    read_transaction,
+    write_transaction,
+)
+from .port import CxlPort
+from .controller import CxlDeviceController
+from .hdm import HdmDecoder, HdmRange
+from .device import CxlMemoryBackend, build_cxl_backend
+from .link_sim import CreditedLinkSim, LinkSimResult
+from .e2e_sim import CxlEndToEndSim, CxlWriteEndToEndSim, E2eResult
+from .taxonomy import CxlDeviceType, CxlProtocol
+
+__all__ = [
+    "Flit",
+    "Slot",
+    "SlotKind",
+    "pack_slots",
+    "MemOpcode",
+    "MemTransaction",
+    "read_transaction",
+    "write_transaction",
+    "CXL_HEADER_SLOTS",
+    "DATA_SLOTS_PER_LINE",
+    "CxlPort",
+    "CxlDeviceController",
+    "HdmDecoder",
+    "HdmRange",
+    "CxlMemoryBackend",
+    "build_cxl_backend",
+    "CreditedLinkSim",
+    "LinkSimResult",
+    "CxlEndToEndSim",
+    "CxlWriteEndToEndSim",
+    "E2eResult",
+    "CxlDeviceType",
+    "CxlProtocol",
+]

@@ -1,0 +1,72 @@
+"""The composed CXL Type-3 memory backend.
+
+Puts the protocol pieces together into the device half of the "CXL"
+memory scheme: port (flit transport) + device controller (buffers, FPGA
+penalty) + backing DDR4.  Implements the same :class:`MemoryBackend`
+interface as plain DRAM so the perfmodel treats all three schemes
+uniformly.
+"""
+
+from __future__ import annotations
+
+from ..config import CxlDeviceConfig
+from ..interconnect.pcie import PciePhy
+from ..mem.device import MemoryBackend
+from ..mem.dram import AccessPattern
+from .controller import CxlDeviceController
+from .messages import read_transaction, write_transaction
+from .port import CxlPort
+
+
+class CxlMemoryBackend(MemoryBackend):
+    """Device-side model of the Agilex-I CXL memory expander."""
+
+    def __init__(self, config: CxlDeviceConfig, port: CxlPort) -> None:
+        self.cxl_config = config
+        self.port = port
+        self.device_controller = CxlDeviceController(config)
+        read_txn = read_transaction()
+        write_txn = write_transaction()
+        # One-way extra latency beyond the socket edge: protocol round
+        # trip (both hops + serialization + pack/unpack) plus the device
+        # controller; the DRAM access itself is counted by the base class.
+        read_path = (port.transaction_round_trip_ns(read_txn)
+                     + self.device_controller.processing_ns())
+        write_path = (port.transaction_round_trip_ns(write_txn)
+                      + self.device_controller.processing_ns())
+        # Reads return data (5-slot DRS) so the dominant direction is S2M;
+        # the link ceiling accounts for header+framing overhead.
+        link_ceiling = port.data_bandwidth_ceiling(slots_per_line=5)
+        super().__init__(label="CXL",
+                         controller=self.device_controller.backend_controller,
+                         extra_read_ns=read_path,
+                         extra_write_ns=write_path,
+                         link_bandwidth=link_ceiling)
+
+    def bus_ceiling(self, pattern: AccessPattern, block_bytes: int,
+                    streams: int, *, write_fraction: float = 0.0) -> float:
+        """DRAM-side ceiling behind the controller, capped by the link."""
+        return super().bus_ceiling(pattern, block_bytes, streams,
+                                   write_fraction=write_fraction)
+
+    def concurrency_derate(self, *, readers: int, writers: int,
+                           nt_writers: int = 0) -> float:
+        """Combined Agilex controller derates (§4.3.1, §4.3.2)."""
+        derate = 1.0
+        if readers > 0:
+            derate *= self.device_controller.load_thread_derate(readers)
+        if nt_writers > 0:
+            derate *= self.device_controller.write_buffer_derate(nt_writers)
+        if writers > 0:
+            derate *= self.device_controller.store_interference_derate(writers)
+        return derate
+
+
+def build_cxl_backend(config: CxlDeviceConfig) -> CxlMemoryBackend:
+    """Backend for a :class:`~repro.config.CxlDeviceConfig` preset.
+
+    Constructs the PCIe PHY from the config's link parameters (the preset
+    is Gen5 x16, §3).
+    """
+    phy = PciePhy(hop_latency_ns=config.link.hop_latency_ns)
+    return CxlMemoryBackend(config, CxlPort(phy))

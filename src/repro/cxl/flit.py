@@ -1,0 +1,127 @@
+"""CXL 1.1 flit packing.
+
+Per the paper (§2.1): "the CXL hardware will pack the header and data
+into a 68 B flit (64 B CXL data + 2 B CRC + 2 B Protocol ID) based on a
+set of rules described in the CXL specification."
+
+The model follows the spec's structure at slot granularity:
+
+* a flit carries four 16 B **slots**;
+* slot 0 of each flit is a header slot describing the others;
+* a protocol message header (request, response) fits in one slot;
+* a 64 B cacheline of data occupies four consecutive data slots, which
+  may roll over into the next flit;
+* slots from different messages may share a flit (packing efficiency is
+  what makes CXL.mem cheaper than a naive one-message-per-flit design).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ProtocolError
+from ..units import CXL_FLIT_BYTES
+
+SLOT_BYTES = 16
+SLOTS_PER_FLIT = 4
+FLIT_OVERHEAD_BYTES = CXL_FLIT_BYTES - SLOTS_PER_FLIT * SLOT_BYTES  # CRC + PID
+
+
+class SlotKind(enum.Enum):
+    """What one 16 B slot carries."""
+
+    HEADER = "header"       # flit slot 0: format/type descriptors
+    REQUEST = "request"     # an M2S or S2M message header
+    DATA = "data"           # 16 B of a cacheline
+    EMPTY = "empty"         # padding when nothing is ready to send
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One 16 B slot tagged with its message of origin."""
+
+    kind: SlotKind
+    message_id: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind in (SlotKind.REQUEST, SlotKind.DATA) and self.message_id < 0:
+            raise ProtocolError(f"{self.kind.value} slot needs a message id")
+
+
+@dataclass
+class Flit:
+    """A 68 B flit: header slot + three payload slots + CRC/PID."""
+
+    slots: list[Slot] = field(default_factory=list)
+
+    MAX_PAYLOAD_SLOTS = SLOTS_PER_FLIT - 1   # slot 0 is the flit header
+
+    def __post_init__(self) -> None:
+        if len(self.slots) > self.MAX_PAYLOAD_SLOTS:
+            raise ProtocolError(
+                f"flit holds at most {self.MAX_PAYLOAD_SLOTS} payload slots, "
+                f"got {len(self.slots)}")
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.slots) >= self.MAX_PAYLOAD_SLOTS
+
+    @property
+    def payload_slots(self) -> int:
+        return len(self.slots)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Every flit occupies exactly 68 B on the wire, full or not."""
+        return CXL_FLIT_BYTES
+
+    def add(self, slot: Slot) -> None:
+        if self.is_full:
+            raise ProtocolError("flit is full")
+        self.slots.append(slot)
+
+
+def pack_slots(slots: list[Slot]) -> list[Flit]:
+    """Greedily pack payload slots into flits, in order.
+
+    Ordering is preserved (CXL.mem requires data slots of one line to be
+    consecutive) and every flit except possibly the last is full.
+    Returns at least one flit for a non-empty slot list.
+    """
+    for slot in slots:
+        if slot.kind in (SlotKind.HEADER, SlotKind.EMPTY):
+            raise ProtocolError(
+                f"pack_slots packs payload slots only, got {slot.kind}")
+    flits: list[Flit] = []
+    current = Flit()
+    for slot in slots:
+        if current.is_full:
+            flits.append(current)
+            current = Flit()
+        current.add(slot)
+    if current.payload_slots:
+        flits.append(current)
+    return flits
+
+
+def wire_bytes_for_slots(num_slots: int) -> int:
+    """Total wire bytes to carry ``num_slots`` payload slots.
+
+    Assumes the steady-state packed encoding (every flit full); partially
+    filled trailing flits still cost a whole 68 B.
+    """
+    if num_slots < 0:
+        raise ProtocolError(f"negative slot count: {num_slots}")
+    if num_slots == 0:
+        return 0
+    flits = -(-num_slots // Flit.MAX_PAYLOAD_SLOTS)
+    return flits * CXL_FLIT_BYTES
+
+
+def packing_efficiency(num_slots: int) -> float:
+    """Payload fraction of the wire traffic for ``num_slots`` slots."""
+    total = wire_bytes_for_slots(num_slots)
+    if total == 0:
+        raise ProtocolError("efficiency of zero slots is undefined")
+    return num_slots * SLOT_BYTES / total

@@ -1,0 +1,136 @@
+"""CXL.mem message classes and round-trip transactions.
+
+§2.1: "the protocol consists of two simple memory accesses: read and
+write from the host to the device memory.  Each access is accompanied by
+a completion reply from the device.  The reply contains data when reading
+from the device memory and only contains the completion header in the
+case of write."
+
+Message classes (CXL 1.1 spec nomenclature):
+
+* **M2S Req** — master-to-subordinate request without data (MemRd);
+* **M2S RwD** — request with data (MemWr: header + 64 B);
+* **S2M NDR** — no-data response (Cmp, acknowledging a write);
+* **S2M DRS** — data response (MemData: header + 64 B).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ProtocolError
+from .flit import SLOT_BYTES, Slot, SlotKind, wire_bytes_for_slots
+
+CXL_HEADER_SLOTS = 1
+"""A message header occupies one 16 B slot."""
+
+DATA_SLOTS_PER_LINE = 4
+"""A 64 B cacheline spans four 16 B data slots."""
+
+
+class MemOpcode(enum.Enum):
+    """The CXL.mem opcodes this model distinguishes."""
+
+    MEM_RD = "MemRd"         # M2S Req: read request
+    MEM_WR = "MemWr"         # M2S RwD: write request + data
+    CMP = "Cmp"              # S2M NDR: write completion
+    MEM_DATA = "MemData"     # S2M DRS: read completion + data
+
+    @property
+    def carries_data(self) -> bool:
+        return self in (MemOpcode.MEM_WR, MemOpcode.MEM_DATA)
+
+    @property
+    def direction(self) -> str:
+        """'M2S' (host to device) or 'S2M' (device to host)."""
+        if self in (MemOpcode.MEM_RD, MemOpcode.MEM_WR):
+            return "M2S"
+        return "S2M"
+
+    @property
+    def slots(self) -> int:
+        """Payload slots this message occupies."""
+        data = DATA_SLOTS_PER_LINE if self.carries_data else 0
+        return CXL_HEADER_SLOTS + data
+
+
+@dataclass(frozen=True)
+class MemTransaction:
+    """One host-initiated CXL.mem round trip (Fig. 1 right)."""
+
+    request: MemOpcode
+    response: MemOpcode
+    message_id: int = 0
+
+    def __post_init__(self) -> None:
+        valid = {(MemOpcode.MEM_RD, MemOpcode.MEM_DATA),
+                 (MemOpcode.MEM_WR, MemOpcode.CMP)}
+        if (self.request, self.response) not in valid:
+            raise ProtocolError(
+                f"invalid CXL.mem pairing: {self.request.value} -> "
+                f"{self.response.value}")
+
+    @property
+    def request_slots(self) -> int:
+        return self.request.slots
+
+    @property
+    def response_slots(self) -> int:
+        return self.response.slots
+
+    def request_slot_objects(self) -> list[Slot]:
+        """Slot objects for the request, ready for flit packing."""
+        return self._slots_for(self.request)
+
+    def response_slot_objects(self) -> list[Slot]:
+        """Slot objects for the response."""
+        return self._slots_for(self.response)
+
+    def _slots_for(self, opcode: MemOpcode) -> list[Slot]:
+        slots = [Slot(SlotKind.REQUEST, self.message_id)]
+        if opcode.carries_data:
+            slots += [Slot(SlotKind.DATA, self.message_id)
+                      for _ in range(DATA_SLOTS_PER_LINE)]
+        return slots
+
+    def wire_bytes_m2s(self) -> int:
+        """Host-to-device wire bytes (packed steady state)."""
+        return wire_bytes_for_slots(self.request_slots)
+
+    def wire_bytes_s2m(self) -> int:
+        """Device-to-host wire bytes (packed steady state)."""
+        return wire_bytes_for_slots(self.response_slots)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Application bytes moved (64 for either direction's data)."""
+        data_slots = max(self.request_slots, self.response_slots) \
+            - CXL_HEADER_SLOTS
+        return data_slots * SLOT_BYTES
+
+
+def read_transaction(message_id: int = 0) -> MemTransaction:
+    """MemRd -> MemData: a host load of one cacheline."""
+    return MemTransaction(MemOpcode.MEM_RD, MemOpcode.MEM_DATA,
+                          message_id=message_id)
+
+
+def write_transaction(message_id: int = 0) -> MemTransaction:
+    """MemWr -> Cmp: a host store (or writeback) of one cacheline."""
+    return MemTransaction(MemOpcode.MEM_WR, MemOpcode.CMP,
+                          message_id=message_id)
+
+
+def transactions_per_line(*, rfo: bool) -> list[MemTransaction]:
+    """CXL.mem transactions needed to *store* one line from the host.
+
+    With RFO (a temporal store miss) the line is first read for
+    ownership, then eventually written back — two round trips and
+    ~2.2x the wire traffic of a non-temporal store, which issues a
+    single MemWr.  This accounting is the §4.2/§4.3 explanation for the
+    st-vs-nt-st gap on CXL memory.
+    """
+    if rfo:
+        return [read_transaction(), write_transaction()]
+    return [write_transaction()]

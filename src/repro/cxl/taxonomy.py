@@ -1,0 +1,74 @@
+"""The CXL device taxonomy of §2.1.
+
+"CXL identifies three types of devices for different use cases.  Type-1
+devices use CXL.io and CXL.cache ... SmartNICs and accelerators where
+host-managed memory does not apply.  Type-2 devices support all three
+protocols ... GP-GPUs and FPGAs [with] attached memory the host CPU can
+access and cache ... Type-3 devices support CXL.io and CXL.mem, and
+such devices are usually treated as memory extensions."
+
+The paper (and this reproduction) evaluates Type-3; the taxonomy is
+modeled so configuration code can state and validate device capabilities.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import ProtocolError
+
+
+class CxlProtocol(enum.Enum):
+    """The three protocols multiplexed over a CXL link (§2.1)."""
+
+    IO = "CXL.io"          # TLP/DLLP-style: negotiation, init
+    CACHE = "CXL.cache"    # device -> host memory, coherently
+    MEM = "CXL.mem"        # host -> device memory
+
+
+class CxlDeviceType(enum.Enum):
+    """Device classes and the protocol sets that define them."""
+
+    TYPE1 = 1     # SmartNICs / accelerators, no host-managed memory
+    TYPE2 = 2     # GP-GPUs, FPGAs with host-cacheable attached memory
+    TYPE3 = 3     # memory expanders (this paper's subject)
+
+    @property
+    def protocols(self) -> frozenset[CxlProtocol]:
+        table = {
+            CxlDeviceType.TYPE1: frozenset(
+                {CxlProtocol.IO, CxlProtocol.CACHE}),
+            CxlDeviceType.TYPE2: frozenset(
+                {CxlProtocol.IO, CxlProtocol.CACHE, CxlProtocol.MEM}),
+            CxlDeviceType.TYPE3: frozenset(
+                {CxlProtocol.IO, CxlProtocol.MEM}),
+        }
+        return table[self]
+
+    @property
+    def has_host_managed_memory(self) -> bool:
+        """Whether the host can address memory on the device (CXL.mem)."""
+        return CxlProtocol.MEM in self.protocols
+
+    @property
+    def can_cache_host_memory(self) -> bool:
+        """Whether the device may cache host memory (CXL.cache)."""
+        return CxlProtocol.CACHE in self.protocols
+
+    def require(self, protocol: CxlProtocol) -> None:
+        """Assert the device speaks ``protocol``; used by config checks."""
+        if protocol not in self.protocols:
+            raise ProtocolError(
+                f"a Type-{self.value} device does not implement "
+                f"{protocol.value}")
+
+    @classmethod
+    def for_protocols(cls, protocols: frozenset[CxlProtocol]
+                      ) -> "CxlDeviceType":
+        """The device type defined by a protocol set."""
+        for device_type in cls:
+            if device_type.protocols == protocols:
+                return device_type
+        raise ProtocolError(
+            f"no CXL device type implements exactly "
+            f"{{{', '.join(sorted(p.value for p in protocols))}}}")

@@ -1,0 +1,76 @@
+"""DSA work descriptors and batch descriptors."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..cpu.system import MemoryScheme
+from ..errors import DeviceError
+
+
+class DsaOpcode(enum.Enum):
+    """The DSA operations this model supports."""
+
+    MEMMOVE = "memmove"
+    MEMFILL = "memfill"
+    COMPARE = "compare"
+    BATCH = "batch"
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """One offloaded operation."""
+
+    opcode: DsaOpcode
+    size_bytes: int
+    src: MemoryScheme | None    # None for fill (no source read)
+    dst: MemoryScheme
+
+    def __post_init__(self) -> None:
+        if self.opcode is DsaOpcode.BATCH:
+            raise DeviceError("use BatchDescriptor for batches")
+        if self.size_bytes <= 0:
+            raise DeviceError(f"descriptor size must be positive: "
+                              f"{self.size_bytes}")
+        if self.opcode is DsaOpcode.MEMMOVE and self.src is None:
+            raise DeviceError("memmove needs a source")
+
+    @property
+    def reads_bytes(self) -> int:
+        """Bytes read from ``src`` memory."""
+        return self.size_bytes if self.src is not None else 0
+
+    @property
+    def writes_bytes(self) -> int:
+        """Bytes written to ``dst`` memory (compare writes nothing)."""
+        return 0 if self.opcode is DsaOpcode.COMPARE else self.size_bytes
+
+
+@dataclass(frozen=True)
+class BatchDescriptor:
+    """A batch: one submission carrying many descriptors.
+
+    Batching is the paper's lever for amortizing offload latency
+    (Fig. 4b uses batch sizes 1, 16 and 128).
+    """
+
+    descriptors: tuple[Descriptor, ...]
+
+    def __post_init__(self) -> None:
+        if not self.descriptors:
+            raise DeviceError("a batch needs at least one descriptor")
+
+    @property
+    def size(self) -> int:
+        return len(self.descriptors)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(d.size_bytes for d in self.descriptors)
+
+
+def memmove(size_bytes: int, src: MemoryScheme,
+            dst: MemoryScheme) -> Descriptor:
+    """Convenience constructor for the common memmove descriptor."""
+    return Descriptor(DsaOpcode.MEMMOVE, size_bytes, src, dst)

@@ -1,0 +1,53 @@
+"""DSA work queues."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import DeviceError
+from .descriptor import BatchDescriptor, Descriptor
+
+Submission = "Descriptor | BatchDescriptor"
+
+
+class WorkQueue:
+    """A bounded descriptor queue between submitters and engines.
+
+    Real DSA exposes dedicated WQs (one submitter, ``ENQCMD``-free) and
+    shared WQs; for throughput modeling only the depth matters: it is the
+    maximum number of submissions in flight, i.e. how much asynchrony the
+    software can extract.
+    """
+
+    def __init__(self, depth: int = 128, *, dedicated: bool = True,
+                 name: str = "wq0") -> None:
+        if depth <= 0:
+            raise DeviceError(f"WQ depth must be positive: {depth}")
+        self.depth = depth
+        self.dedicated = dedicated
+        self.name = name
+        self._entries: deque[Descriptor | BatchDescriptor] = deque()
+        self.enqueued_total = 0
+        self.rejected_total = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    def submit(self, work: Descriptor | BatchDescriptor) -> bool:
+        """Enqueue one submission; False when full (ENQCMD retry status)."""
+        if self.is_full:
+            self.rejected_total += 1
+            return False
+        self._entries.append(work)
+        self.enqueued_total += 1
+        return True
+
+    def pull(self) -> Descriptor | BatchDescriptor:
+        """An engine takes the oldest submission."""
+        if not self._entries:
+            raise DeviceError(f"pull from empty WQ {self.name!r}")
+        return self._entries.popleft()

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  Subclasses are split
+by subsystem so tests can assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven into an invalid state."""
+
+
+class AllocationError(ReproError):
+    """A NUMA page allocation could not be satisfied."""
+
+
+class ProtocolError(ReproError):
+    """A CXL protocol rule (flit packing, message pairing) was violated."""
+
+
+class CacheError(ReproError):
+    """A cache-hierarchy invariant (inclusion, MESI transition) was violated."""
+
+
+class DeviceError(ReproError):
+    """A memory or DSA device was used outside of its operating envelope."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failed to produce a result."""

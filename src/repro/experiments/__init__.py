@@ -1,0 +1,29 @@
+"""One module per paper table/figure, plus a registry and runner.
+
+Every experiment regenerates its figure as text tables (the same
+rows/series the paper plots) and validates the paper's qualitative
+claims as :class:`~repro.analysis.compare.ShapeCheck` assertions.
+
+Run everything with ``repro-experiments`` (or
+``python -m repro.experiments.runner``); see EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .registry import Experiment, ExperimentResult, REGISTRY, get, run_all
+
+# Importing the experiment modules populates the registry.
+from . import (          # noqa: F401  (imported for registration side effect)
+    table1_testbeds,
+    fig2_latency,
+    fig3_seq_bw,
+    fig4_movdir_dsa,
+    fig5_random_bw,
+    fig6_redis_latency,
+    fig7_redis_qps,
+    fig8_dlrm,
+    fig9_dlrm_snc,
+    fig10_dsb,
+    extensions,
+)
+
+__all__ = ["Experiment", "ExperimentResult", "REGISTRY", "get", "run_all"]

@@ -1,0 +1,130 @@
+"""Extension experiments: the paper's outlook, made runnable.
+
+These go beyond the paper's figures but implement claims its text makes:
+the §5 tiering-baseline statement, §6's inline-acceleration guideline,
+§5.2's multi-device bandwidth anticipation, and the loaded-latency view
+standard characterization suites add.
+"""
+
+from __future__ import annotations
+
+from .. import build_system, combined_testbed
+from ..analysis.compare import ShapeCheck
+from ..analysis.tables import series_table
+from ..apps.dlrm import DlrmInferenceStudy
+from ..apps.dlrm.nearmem import NearMemoryReduction
+from ..config import pooled_cxl_testbed
+from ..memo.loaded_latency import LoadedLatencyBench
+from ..tiering import (
+    MigrationEngine,
+    NoMigration,
+    PageMigrator,
+    TieringSimulator,
+    TppLikePolicy,
+)
+from .registry import ExperimentResult, register
+
+
+@register("ext-tiering", "Tiering vs the weighted-interleave baseline",
+          "§5 baseline claim, §6 DSA guideline")
+def run_tiering(fast: bool) -> ExperimentResult:
+    system = build_system(combined_testbed())
+    simulator = TieringSimulator(system, num_pages=4096,
+                                 dram_capacity_pages=1024,
+                                 accesses_per_epoch=20_000 if fast
+                                 else 60_000)
+    epochs = 20 if fast else 40
+    migrator = PageMigrator(system, engine=MigrationEngine.DSA_ASYNC)
+    static = simulator.run(NoMigration(), migrator, epochs=epochs)
+    tpp = simulator.run(TppLikePolicy(max_migrations_per_epoch=512),
+                        migrator, epochs=epochs)
+    curves = [TieringSimulator.latency_series(static,
+                                              "weighted-interleave"),
+              TieringSimulator.latency_series(tpp, "TPP-like")]
+    rendered = series_table(curves, y_format="{:.0f}",
+                            title="effective ns/access per epoch "
+                                  "(hot set shifts every 8)")
+    static_ns = simulator.steady_state_ns(static)
+    tpp_ns = simulator.steady_state_ns(tpp)
+    checks = [
+        ShapeCheck("tiering beats the §5 round-robin baseline",
+                   tpp_ns < 0.8 * static_ns,
+                   f"TPP={tpp_ns:.0f} vs interleave={static_ns:.0f} "
+                   "ns/access"),
+        ShapeCheck("hot-set shifts cause re-convergence spikes",
+                   tpp[8].effective_ns > 1.2 * tpp[7].effective_ns,
+                   f"epoch7={tpp[7].effective_ns:.0f} -> "
+                   f"epoch8={tpp[8].effective_ns:.0f} ns"),
+    ]
+    return ExperimentResult("ext-tiering", "Tiering vs baseline",
+                            rendered, checks)
+
+
+@register("ext-nearmem", "Inline near-memory embedding reduction",
+          "§6 inline-acceleration guideline")
+def run_nearmem(fast: bool) -> ExperimentResult:
+    del fast
+    study = DlrmInferenceStudy(combined_testbed())
+    kernel = study.kernel("cxl")
+    nearmem = NearMemoryReduction(kernel)
+    rows = [
+        f"host-gather @16T : {kernel.throughput(16):12,.0f} inf/s",
+        f"near-memory @16T : {nearmem.throughput(16):12,.0f} inf/s",
+        f"link traffic     : 1/{nearmem.link_traffic_reduction():.0f} "
+        "per inference",
+        f"single-inference : {nearmem.single_inference_latency_ns() / 1000:.1f} us "
+        f"(host gather: {kernel.service_ns_per_inference() / 1000:.1f} us)",
+    ]
+    checks = [
+        ShapeCheck("offload lifts throughput",
+                   nearmem.speedup_over_host_gather(16) > 1.2,
+                   f"{nearmem.speedup_over_host_gather(16):.2f}x"),
+        ShapeCheck("accel latency hidden end-to-end (§6)",
+                   nearmem.accel_latency_hidden(16),
+                   "pipelined throughput unaffected"),
+    ]
+    return ExperimentResult("ext-nearmem", "Near-memory reduction",
+                            "\n".join(rows), checks)
+
+
+@register("ext-pooling", "Multi-expander pooling",
+          "§5.2 bandwidth anticipation")
+def run_pooling(fast: bool) -> ExperimentResult:
+    del fast
+    rows = []
+    throughputs = {}
+    for devices in (1, 2, 4):
+        study = DlrmInferenceStudy(pooled_cxl_testbed(devices))
+        throughputs[devices] = study.kernel("cxl-pool").throughput(32)
+        rows.append(f"{devices} device(s): "
+                    f"{throughputs[devices]:12,.0f} inferences/s @32T")
+    checks = [
+        ShapeCheck("pooling scales bandwidth-bound throughput",
+                   throughputs[2] > 1.8 * throughputs[1]
+                   and throughputs[4] > 3.2 * throughputs[1],
+                   f"x2={throughputs[2] / throughputs[1]:.2f}, "
+                   f"x4={throughputs[4] / throughputs[1]:.2f}"),
+    ]
+    return ExperimentResult("ext-pooling", "Multi-expander pooling",
+                            "\n".join(rows), checks)
+
+
+@register("ext-loaded-latency", "Loaded latency curves",
+          "MLC-style extension of §4")
+def run_loaded_latency(fast: bool) -> ExperimentResult:
+    del fast
+    bench = LoadedLatencyBench(build_system(combined_testbed()))
+    report = bench.run()
+    at_12 = bench.latency_at_equal_injection(12.0)
+    checks = [
+        ShapeCheck("every scheme's latency rises under load",
+                   all(series.is_monotone_increasing()
+                       for series in report.panel("loaded-latency")),
+                   "all curves monotone"),
+        ShapeCheck("CXL degrades fastest at equal injection",
+                   at_12["CXL"] > at_12["DDR5-R1"] > at_12["DDR5-L8"],
+                   " > ".join(f"{k}={v:.0f}ns" for k, v in
+                              sorted(at_12.items(), key=lambda i: -i[1]))),
+    ]
+    return ExperimentResult("ext-loaded-latency", "Loaded latency",
+                            report.render(), checks)

@@ -1,0 +1,69 @@
+"""Figure 10: DeathStarBench p99 latency and memory breakdown."""
+
+from __future__ import annotations
+
+from .. import build_system, combined_testbed
+from ..analysis.compare import ShapeCheck, check_ratio
+from ..analysis.tables import format_table, series_table
+from ..apps.dsb import DsbRunner, RequestType, memory_breakdown
+from ..apps.dsb.socialnet import MIXED_WORKLOAD, SocialNetwork
+from .registry import ExperimentResult, register
+
+
+@register("fig10", "DeathStarBench p99 latency and memory breakdown",
+          "Fig. 10, §5.3")
+def run(fast: bool) -> ExperimentResult:
+    system = build_system(combined_testbed())
+    dram = DsbRunner(system, database_node=system.LOCAL_NODE)
+    cxl = DsbRunner(system, database_node=system.cxl_node_id)
+    qps_points = [200.0, 600.0, 1200.0] if fast else [100.0, 200.0, 400.0,
+                                                      600.0, 900.0, 1200.0,
+                                                      1600.0]
+    requests = 1500 if fast else 5000
+
+    panels = []
+    per_type_curves = {}
+    for request_type in (RequestType.COMPOSE_POST,
+                         RequestType.READ_USER_TIMELINE, None):
+        name = request_type.value if request_type else "mixed"
+        curves = [runner.p99_curve(qps_points, request_type=request_type,
+                                   requests=requests)
+                  for runner in (dram, cxl)]
+        per_type_curves[name] = curves
+        panels.append(series_table(curves, y_format="{:.2f}",
+                                   title=f"Fig 10: {name} p99 (ms)"))
+
+    breakdown = memory_breakdown()
+    panels.append(format_table(
+        ["component", "memory share"],
+        [[name, f"{share * 100:.0f}%"]
+         for name, share in breakdown.items()],
+        title="Fig 10 (right): memory breakdown"))
+
+    compose_gap = (per_type_curves["compose-post"][1].y_at(qps_points[0])
+                   / per_type_curves["compose-post"][0].y_at(qps_points[0]))
+    user_gap = (per_type_curves["read-user-timeline"][1].y_at(qps_points[0])
+                / per_type_curves["read-user-timeline"][0].y_at(
+                    qps_points[0]))
+    dram_net = SocialNetwork(system, database_node=system.LOCAL_NODE)
+    cxl_net = SocialNetwork(system, database_node=system.cxl_node_id)
+    sat_ratio = (cxl_net.saturation_qps(MIXED_WORKLOAD)
+                 / dram_net.saturation_qps(MIXED_WORKLOAD))
+
+    checks = [
+        ShapeCheck("compose-post shows a visible CXL p99 gap",
+                   compose_gap > 1.1, f"gap={compose_gap:.2f}x"),
+        ShapeCheck("read-user-timeline shows little to no difference",
+                   user_gap < 1.12, f"gap={user_gap:.2f}x"),
+        ShapeCheck("DSB latencies are ms-level (vs Redis' us-level)",
+                   per_type_curves["mixed"][0].y_at(qps_points[0]) > 0.5,
+                   f"{per_type_curves['mixed'][0].y_at(qps_points[0]):.2f} ms"),
+        check_ratio("mixed-workload saturation point similar on CXL",
+                    sat_ratio, 1.0, 1.0, 0.35),
+        ShapeCheck("databases dominate the memory footprint",
+                   breakdown["storage"] + breakdown["cache"] > 0.6,
+                   f"storage+cache="
+                   f"{(breakdown['storage'] + breakdown['cache']) * 100:.0f}%"),
+    ]
+    return ExperimentResult("fig10", "DeathStarBench p99 latency",
+                            "\n\n".join(panels), checks)

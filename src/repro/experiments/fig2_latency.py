@@ -1,0 +1,53 @@
+"""Figure 2: access latency probes and the pointer-chase WSS staircase."""
+
+from __future__ import annotations
+
+from .. import build_system, combined_testbed
+from ..analysis.compare import check_monotone, check_ordering, check_ratio
+from ..cpu.system import MemoryScheme
+from ..memo.latency_bench import LatencyBench
+from ..memo.pointer_chase import PointerChaseBench
+from ..units import KIB, MIB
+from .registry import ExperimentResult, register
+
+L8, R1, CXL = MemoryScheme.DDR5_L8, MemoryScheme.DDR5_R1, MemoryScheme.CXL
+
+
+@register("fig2", "Access latency (ld / st+wb / nt-st / ptr-chase)",
+          "Fig. 2, §4.2")
+def run(fast: bool) -> ExperimentResult:
+    system = build_system(combined_testbed())
+    latency = LatencyBench(system)
+    report = latency.run()
+
+    wss_points = ([64 * KIB, 1 * MIB, 16 * MIB, 128 * MIB, 1024 * MIB]
+                  if fast else
+                  [2 ** e * KIB for e in range(4, 21)])
+    chase_report = PointerChaseBench(system, wss_points=wss_points).run()
+    for series in chase_report.panel("fig2-right"):
+        report.add_series("fig2-right", series)
+
+    model = latency.model
+    checks = [
+        check_ratio("CXL flushed-load latency ~2.2x DDR5-L8",
+                    model.flushed_load_ns(CXL),
+                    model.flushed_load_ns(L8), 2.2, 0.35),
+        check_ratio("CXL pointer chase ~3.7x DDR5-L8",
+                    latency.pointer_chase(CXL),
+                    latency.pointer_chase(L8), 3.7, 0.45),
+        check_ratio("CXL pointer chase ~2.2x DDR5-R1",
+                    latency.pointer_chase(CXL),
+                    latency.pointer_chase(R1), 2.2, 0.3),
+        check_ordering("nt-st < st+wb on CXL (RFO penalty)",
+                       {"nt-st": model.nt_store_ns(CXL),
+                        "st+wb": model.flushed_store_writeback_ns(CXL)}),
+        check_ordering("flushed loads ordered L8 < R1 < CXL",
+                       {"L8": model.flushed_load_ns(L8),
+                        "R1": model.flushed_load_ns(R1),
+                        "CXL": model.flushed_load_ns(CXL)}),
+    ]
+    for series in chase_report.panel("fig2-right"):
+        checks.append(check_monotone(
+            f"{series.name} chase latency rises with WSS", series))
+    return ExperimentResult("fig2", "Access latency", report.render(),
+                            checks)

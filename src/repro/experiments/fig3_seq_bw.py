@@ -1,0 +1,54 @@
+"""Figure 3: sequential bandwidth vs thread count, three schemes."""
+
+from __future__ import annotations
+
+from .. import build_system, combined_testbed
+from ..analysis.compare import ShapeCheck, check_peak_near, check_ratio
+from ..cpu.system import MemoryScheme
+from ..memo.bandwidth_bench import SequentialBandwidthBench
+from .registry import ExperimentResult, register
+
+L8, R1, CXL = MemoryScheme.DDR5_L8, MemoryScheme.DDR5_R1, MemoryScheme.CXL
+
+
+@register("fig3", "Sequential access bandwidth", "Fig. 3, §4.3.1")
+def run(fast: bool) -> ExperimentResult:
+    system = build_system(combined_testbed())
+    threads = ([1, 2, 4, 8, 12, 16, 26, 32] if fast
+               else [1, 2, 4, 6, 8, 10, 12, 14, 16, 20, 24, 26, 28, 32, 36,
+                     40])
+    bench = SequentialBandwidthBench(system, thread_counts=threads)
+    report = bench.run()
+
+    l8_load = report.series("fig3-DDR5-L8", "ld")
+    l8_nt = report.series("fig3-DDR5-L8", "nt-st")
+    cxl_load = report.series("fig3-CXL", "ld")
+    cxl_nt = report.series("fig3-CXL", "nt-st")
+    cxl_st = report.series("fig3-CXL", "st+wb")
+    r1_load = report.series("fig3-DDR5-R1", "ld")
+    r1_st = report.series("fig3-DDR5-R1", "st+wb")
+
+    checks = [
+        check_ratio("DDR5-L8 load peak ~221 GB/s",
+                    l8_load.max_y, 1.0, 221.0, 6.0),
+        check_ratio("DDR5-L8 nt-store peak ~170 GB/s",
+                    l8_nt.max_y, 1.0, 170.0, 6.0),
+        check_peak_near("CXL load peaks near 8 threads",
+                        cxl_load, expected_x=8, slack=4),
+        check_ratio("CXL load drops to ~16.8 GB/s past 12 threads",
+                    cxl_load.y_at(16), 1.0, 16.8, 1.2),
+        check_peak_near("CXL nt-store peaks at 2 threads",
+                        cxl_nt, expected_x=2, slack=0),
+        check_ratio("CXL nt-store peak ~22 GB/s (near DDR4 line)",
+                    cxl_nt.max_y, 1.0, 21.3, 1.5),
+        ShapeCheck("CXL temporal store far below nt-store",
+                   cxl_st.max_y < 0.6 * cxl_nt.max_y,
+                   f"st+wb={cxl_st.max_y:.1f} nt={cxl_nt.max_y:.1f}"),
+        ShapeCheck("DDR5-R1 loads beat CXL loads",
+                   r1_load.max_y > cxl_load.max_y,
+                   f"R1={r1_load.max_y:.1f} CXL={cxl_load.max_y:.1f}"),
+        check_ratio("DDR5-R1 temporal store similar to CXL",
+                    r1_st.max_y, cxl_st.max_y, 1.2, 0.4),
+    ]
+    return ExperimentResult("fig3", "Sequential access bandwidth",
+                            report.render(), checks)

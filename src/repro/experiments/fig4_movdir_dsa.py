@@ -1,0 +1,58 @@
+"""Figure 4: data-movement bandwidth (movdir64B routes + DSA methods)."""
+
+from __future__ import annotations
+
+from .. import build_system, combined_testbed
+from ..analysis.compare import ShapeCheck, check_ratio
+from ..memo.dsa_bench import DsaBench
+from ..memo.movdir_bench import MovdirBench
+from ..cpu.system import MemoryScheme
+from .registry import ExperimentResult, register
+
+L8, CXL = MemoryScheme.DDR5_L8, MemoryScheme.CXL
+
+
+@register("fig4", "Data movement: movdir64B routes and DSA offload",
+          "Fig. 4, §4.3.1")
+def run(fast: bool) -> ExperimentResult:
+    system = build_system(combined_testbed())
+    movdir = MovdirBench(system,
+                         thread_counts=[1, 2, 4] if fast else [1, 2, 4, 8])
+    dsa = DsaBench(system)
+    report = movdir.run()
+    dsa_report = dsa.run()
+    for series in dsa_report.panel("fig4b"):
+        report.add_series("fig4b", series)
+    report.notes += dsa_report.notes
+
+    d2d = movdir.route_bandwidth(L8, L8)
+    d2c = movdir.route_bandwidth(L8, CXL)
+    c2d = movdir.route_bandwidth(CXL, L8)
+    c2c = movdir.route_bandwidth(CXL, CXL)
+    sync1 = dsa.throughput("dsa-sync-b1", L8, CXL)
+    memcpy = dsa.throughput("memcpy", L8, CXL)
+    async128 = dsa.throughput("dsa-async-b128", L8, CXL)
+    dsa_c2d = dsa.throughput("dsa-async-b128", CXL, L8)
+    dsa_c2c = dsa.throughput("dsa-async-b128", CXL, CXL)
+
+    checks = [
+        check_ratio("movdir64B: D2C similar to D2D", d2c, d2d, 1.0, 0.15),
+        ShapeCheck("movdir64B: C2* routes lower than D2* (slow CXL load)",
+                   c2d < 0.6 * d2d and c2c <= c2d,
+                   f"D2D={d2d:.1f} C2D={c2d:.1f} C2C={c2c:.1f} GB/s"),
+        check_ratio("DSA sync b1 matches CPU memcpy", sync1, memcpy,
+                    1.0, 0.5),
+        ShapeCheck("async/batched DSA beats sync unbatched",
+                   async128 > 2 * sync1,
+                   f"async-b128={async128:.1f} sync-b1={sync1:.1f} GB/s"),
+        ShapeCheck("C2D beats D2C (lower write latency on DRAM)",
+                   dsa_c2d > dsa.throughput("dsa-async-b128", L8, CXL),
+                   f"C2D={dsa_c2d:.1f} D2C="
+                   f"{dsa.throughput('dsa-async-b128', L8, CXL):.1f}"),
+        ShapeCheck("splitting src/dst beats exclusive CXL (C2C lowest)",
+                   dsa_c2c < dsa_c2d
+                   and dsa_c2c < dsa.throughput("dsa-async-b128", L8, CXL),
+                   f"C2C={dsa_c2c:.1f} GB/s"),
+    ]
+    return ExperimentResult("fig4", "Data movement bandwidth",
+                            report.render(), checks)

@@ -1,0 +1,62 @@
+"""Figure 5: random block-access bandwidth (3x3 grid)."""
+
+from __future__ import annotations
+
+from .. import build_system, combined_testbed
+from ..analysis.compare import ShapeCheck, check_monotone, check_peak_near
+from ..cpu.isa import AccessKind
+from ..cpu.system import MemoryScheme
+from ..memo.random_bench import RandomBlockBench
+from ..units import KIB
+from .registry import ExperimentResult, register
+
+L8, R1, CXL = MemoryScheme.DDR5_L8, MemoryScheme.DDR5_R1, MemoryScheme.CXL
+
+
+@register("fig5", "Random block access bandwidth", "Fig. 5, §4.3.2")
+def run(fast: bool) -> ExperimentResult:
+    system = build_system(combined_testbed())
+    blocks = ([1 * KIB, 4 * KIB, 16 * KIB, 32 * KIB, 64 * KIB, 128 * KIB]
+              if fast else
+              [1 * KIB, 2 * KIB, 4 * KIB, 8 * KIB, 16 * KIB, 32 * KIB,
+               64 * KIB, 128 * KIB])
+    threads = [1, 2, 4, 8, 16] if fast else [1, 2, 4, 8, 16, 32]
+    bench = RandomBlockBench(system, block_sizes=blocks,
+                             thread_counts=threads)
+    report = bench.run()
+
+    def gain_16k(scheme):
+        four = bench.point(scheme, AccessKind.LOAD, threads=4,
+                           block_bytes=16 * KIB)
+        sixteen = bench.point(scheme, AccessKind.LOAD, threads=16,
+                              block_bytes=16 * KIB)
+        return sixteen / four
+
+    small_block = {
+        scheme: bench.point(scheme, AccessKind.LOAD, threads=4,
+                            block_bytes=1 * KIB)
+        / bench.point(scheme, AccessKind.LOAD, threads=4,
+                      block_bytes=128 * KIB)
+        for scheme in (L8, R1, CXL)}
+
+    checks = [
+        ShapeCheck("1 KiB random blocks hurt all three schemes",
+                   all(ratio < 0.8 for ratio in small_block.values()),
+                   " ".join(f"{s.label}={r:.2f}"
+                            for s, r in small_block.items())),
+        ShapeCheck("at 16 KiB, L8 keeps scaling with threads; R1/CXL don't",
+                   gain_16k(L8) > 3.0 and gain_16k(CXL) < 2.0
+                   and gain_16k(R1) < 2.0,
+                   f"L8 x{gain_16k(L8):.1f}, CXL x{gain_16k(CXL):.1f}, "
+                   f"R1 x{gain_16k(R1):.1f}"),
+        check_monotone("single-thread CXL nt-store scales with block size",
+                       report.series("fig5-CXL-nt-st", "1T")),
+        check_peak_near("2-thread CXL nt-store peaks near 32 KiB",
+                        report.series("fig5-CXL-nt-st", "2T"),
+                        expected_x=32, slack=16),
+        check_peak_near("4-thread CXL nt-store peaks near 16 KiB",
+                        report.series("fig5-CXL-nt-st", "4T"),
+                        expected_x=16, slack=8),
+    ]
+    return ExperimentResult("fig5", "Random block access bandwidth",
+                            report.render(), checks)

@@ -1,0 +1,53 @@
+"""Figure 7: Redis max sustainable QPS across workloads and CXL ratios."""
+
+from __future__ import annotations
+
+from .. import build_system, combined_testbed
+from ..analysis.compare import ShapeCheck, check_ratio
+from ..analysis.tables import format_table
+from ..apps.kvstore import RedisYcsbStudy
+from .registry import ExperimentResult, register
+
+CXL_FRACTIONS = [1.0, 0.5, 0.1, 1 / 31, 0.0]
+FRACTION_LABELS = ["100%", "50%", "10%", "3.23%", "0%"]
+
+
+@register("fig7", "Redis max sustainable QPS", "Fig. 7, §5.1")
+def run(fast: bool) -> ExperimentResult:
+    system = build_system(combined_testbed())
+    study = RedisYcsbStudy(system, num_keys=200_000)
+    names = ["A", "D"] if fast else ["A", "B", "C", "D", "F"]
+    table = study.max_qps_table(cxl_fractions=CXL_FRACTIONS,
+                                workload_names=names)
+
+    rows = []
+    for name, series in table.items():
+        rows.append([name] + [f"{value / 1000:.1f}k"
+                              for value in series.y])
+    rendered = format_table(["workload"] + FRACTION_LABELS, rows,
+                            title="Fig 7: max sustainable QPS "
+                                  "(columns: memory on CXL)")
+
+    a = table["A"]
+    checks = [
+        ShapeCheck("less CXL -> higher max QPS (every workload)",
+                   all(series.y == sorted(series.y)
+                       for series in table.values()),
+                   "all rows monotone"),
+        ShapeCheck("no interleave beats pure DRAM",
+                   all(series.y[-1] == max(series.y)
+                       for series in table.values()),
+                   "DRAM column is max"),
+        check_ratio("workload A: pure DRAM ~80k QPS",
+                    a.y_at(0.0), 1.0, 80_000, 7_000),
+        check_ratio("workload A: pure CXL ~55k QPS",
+                    a.y_at(1.0), 1.0, 55_000, 5_000),
+        ShapeCheck("workload D: lat > zipf > uni on CXL",
+                   table["D-lat"].y_at(1.0) > table["D-zipf"].y_at(1.0)
+                   > table["D-uni"].y_at(1.0),
+                   f"lat={table['D-lat'].y_at(1.0):.0f} "
+                   f"zipf={table['D-zipf'].y_at(1.0):.0f} "
+                   f"uni={table['D-uni'].y_at(1.0):.0f}"),
+    ]
+    return ExperimentResult("fig7", "Redis max sustainable QPS", rendered,
+                            checks)

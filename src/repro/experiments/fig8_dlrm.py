@@ -1,0 +1,54 @@
+"""Figure 8: DLRM embedding-reduction throughput vs thread count."""
+
+from __future__ import annotations
+
+from .. import combined_testbed
+from ..analysis.compare import ShapeCheck, check_monotone
+from ..analysis.tables import format_table, series_table
+from ..apps.dlrm import DlrmInferenceStudy
+from .registry import ExperimentResult, register
+
+PLACEMENTS = ["local", "cxl", "remote", 0.0323, 0.5]
+
+
+@register("fig8", "DLRM embedding-reduction throughput", "Fig. 8, §5.2")
+def run(fast: bool) -> ExperimentResult:
+    study = DlrmInferenceStudy(combined_testbed())
+    threads = [1, 4, 8, 16, 24, 32] if fast else [1, 2, 4, 8, 12, 16, 20,
+                                                  24, 28, 32]
+    curves = [study.curve(placement, threads) for placement in PLACEMENTS]
+    left = series_table(curves, y_format="{:.0f}",
+                        title="Fig 8 (left): inferences/s vs threads")
+
+    normalized = study.normalized_at(["cxl", "remote", 0.0323, 0.5],
+                                     threads=32)
+    right = format_table(["scheme", "normalized to DRAM @32T"],
+                         [[name, f"{value:.3f}"]
+                          for name, value in normalized.items()],
+                         title="Fig 8 (right)")
+
+    dram = curves[0]
+    per_thread = [y / x for x, y in zip(dram.x, dram.y)]
+    cxl = curves[1]
+    r1 = curves[2]
+    checks = [
+        ShapeCheck("pure-DRAM scales linearly through 32 threads",
+                   max(per_thread) / min(per_thread) < 1.05,
+                   f"slope spread {max(per_thread) / min(per_thread):.3f}"),
+        ShapeCheck("CXL and DDR5-R1 trends are similar (both flatten)",
+                   cxl.y_at(32) < 0.5 * 32 * cxl.y_at(1)
+                   and r1.y_at(32) < 0.5 * 32 * r1.y_at(1),
+                   f"CXL@32={cxl.y_at(32):.0f} R1@32={r1.y_at(32):.0f}"),
+        ShapeCheck("less CXL interleave -> higher throughput, but even "
+                   "3.23% cannot match pure DRAM",
+                   normalized["CXL"] < normalized["CXL-50.00%"]
+                   < normalized["CXL-3.23%"] < 1.0,
+                   " < ".join(f"{k}={v:.3f}"
+                              for k, v in normalized.items()
+                              if k != "DDR5-R1")),
+    ]
+    for series in curves:
+        checks.append(check_monotone(
+            f"{series.name} throughput monotone in threads", series))
+    return ExperimentResult("fig8", "DLRM embedding-reduction throughput",
+                            left + "\n\n" + right, checks)

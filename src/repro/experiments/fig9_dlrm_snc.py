@@ -1,0 +1,44 @@
+"""Figure 9: DLRM under SNC (two channels) with CXL interleaving."""
+
+from __future__ import annotations
+
+from .. import combined_testbed
+from ..analysis.compare import ShapeCheck
+from ..analysis.tables import series_table
+from ..apps.dlrm import DlrmInferenceStudy
+from .registry import ExperimentResult, register
+
+
+@register("fig9", "DLRM under SNC with CXL interleaving", "Fig. 9, §5.2")
+def run(fast: bool) -> ExperimentResult:
+    study = DlrmInferenceStudy(combined_testbed())
+    threads = [1, 8, 16, 24, 28, 32] if fast else [1, 4, 8, 12, 16, 20, 24,
+                                                   26, 28, 30, 32]
+    snc = study.curve("local", threads, snc=True, name="SNC")
+    snc20 = study.curve(0.2, threads, snc=True, name="SNC+20%CXL")
+    snc50 = study.curve(0.5, threads, snc=True, name="SNC+50%CXL")
+    rendered = series_table([snc, snc20, snc50], y_format="{:.0f}",
+                            title="Fig 9: inferences/s vs threads "
+                                  "(memory on one SNC node)")
+
+    linear = snc.y_at(8) / 8
+    gain = study.snc_gain(0.2, threads=32)
+    kernel = study.kernel("local", snc=True)
+    checks = [
+        ShapeCheck("SNC stops scaling linearly after ~24 threads",
+                   snc.y_at(16) > 0.95 * 16 * linear
+                   and snc.y_at(32) < 0.95 * 32 * linear,
+                   f"@16T {snc.y_at(16) / (16 * linear):.2f}x linear, "
+                   f"@32T {snc.y_at(32) / (32 * linear):.2f}x linear"),
+        ShapeCheck("two channels make the kernel bandwidth-bound at 32T",
+                   kernel.is_bandwidth_bound(32),
+                   f"bound={kernel.bandwidth_bound(32):.0f} inf/s"),
+        ShapeCheck("interleaving 20% to CXL lifts 32T throughput "
+                   "(paper: +11%)",
+                   0.05 <= gain <= 0.30, f"gain={gain * 100:.1f}%"),
+        ShapeCheck("at low thread counts interleaving does not help",
+                   snc20.y_at(8) <= snc.y_at(8),
+                   f"SNC@8={snc.y_at(8):.0f} "
+                   f"SNC+20%@8={snc20.y_at(8):.0f}"),
+    ]
+    return ExperimentResult("fig9", "DLRM under SNC", rendered, checks)

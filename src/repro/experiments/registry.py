@@ -1,0 +1,73 @@
+"""The experiment registry: ids, results, and the run-all entry point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..analysis.compare import ShapeCheck
+from ..errors import ExperimentError
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table/figure plus its verified shape claims."""
+
+    experiment_id: str
+    title: str
+    rendered: str                        # the figure, as text tables
+    checks: list[ShapeCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def render(self) -> str:
+        lines = [f"### {self.experiment_id}: {self.title}", "",
+                 self.rendered, ""]
+        lines += [str(check) for check in self.checks]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment: metadata plus a runner callable."""
+
+    experiment_id: str
+    title: str
+    paper_ref: str                       # e.g. "Fig. 3, §4.3.1"
+    runner: Callable[[bool], ExperimentResult]
+
+    def run(self, *, fast: bool = True) -> ExperimentResult:
+        """Execute; ``fast`` trims sweep sizes for CI-speed runs."""
+        return self.runner(fast)
+
+
+REGISTRY: dict[str, Experiment] = {}
+
+
+def register(experiment_id: str, title: str, paper_ref: str):
+    """Decorator registering ``runner(fast) -> ExperimentResult``."""
+
+    def wrap(runner: Callable[[bool], ExperimentResult]) -> Callable:
+        if experiment_id in REGISTRY:
+            raise ExperimentError(
+                f"duplicate experiment id {experiment_id!r}")
+        REGISTRY[experiment_id] = Experiment(experiment_id, title,
+                                             paper_ref, runner)
+        return runner
+
+    return wrap
+
+
+def get(experiment_id: str) -> Experiment:
+    if experiment_id not in REGISTRY:
+        raise ExperimentError(
+            f"no experiment {experiment_id!r}; available: "
+            f"{sorted(REGISTRY)}")
+    return REGISTRY[experiment_id]
+
+
+def run_all(*, fast: bool = True) -> list[ExperimentResult]:
+    """Run every registered experiment in id order."""
+    return [REGISTRY[eid].run(fast=fast) for eid in sorted(REGISTRY)]

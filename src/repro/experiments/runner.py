@@ -1,0 +1,75 @@
+"""The ``repro-experiments`` CLI: regenerate any table/figure.
+
+Examples::
+
+    repro-experiments                 # run everything (fast parameters)
+    repro-experiments fig3 fig5       # selected figures
+    repro-experiments --full fig6     # full-resolution sweep
+    repro-experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .registry import REGISTRY, get
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures on the "
+                    "simulated testbed")
+    parser.add_argument("ids", nargs="*",
+                        help="experiment ids (default: all)")
+    parser.add_argument("--full", action="store_true",
+                        help="full-resolution sweeps (slower)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--validate", action="store_true",
+                        help="run the cross-model validation suite")
+    parser.add_argument("--save", metavar="DIR", default=None,
+                        help="also write each result to DIR/<id>.txt")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for eid in sorted(REGISTRY):
+            experiment = REGISTRY[eid]
+            print(f"{eid:8s} {experiment.title}  [{experiment.paper_ref}]")
+        return 0
+    if args.validate:
+        from .. import build_system, combined_testbed
+        from ..validate import cross_validate
+
+        checks = cross_validate(build_system(combined_testbed()))
+        for check in checks:
+            print(check)
+        return 0 if all(c.passed for c in checks) else 1
+
+    ids = args.ids or sorted(REGISTRY)
+    save_dir = None
+    if args.save:
+        from pathlib import Path
+
+        save_dir = Path(args.save)
+        save_dir.mkdir(parents=True, exist_ok=True)
+    failed = 0
+    for eid in ids:
+        result = get(eid).run(fast=not args.full)
+        print(result.render())
+        print()
+        if save_dir is not None:
+            (save_dir / f"{eid}.txt").write_text(result.render() + "\n")
+        if not result.passed:
+            failed += 1
+    if failed:
+        print(f"{failed} experiment(s) had failing shape checks")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

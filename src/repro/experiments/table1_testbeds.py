@@ -1,0 +1,61 @@
+"""Table 1: testbed configurations."""
+
+from __future__ import annotations
+
+from .. import combined_testbed, dual_socket_testbed, single_socket_testbed
+from ..analysis.compare import ShapeCheck
+from ..analysis.tables import format_table
+from ..units import format_bytes, to_gb_per_s
+from .registry import ExperimentResult, register
+
+
+@register("table1", "Testbed configurations", "Table 1, §3")
+def run(fast: bool) -> ExperimentResult:
+    del fast    # static content
+    single = single_socket_testbed()
+    dual = dual_socket_testbed()
+    rows = []
+    socket = single.socket
+    rows.append(["single-socket CPU",
+                 f"{socket.name}, {socket.cores} cores, SMT{socket.smt}"])
+    rows.append(["single-socket LLC",
+                 format_bytes(socket.cache.llc.capacity_bytes)])
+    rows.append(["single-socket DRAM",
+                 f"DDR5-{socket.dram.transfer_mt_s:.0f} x"
+                 f"{socket.dram.channels}, "
+                 f"{format_bytes(socket.dram.capacity_bytes)}"])
+    cxl = single.cxl
+    rows.append(["CXL device",
+                 f"CXL 1.1 on {cxl.link.name}, "
+                 f"DDR4-{cxl.dram.transfer_mt_s:.0f} x{cxl.dram.channels}, "
+                 f"{format_bytes(cxl.dram.capacity_bytes)}"])
+    for index, dsocket in enumerate(dual.sockets):
+        rows.append([f"dual-socket CPU {index}",
+                     f"{dsocket.name}, {dsocket.cores} cores, "
+                     f"LLC {format_bytes(dsocket.cache.llc.capacity_bytes)}"])
+    rendered = format_table(["item", "configuration"], rows,
+                            title="Table 1: testbeds")
+
+    combined = combined_testbed()
+    checks = [
+        ShapeCheck("single socket has 32 cores and 60 MB LLC",
+                   socket.cores == 32
+                   and socket.cache.llc.capacity_bytes == 60 * 1024 ** 2,
+                   f"{socket.cores} cores"),
+        ShapeCheck("dual socket has 2x40 cores, 210 MB total LLC",
+                   sum(s.cores for s in dual.sockets) == 80
+                   and sum(s.cache.llc.capacity_bytes
+                           for s in dual.sockets) == 210 * 1024 ** 2,
+                   f"{sum(s.cores for s in dual.sockets)} cores"),
+        ShapeCheck("CXL device: 16 GB DDR4-2666 x1 behind PCIe Gen5 x16",
+                   cxl.dram.transfer_mt_s == 2666
+                   and cxl.dram.channels == 1
+                   and round(to_gb_per_s(
+                       cxl.link.bandwidth_bytes_per_s)) == 64,
+                   cxl.link.name),
+        ShapeCheck("combined testbed exposes all three schemes",
+                   len(combined.sockets) == 2 and bool(combined.cxl_devices),
+                   combined.name),
+    ]
+    return ExperimentResult("table1", "Testbed configurations", rendered,
+                            checks)

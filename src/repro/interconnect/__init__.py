@@ -1,0 +1,22 @@
+"""Interconnect models: on-die mesh, cross-socket UPI, and PCIe Gen5.
+
+Each class answers two questions the performance model asks on every
+memory access: *how long does one hop take?* and *what bandwidth ceiling
+does this link impose?*  The CXL flit layer (:mod:`repro.cxl`) rides on
+:class:`~repro.interconnect.pcie.PciePhy`.
+"""
+
+from .link import Link
+from .mesh import Mesh
+from .upi import UpiLink, default_upi
+from .pcie import PcieGen, PciePhy, pcie_lane_rate
+
+__all__ = [
+    "Link",
+    "Mesh",
+    "UpiLink",
+    "default_upi",
+    "PcieGen",
+    "PciePhy",
+    "pcie_lane_rate",
+]

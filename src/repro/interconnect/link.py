@@ -1,0 +1,59 @@
+"""A generic point-to-point link with per-direction bandwidth."""
+
+from __future__ import annotations
+
+from ..config import LinkConfig
+from ..units import SEC
+
+
+class Link:
+    """Runtime wrapper over a :class:`~repro.config.LinkConfig`.
+
+    Latency model: a payload of ``n`` bytes takes one fixed ``hop_latency``
+    (propagation, SerDes, protocol framing) plus serialization time at the
+    link's line rate.  Bandwidth accounting is cumulative so benchmarks can
+    ask for average utilization afterwards.
+    """
+
+    def __init__(self, config: LinkConfig) -> None:
+        self.config = config
+        self.bytes_forward = 0.0
+        self.bytes_reverse = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def bandwidth(self) -> float:
+        """Per-direction line rate in B/s."""
+        return self.config.bandwidth_bytes_per_s
+
+    def serialization_ns(self, payload_bytes: float) -> float:
+        """Time to clock ``payload_bytes`` onto the wire."""
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload: {payload_bytes}")
+        return payload_bytes / self.bandwidth * SEC
+
+    def one_way_ns(self, payload_bytes: float, *, record: bool = False,
+                   reverse: bool = False) -> float:
+        """Latency of one transfer; optionally record it for utilization."""
+        if record:
+            if reverse:
+                self.bytes_reverse += payload_bytes
+            else:
+                self.bytes_forward += payload_bytes
+        return self.config.hop_latency_ns + self.serialization_ns(payload_bytes)
+
+    def round_trip_ns(self, request_bytes: float,
+                      response_bytes: float) -> float:
+        """Request out, response back — the unloaded protocol round trip."""
+        return (self.one_way_ns(request_bytes)
+                + self.one_way_ns(response_bytes, reverse=True))
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Peak-direction utilization over a window, in [0, ...]."""
+        if elapsed_ns <= 0:
+            raise ValueError("window must be positive")
+        busiest = max(self.bytes_forward, self.bytes_reverse)
+        return busiest / (self.bandwidth * elapsed_ns / SEC)

@@ -1,0 +1,27 @@
+"""The on-die mesh between cores, LLC slices, iMCs, and root ports.
+
+SPR's mesh traversal is a small, roughly constant cost relative to a DRAM
+access; we model it as a fixed per-crossing latency taken from
+:class:`~repro.config.SocketConfig`, with an SNC variant that shortens
+the path (an SNC cluster only talks to its own quadrant).
+"""
+
+from __future__ import annotations
+
+
+class Mesh:
+    """Fixed-latency on-die fabric."""
+
+    def __init__(self, crossing_ns: float, snc: bool = False) -> None:
+        if crossing_ns < 0:
+            raise ValueError(f"negative mesh latency: {crossing_ns}")
+        self.crossing_ns = crossing_ns
+        self.snc = snc
+
+    def traverse_ns(self) -> float:
+        """One core-to-uncore-agent crossing.
+
+        Under SNC the average hop shrinks (traffic stays inside one
+        chiplet); 0.6 approximates a quadrant-local path.
+        """
+        return self.crossing_ns * (0.6 if self.snc else 1.0)

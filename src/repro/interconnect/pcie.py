@@ -1,0 +1,52 @@
+"""PCIe physical-layer parameters (the substrate CXL rides on).
+
+Per §2.1: "as of PCIe Gen 5, the bandwidth has reached 32 GT/s (i.e.,
+64 GB/s with 16 lanes)".  Gen 1/2 use 8b/10b encoding; Gen 3+ use
+128b/130b, which is why Gen3 x16 is ~15.75 GB/s rather than 16.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..config import LinkConfig
+from .link import Link
+
+
+class PcieGen(enum.IntEnum):
+    """PCIe generation → line rate in GT/s per lane."""
+
+    GEN1 = 1
+    GEN2 = 2
+    GEN3 = 3
+    GEN4 = 4
+    GEN5 = 5
+
+    @property
+    def gt_per_s(self) -> float:
+        return {1: 2.5, 2: 5.0, 3: 8.0, 4: 16.0, 5: 32.0}[int(self)]
+
+    @property
+    def encoding_efficiency(self) -> float:
+        """Line-code efficiency: 8b/10b for Gen1-2, 128b/130b after."""
+        return 0.8 if self <= PcieGen.GEN2 else 128 / 130
+
+
+def pcie_lane_rate(gen: PcieGen) -> float:
+    """Usable bytes/s of one lane (after line coding)."""
+    return gen.gt_per_s * 1e9 / 8 * gen.encoding_efficiency
+
+
+class PciePhy(Link):
+    """A PCIe port of a given generation and width."""
+
+    def __init__(self, gen: PcieGen = PcieGen.GEN5, lanes: int = 16,
+                 hop_latency_ns: float = 55.0) -> None:
+        if lanes not in (1, 2, 4, 8, 16):
+            raise ValueError(f"invalid PCIe width: x{lanes}")
+        self.gen = gen
+        self.lanes = lanes
+        bandwidth = pcie_lane_rate(gen) * lanes
+        super().__init__(LinkConfig(name=f"PCIe{int(gen)}x{lanes}",
+                                    bandwidth_bytes_per_s=bandwidth,
+                                    hop_latency_ns=hop_latency_ns))

@@ -1,0 +1,38 @@
+"""The cross-socket UPI link used by the DDR5-R1 comparisons.
+
+A remote-socket memory access crosses UPI twice (request + data return).
+UPI carries full cachelines with modest header overhead and — unlike the
+CXL path in this study — has both higher line rate and lower per-hop
+latency (§4.3.1: "with the benefit of higher transfer rate and lower
+latency in both DDR5 and the UPI interconnect").
+"""
+
+from __future__ import annotations
+
+from ..config import LinkConfig
+from ..units import gb_per_s
+from .link import Link
+
+UPI_HEADER_BYTES = 16
+"""Approximate protocol overhead per UPI cacheline transfer."""
+
+
+class UpiLink(Link):
+    """UPI with cacheline-granular transfer helpers."""
+
+    def cacheline_round_trip_ns(self) -> float:
+        """Read round trip: small request out, 64 B + header back."""
+        return self.round_trip_ns(UPI_HEADER_BYTES,
+                                  64 + UPI_HEADER_BYTES)
+
+    def effective_bandwidth(self) -> float:
+        """Data bandwidth after header overhead, B/s."""
+        payload_fraction = 64 / (64 + UPI_HEADER_BYTES)
+        return self.bandwidth * payload_fraction
+
+
+def default_upi() -> UpiLink:
+    """The dual-socket testbed's UPI link (three x24 links, one modeled)."""
+    return UpiLink(LinkConfig(name="UPI",
+                              bandwidth_bytes_per_s=gb_per_s(48.0),
+                              hop_latency_ns=34.0))

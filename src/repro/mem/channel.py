@@ -1,0 +1,39 @@
+"""A single DRAM channel: the unit of bandwidth scaling in the paper.
+
+Channel count is the paper's central explanation for why DDR5-L8 keeps
+scaling while DDR5-R1 and the single-channel CXL device flatline
+(§4.3.2: "The memory channel count plays a crucial role").
+"""
+
+from __future__ import annotations
+
+from ..config import DramConfig
+from .bandwidth import loaded_latency_ns
+
+
+class Channel:
+    """One channel of a DRAM subsystem with utilization-aware latency."""
+
+    def __init__(self, config: DramConfig, index: int = 0) -> None:
+        if index < 0 or index >= config.channels:
+            raise ValueError(
+                f"channel index {index} out of range for "
+                f"{config.channels}-channel config")
+        self.config = config
+        self.index = index
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """This channel's share of the theoretical peak, B/s."""
+        return self.config.per_channel_peak
+
+    def utilization(self, offered_bytes_per_s: float) -> float:
+        """Offered load as a fraction of the channel's peak."""
+        if offered_bytes_per_s < 0:
+            raise ValueError("offered load must be non-negative")
+        return offered_bytes_per_s / self.peak_bandwidth
+
+    def loaded_access_ns(self, offered_bytes_per_s: float) -> float:
+        """Device access latency inflated by this channel's queueing."""
+        return loaded_latency_ns(self.config.access_ns,
+                                 self.utilization(offered_bytes_per_s))

@@ -1,0 +1,51 @@
+"""The integrated memory controller: channels + address interleaving."""
+
+from __future__ import annotations
+
+from ..config import DramConfig
+from .bandwidth import loaded_latency_ns
+from .channel import Channel
+from .dram import AccessPattern, DramDevice
+
+
+class MemoryController:
+    """Schedules a traffic mix over a :class:`DramDevice`'s channels.
+
+    Addresses interleave across channels at cacheline granularity, so for
+    any multi-line footprint the offered load divides evenly over
+    channels.  The controller owns the device-side loaded-latency
+    calculation used by the end-to-end perfmodel.
+    """
+
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self.device = DramDevice(config)
+        self.channels = [Channel(config, i) for i in range(config.channels)]
+
+    @property
+    def channel_count(self) -> int:
+        return len(self.channels)
+
+    def sustained_bandwidth(self, pattern: AccessPattern, block_bytes: int,
+                            streams: int, *,
+                            write_fraction: float = 0.0) -> float:
+        """Max bus bandwidth (B/s) the controller sustains for this mix."""
+        return self.device.sustained_bandwidth(
+            pattern, block_bytes, streams, write_fraction=write_fraction)
+
+    def utilization(self, offered_bytes_per_s: float,
+                    pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+                    block_bytes: int = 1 << 20,
+                    streams: int = 1) -> float:
+        """Offered load relative to what this mix can sustain."""
+        capacity = self.sustained_bandwidth(pattern, block_bytes, streams)
+        return offered_bytes_per_s / capacity
+
+    def loaded_access_ns(self, offered_bytes_per_s: float,
+                         pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+                         block_bytes: int = 1 << 20,
+                         streams: int = 1) -> float:
+        """Device access latency inflated by controller-level queueing."""
+        rho = self.utilization(offered_bytes_per_s, pattern, block_bytes,
+                               streams)
+        return loaded_latency_ns(self.config.access_ns, rho)

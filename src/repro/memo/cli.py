@@ -1,0 +1,181 @@
+"""The ``memo`` command-line interface.
+
+§4.1: "Users can provide command-line arguments to specify the workloads
+to be executed by MEMO."  Example invocations::
+
+    memo latency
+    memo chase --scheme CXL
+    memo bw --threads 1 2 4 8 16 32
+    memo random --blocks 1024 16384 65536
+    memo movdir
+    memo dsa --batches 1 16 128
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .. import build_system, combined_testbed
+from ..cpu.system import MemoryScheme
+from .bandwidth_bench import SequentialBandwidthBench
+from .dsa_bench import DsaBench
+from .latency_bench import LatencyBench
+from .movdir_bench import MovdirBench
+from .pointer_chase import PointerChaseBench
+from .random_bench import RandomBlockBench
+
+
+def _parse_schemes(names: list[str] | None) -> list[MemoryScheme] | None:
+    if not names:
+        return None
+    lookup = {scheme.label: scheme for scheme in MemoryScheme}
+    try:
+        return [lookup[name] for name in names]
+    except KeyError as missing:
+        raise SystemExit(
+            f"unknown scheme {missing}; choose from {sorted(lookup)}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="memo",
+        description="MEMO microbenchmark on the simulated CXL testbed")
+    sub = parser.add_subparsers(dest="bench", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--scheme", nargs="*", default=None,
+                        metavar="NAME",
+                        help="memory schemes (DDR5-L8, DDR5-R1, CXL)")
+
+    latency = sub.add_parser("latency", parents=[common],
+                             help="Fig 2 left: flushed-line probes")
+    latency.set_defaults(runner=_run_latency)
+
+    chase = sub.add_parser("chase", parents=[common],
+                           help="Fig 2 right: pointer chase vs WSS")
+    chase.set_defaults(runner=_run_chase)
+
+    bandwidth = sub.add_parser("bw", parents=[common],
+                               help="Fig 3: sequential bandwidth sweep")
+    bandwidth.add_argument("--threads", nargs="*", type=int, default=None)
+    bandwidth.set_defaults(runner=_run_bw)
+
+    random_ = sub.add_parser("random", parents=[common],
+                             help="Fig 5: random block bandwidth")
+    random_.add_argument("--blocks", nargs="*", type=int, default=None,
+                         help="block sizes in bytes")
+    random_.add_argument("--threads", nargs="*", type=int, default=None)
+    random_.set_defaults(runner=_run_random)
+
+    movdir = sub.add_parser("movdir",
+                            help="Fig 4a: movdir64B route bandwidth")
+    movdir.add_argument("--threads", nargs="*", type=int, default=None)
+    movdir.set_defaults(runner=_run_movdir)
+
+    dsa = sub.add_parser("dsa", help="Fig 4b: bulk movement methods")
+    dsa.add_argument("--batches", nargs="*", type=int, default=None)
+    dsa.set_defaults(runner=_run_dsa)
+
+    replay = sub.add_parser(
+        "replay", help="replay a generated trace through the "
+                       "functional caches")
+    replay.add_argument("--kind", choices=["ld", "st+wb", "nt-st"],
+                        default="ld")
+    replay.add_argument("--pattern", choices=["sequential", "random"],
+                        default="sequential")
+    replay.add_argument("--lines", type=int, default=4096)
+    replay.add_argument("--block", type=int, default=4096,
+                        help="random-pattern block size in bytes")
+    replay.add_argument("--scheme", dest="scheme", default="CXL",
+                        help="memory scheme to charge misses against")
+    replay.set_defaults(runner=_run_replay)
+
+    loaded = sub.add_parser("loaded", parents=[common],
+                            help="loaded-latency curves (MLC-style)")
+    loaded.add_argument("--points", type=int, default=12)
+    loaded.set_defaults(runner=_run_loaded)
+    return parser
+
+
+def _run_latency(system, args):
+    return LatencyBench(system,
+                        schemes=_parse_schemes(args.scheme)).run()
+
+
+def _run_chase(system, args):
+    return PointerChaseBench(system,
+                             schemes=_parse_schemes(args.scheme)).run()
+
+
+def _run_bw(system, args):
+    return SequentialBandwidthBench(
+        system, thread_counts=args.threads,
+        schemes=_parse_schemes(args.scheme)).run()
+
+
+def _run_random(system, args):
+    return RandomBlockBench(system, block_sizes=args.blocks,
+                            thread_counts=args.threads,
+                            schemes=_parse_schemes(args.scheme)).run()
+
+
+def _run_movdir(system, args):
+    return MovdirBench(system, thread_counts=args.threads).run()
+
+
+def _run_dsa(system, args):
+    return DsaBench(system, batch_sizes=args.batches).run()
+
+
+def _run_loaded(system, args):
+    from .loaded_latency import LoadedLatencyBench
+
+    return LoadedLatencyBench(system, schemes=_parse_schemes(args.scheme),
+                              points=args.points).run()
+
+
+def _run_replay(system, args):
+    from ..analysis.series import Series
+    from ..cpu.isa import AccessKind
+    from ..units import MIB
+    from .report import BenchReport
+    from .trace import AccessTrace, replay
+
+    kind = {k.value: k for k in AccessKind}[args.kind]
+    schemes = _parse_schemes([args.scheme])
+    scheme = schemes[0]
+    if args.pattern == "sequential":
+        trace = AccessTrace.sequential(kind, num_lines=args.lines)
+    else:
+        lines_per_block = max(1, args.block // 64)
+        trace = AccessTrace.random_block(
+            kind, num_blocks=max(1, args.lines // lines_per_block),
+            block_bytes=args.block, region_bytes=256 * MIB)
+    result = replay(trace, system, scheme)
+    report = BenchReport(title=f"trace replay: {args.pattern} "
+                               f"{kind.value} on {scheme.label}")
+    summary = Series("replay", x_label="metric", y_label="value")
+    summary.append(0, result.hit_rate)
+    summary.append(1, float(result.memory_reads))
+    summary.append(2, float(result.memory_writes))
+    summary.append(3, result.estimated_ns / 1000.0)
+    report.add_series("replay-summary", summary)
+    report.notes.append("metrics: 0=hit-rate 1=memory-reads "
+                        "2=memory-writes 3=estimated-us")
+    report.notes.append(
+        f"estimated bandwidth: "
+        f"{result.estimated_bandwidth / 1e9:.2f} GB/s")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    system = build_system(combined_testbed())
+    report = args.runner(system, args)
+    print(report.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

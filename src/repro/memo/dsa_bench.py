@@ -1,0 +1,82 @@
+"""Bulk data-movement methods compared (Fig 4b).
+
+"Figure 4b shows maximum throughput observed performing memory copy
+operations on the host processor via memcpy() or movdir64B, and
+synchronously/asynchronously using Intel DSA with varying batch sizes
+(e.g. 1, 16, and 128)."  All single-threaded.
+"""
+
+from __future__ import annotations
+
+from ..cpu.system import MemoryScheme, System
+from ..analysis.series import Series
+from ..dsa.device import DsaDevice, SubmissionMode
+from ..errors import ConfigError
+from ..perfmodel.throughput import ThroughputModel
+from .report import BenchReport
+
+DEFAULT_BATCHES = [1, 16, 128]
+DEFAULT_TRANSFER = 8192
+
+
+class DsaBench:
+    """memcpy / movdir64B / DSA sync / DSA async, per route."""
+
+    def __init__(self, system: System, *,
+                 batch_sizes: list[int] | None = None,
+                 transfer_bytes: int = DEFAULT_TRANSFER) -> None:
+        if not system.has_cxl:
+            raise ConfigError("the DSA bench compares DDR5 and CXL routes")
+        if transfer_bytes <= 0:
+            raise ConfigError("transfer size must be positive")
+        self.system = system
+        self.batch_sizes = batch_sizes or DEFAULT_BATCHES
+        self.transfer_bytes = transfer_bytes
+        self.model = ThroughputModel(system)
+        self.dsa = DsaDevice(system)
+        self.routes = [
+            (MemoryScheme.DDR5_L8, MemoryScheme.CXL),        # D2C
+            (MemoryScheme.CXL, MemoryScheme.DDR5_L8),        # C2D
+            (MemoryScheme.CXL, MemoryScheme.CXL),            # C2C
+            (MemoryScheme.DDR5_L8, MemoryScheme.DDR5_L8),    # D2D
+        ]
+
+    def methods(self) -> list[str]:
+        """Column labels, in figure order."""
+        labels = ["memcpy", "movdir64B"]
+        labels += [f"dsa-sync-b{b}" for b in self.batch_sizes]
+        labels += [f"dsa-async-b{b}" for b in self.batch_sizes]
+        return labels
+
+    def throughput(self, method: str, src: MemoryScheme,
+                   dst: MemoryScheme) -> float:
+        """Single-threaded throughput of one method on one route, GB/s."""
+        if method == "memcpy":
+            return self.model.memcpy_bandwidth(src, dst).gb_per_s
+        if method == "movdir64B":
+            return self.model.copy_bandwidth(src, dst).gb_per_s
+        if method.startswith("dsa-"):
+            _, mode_name, batch_tag = method.split("-")
+            mode = (SubmissionMode.SYNC if mode_name == "sync"
+                    else SubmissionMode.ASYNC)
+            batch = int(batch_tag[1:])
+            return self.dsa.copy_throughput(
+                src, dst, mode=mode, batch_size=batch,
+                transfer_bytes=self.transfer_bytes) / 1e9
+        raise ConfigError(f"unknown method {method!r}")
+
+    def run(self) -> BenchReport:
+        report = BenchReport(
+            title="MEMO bulk data movement (single thread)")
+        for src, dst in self.routes:
+            route = self.model.copy_bandwidth(src, dst).scheme
+            series = Series(route, x_label="method-index",
+                            y_label="GB/s")
+            for index, method in enumerate(self.methods()):
+                series.append(float(index),
+                              self.throughput(method, src, dst))
+            report.add_series("fig4b", series)
+        report.notes.append("methods: " + ", ".join(self.methods()))
+        report.notes.append(
+            f"transfer size per descriptor: {self.transfer_bytes} B")
+        return report

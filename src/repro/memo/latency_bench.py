@@ -1,0 +1,71 @@
+"""MEMO's latency test (Fig 2, left group).
+
+§4.2: "MEMO starts by flushing the cacheline at the tested address and
+immediately issues a mfence.  Then, MEMO issues a set of nop
+instructions to flush the CPU pipeline.  When testing with load
+instructions, we record the time it takes to access the flushed-out
+cacheline; when testing with store instructions, we record the time it
+takes to do temporal store then a cacheline write back (clwb), or the
+execution time of non-temporal store, followed by a sfence."
+
+Prefetching at all levels is disabled (Fig 2 caption), which is the
+default here and asserted at construction.
+"""
+
+from __future__ import annotations
+
+from ..cpu.isa import AccessKind
+from ..cpu.system import MemoryScheme, System
+from ..analysis.series import Series
+from ..errors import ConfigError
+from ..perfmodel.latency import LatencyModel
+from .report import BenchReport
+
+PROBE_KINDS = (AccessKind.LOAD, AccessKind.STORE, AccessKind.NT_STORE)
+CHASE_SPACE_BYTES = 1 << 30   # "sequential pointer chasing in 1GB space"
+
+
+class LatencyBench:
+    """Per-scheme access-latency probes plus the 1 GiB pointer chase."""
+
+    def __init__(self, system: System, *,
+                 schemes: list[MemoryScheme] | None = None,
+                 prefetch_enabled: bool = False,
+                 samples: int = 1000) -> None:
+        if prefetch_enabled:
+            raise ConfigError(
+                "the Fig-2 latency test runs with prefetching disabled "
+                "at all levels")
+        if samples <= 0:
+            raise ConfigError(f"samples must be positive: {samples}")
+        self.system = system
+        self.schemes = schemes or system.available_schemes()
+        self.samples = samples
+        self.model = LatencyModel(system)
+
+    def run(self) -> BenchReport:
+        """Probe every (scheme, instruction) pair; returns Fig 2's bars."""
+        report = BenchReport(
+            title="MEMO latency (AVX-512, prefetch off)")
+        for scheme in self.schemes:
+            series = Series(scheme.label, x_label="probe",
+                            y_label="latency (ns)")
+            for index, kind in enumerate(PROBE_KINDS):
+                series.append(float(index),
+                              self.model.probe_ns(scheme, kind))
+            series.append(float(len(PROBE_KINDS)),
+                          self.model.pointer_chase_ns(
+                              scheme, CHASE_SPACE_BYTES))
+            report.add_series("fig2-left", series)
+        report.notes.append(
+            "probe order: " + ", ".join(
+                [k.value for k in PROBE_KINDS] + ["ptr-chase"]))
+        return report
+
+    def probe(self, scheme: MemoryScheme, kind: AccessKind) -> float:
+        """One probe in ns (the unit tests' entry point)."""
+        return self.model.probe_ns(scheme, kind)
+
+    def pointer_chase(self, scheme: MemoryScheme) -> float:
+        """Average 1 GiB pointer-chase latency in ns."""
+        return self.model.pointer_chase_ns(scheme, CHASE_SPACE_BYTES)

@@ -1,0 +1,109 @@
+"""Loaded-latency curves: latency as a function of injected bandwidth.
+
+The classic memory-characterization plot (Intel MLC's headline output):
+sweep an injection rate of background traffic against a scheme and
+report the latency a dependent reader observes.  The paper's own probes
+are unloaded; this bench extends MEMO with the loaded view, where the
+three schemes separate even more dramatically — the CXL device saturates
+at a tenth of DDR5-L8's injected bandwidth, so its latency wall sits far
+to the left.
+"""
+
+from __future__ import annotations
+
+from ..analysis.series import Series
+from ..cpu.isa import AccessKind
+from ..cpu.system import MemoryScheme, System
+from ..errors import ConfigError
+from ..mem.bandwidth import queueing_inflation
+from ..perfmodel.latency import LatencyModel
+from ..perfmodel.throughput import ThroughputModel
+from .report import BenchReport
+
+DEFAULT_POINTS = 12
+
+
+class LoadedLatencyBench:
+    """Latency-vs-injected-bandwidth curves for each scheme."""
+
+    def __init__(self, system: System, *,
+                 schemes: list[MemoryScheme] | None = None,
+                 points: int = DEFAULT_POINTS) -> None:
+        if points < 2:
+            raise ConfigError(f"need at least 2 sweep points: {points}")
+        self.system = system
+        self.schemes = schemes or system.available_schemes()
+        self.points = points
+        self.latency = LatencyModel(system)
+        self.throughput = ThroughputModel(system)
+
+    def saturation_bandwidth(self, scheme: MemoryScheme) -> float:
+        """Max sequential read bandwidth of the scheme (B/s)."""
+        threads = self.system.socket.config.cores
+        return self.throughput.bandwidth(scheme, AccessKind.LOAD,
+                                         threads=threads).app_bandwidth
+
+    def loaded_read_ns(self, scheme: MemoryScheme,
+                       injected_fraction: float) -> float:
+        """Reader latency with background load at a ceiling fraction."""
+        if not 0.0 <= injected_fraction <= 1.0:
+            raise ConfigError(
+                f"injected fraction out of range: {injected_fraction}")
+        base = self.latency.read_path_ns(scheme)
+        return base * queueing_inflation(injected_fraction)
+
+    def curve(self, scheme: MemoryScheme) -> Series:
+        """One curve: x = injected % of the scheme's own saturation.
+
+        A relative x axis lets the three schemes share one table; use
+        :meth:`curve_absolute` or
+        :meth:`latency_at_equal_injection` for absolute comparisons.
+        """
+        series = Series(scheme.label, x_label="injected (% of saturation)",
+                        y_label="read latency (ns)")
+        for index in range(self.points):
+            fraction = index / (self.points - 1) * 0.98
+            series.append(round(fraction * 100, 1),
+                          self.loaded_read_ns(scheme, fraction))
+        return series
+
+    def curve_absolute(self, scheme: MemoryScheme) -> Series:
+        """One curve with absolute injected GB/s on x."""
+        saturation = self.saturation_bandwidth(scheme)
+        series = Series(scheme.label, x_label="injected GB/s",
+                        y_label="read latency (ns)")
+        for index in range(self.points):
+            fraction = index / (self.points - 1) * 0.98
+            series.append(saturation * fraction / 1e9,
+                          self.loaded_read_ns(scheme, fraction))
+        return series
+
+    def run(self) -> BenchReport:
+        report = BenchReport(title="MEMO loaded latency "
+                                   "(dependent reads under injection)")
+        for scheme in self.schemes:
+            report.add_series("loaded-latency", self.curve(scheme))
+        for scheme in self.schemes:
+            report.notes.append(
+                f"{scheme.label} saturation: "
+                f"{self.saturation_bandwidth(scheme) / 1e9:.1f} GB/s")
+        return report
+
+    def latency_at_equal_injection(self, injected_gb_s: float
+                                   ) -> dict[str, float]:
+        """Latency per scheme at one absolute injection rate.
+
+        Schemes whose ceiling is below the rate report infinity —
+        they cannot absorb that load at all (the CXL wall).
+        """
+        if injected_gb_s < 0:
+            raise ConfigError("injection rate must be non-negative")
+        outcome = {}
+        for scheme in self.schemes:
+            saturation = self.saturation_bandwidth(scheme) / 1e9
+            if injected_gb_s >= saturation:
+                outcome[scheme.label] = float("inf")
+            else:
+                outcome[scheme.label] = self.loaded_read_ns(
+                    scheme, injected_gb_s / saturation)
+        return outcome

@@ -1,0 +1,55 @@
+"""movdir64B data-movement bandwidth (Fig 4a).
+
+§4.3.1: "movdir64B ... moves a 64B data from the source memory address
+to a destination memory address and explicitly bypasses the cache for
+both loading the source and storing it to the destination."
+
+Routes use the paper's naming: D = local DDR5, C = CXL memory, so D2C is
+a DDR5→CXL copy.
+"""
+
+from __future__ import annotations
+
+from ..cpu.system import MemoryScheme, System
+from ..analysis.series import Series
+from ..errors import ConfigError
+from ..perfmodel.throughput import ThroughputModel
+from .report import BenchReport
+
+DEFAULT_THREADS = [1, 2, 4, 8]
+
+
+class MovdirBench:
+    """movdir64B copy bandwidth across all D/C route combinations."""
+
+    def __init__(self, system: System, *,
+                 thread_counts: list[int] | None = None) -> None:
+        if not system.has_cxl:
+            raise ConfigError("the movdir bench compares DDR5 and CXL "
+                              "routes; the system has no CXL device")
+        self.system = system
+        self.thread_counts = thread_counts or DEFAULT_THREADS
+        self.model = ThroughputModel(system)
+        self.routes = [
+            (MemoryScheme.DDR5_L8, MemoryScheme.DDR5_L8),   # D2D
+            (MemoryScheme.DDR5_L8, MemoryScheme.CXL),        # D2C
+            (MemoryScheme.CXL, MemoryScheme.DDR5_L8),        # C2D
+            (MemoryScheme.CXL, MemoryScheme.CXL),            # C2C
+        ]
+
+    def run(self) -> BenchReport:
+        report = BenchReport(title="MEMO movdir64B data movement")
+        for src, dst in self.routes:
+            label = self.model.copy_bandwidth(src, dst).scheme
+            series = Series(label, x_label="threads", y_label="GB/s")
+            for threads in self.thread_counts:
+                result = self.model.copy_bandwidth(src, dst,
+                                                   threads=threads)
+                series.append(float(threads), result.gb_per_s)
+            report.add_series("fig4a", series)
+        return report
+
+    def route_bandwidth(self, src: MemoryScheme, dst: MemoryScheme,
+                        threads: int = 4) -> float:
+        """One route's bandwidth in GB/s."""
+        return self.model.copy_bandwidth(src, dst, threads=threads).gb_per_s

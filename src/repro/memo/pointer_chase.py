@@ -1,0 +1,99 @@
+"""Pointer chasing versus working-set size (Fig 2, right).
+
+Two implementations:
+
+* the **analytic** sweep used for the figure — the stacked-capacity hit
+  model of :meth:`CacheHierarchy.expected_latency_ns`;
+* a **functional** chase, :func:`simulate_chase`, that walks a real
+  randomized permutation through the simulated caches — used by tests to
+  validate the analytic model against actual line movement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache.hierarchy import CacheHierarchy
+from ..cpu.system import MemoryScheme, System
+from ..analysis.series import Series
+from ..errors import ConfigError
+from ..perfmodel.latency import LatencyModel
+from ..sim.rng import substream
+from ..units import CACHELINE, KIB, MIB
+from .report import BenchReport
+
+DEFAULT_WSS_POINTS = [16 * KIB, 64 * KIB, 256 * KIB, 1 * MIB, 4 * MIB,
+                      16 * MIB, 64 * MIB, 256 * MIB, 1024 * MIB]
+
+
+class PointerChaseBench:
+    """Average chase latency as WSS crosses the cache hierarchy."""
+
+    def __init__(self, system: System, *,
+                 wss_points: list[int] | None = None,
+                 schemes: list[MemoryScheme] | None = None) -> None:
+        self.system = system
+        self.wss_points = wss_points or DEFAULT_WSS_POINTS
+        if any(w <= 0 for w in self.wss_points):
+            raise ConfigError("working-set sizes must be positive")
+        self.schemes = schemes or system.available_schemes()
+        self.model = LatencyModel(system)
+
+    def run(self) -> BenchReport:
+        report = BenchReport(title="MEMO pointer chase vs WSS")
+        for scheme in self.schemes:
+            series = Series(scheme.label, x_label="WSS (KiB)",
+                            y_label="latency (ns)")
+            for wss in self.wss_points:
+                series.append(wss / KIB,
+                              self.model.pointer_chase_ns(scheme, wss))
+            report.add_series("fig2-right", series)
+        return report
+
+
+def build_chain(wss_bytes: int, rng: np.random.Generator) -> np.ndarray:
+    """A random cyclic permutation of the cachelines in a working set.
+
+    ``chain[i]`` is the line index the chase visits after line ``i``; the
+    cycle covers every line exactly once (a Sattolo shuffle), which is
+    how real pointer-chase kernels defeat prefetchers.
+    """
+    lines = wss_bytes // CACHELINE
+    if lines < 2:
+        raise ConfigError(f"working set too small to chase: {wss_bytes} B")
+    order = np.arange(lines)
+    # Sattolo's algorithm: a single cycle through all elements.
+    for i in range(lines - 1, 0, -1):
+        j = int(rng.integers(0, i))
+        order[i], order[j] = order[j], order[i]
+    chain = np.empty(lines, dtype=np.int64)
+    chain[order[-1]] = order[0]
+    for a, b in zip(order, order[1:]):
+        chain[a] = b
+    return chain
+
+
+def simulate_chase(hierarchy: CacheHierarchy, wss_bytes: int, *,
+                   accesses: int, memory_latency_ns: float,
+                   seed: int = 7, warmup: bool = True) -> float:
+    """Functionally chase a random chain; returns average latency in ns.
+
+    MEMO warms the working set into the hierarchy first (§4.2: "the
+    working set is first brought into the cache hierarchy in a warm-up
+    run"), so small working sets measure pure cache latency.
+    """
+    if accesses <= 0:
+        raise ConfigError(f"accesses must be positive: {accesses}")
+    chain = build_chain(wss_bytes, substream(f"chase-{seed}", seed))
+    if warmup:
+        for line in range(len(chain)):
+            hierarchy.load(line * CACHELINE)
+    total = 0.0
+    line = 0
+    for _ in range(accesses):
+        result = hierarchy.load(line * CACHELINE)
+        total += result.latency_ns
+        if not result.hit:
+            total += memory_latency_ns
+        line = int(chain[line])
+    return total / accesses

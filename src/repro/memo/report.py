@@ -1,0 +1,69 @@
+"""Shared result container for MEMO benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.series import Series
+from ..analysis.tables import format_table, series_table
+from ..errors import ExperimentError
+
+
+@dataclass
+class BenchReport:
+    """A bench's output: named series grouped into panels.
+
+    A *panel* corresponds to one sub-figure (e.g. Fig 3a/3b/3c are three
+    panels); each panel holds the series plotted in it.
+    """
+
+    title: str
+    panels: dict[str, list[Series]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_series(self, panel: str, series: Series) -> None:
+        self.panels.setdefault(panel, []).append(series)
+
+    def panel(self, name: str) -> list[Series]:
+        if name not in self.panels:
+            raise ExperimentError(
+                f"report {self.title!r} has no panel {name!r}; "
+                f"available: {sorted(self.panels)}")
+        return self.panels[name]
+
+    def series(self, panel: str, name: str) -> Series:
+        for candidate in self.panel(panel):
+            if candidate.name == name:
+                return candidate
+        raise ExperimentError(
+            f"panel {panel!r} has no series {name!r}; available: "
+            f"{[s.name for s in self.panel(panel)]}")
+
+    def render(self, y_format: str = "{:.1f}", *,
+               sparklines: bool = True) -> str:
+        """The full report as text tables (plus sparklines), per panel."""
+        from ..analysis.sparkline import series_sparklines
+
+        blocks = [f"== {self.title} =="]
+        for name in self.panels:
+            blocks.append(series_table(self.panels[name],
+                                       title=f"-- {name} --",
+                                       y_format=y_format))
+            if sparklines and any(len(s) > 2
+                                  for s in self.panels[name]):
+                blocks.append(series_sparklines(self.panels[name]))
+        for note in self.notes:
+            blocks.append(f"note: {note}")
+        return "\n\n".join(blocks)
+
+    def render_scalar_panel(self, panel: str, value_label: str,
+                            y_format: str = "{:.1f}") -> str:
+        """Render a panel of single-point series as name/value rows."""
+        rows = []
+        for series in self.panel(panel):
+            if len(series) != 1:
+                raise ExperimentError(
+                    f"series {series.name!r} is not scalar")
+            rows.append([series.name, y_format.format(series.y[0])])
+        return format_table(["case", value_label], rows,
+                            title=f"-- {panel} --")

@@ -1,0 +1,24 @@
+"""End-to-end performance models over a :class:`~repro.cpu.system.System`.
+
+* :class:`~repro.perfmodel.latency.LatencyModel` — composes host-side
+  (caches, mesh, home agent) and device-side (backend) latencies into the
+  quantities MEMO measures: flushed-line probes, pointer-chase averages,
+  and the WSS staircase (Fig. 2).
+* :class:`~repro.perfmodel.throughput.ThroughputModel` — a closed-loop
+  Little's-law solver: per-thread MLP against device ceilings with
+  queueing-inflated latencies (Figs 3–5).
+* :mod:`~repro.perfmodel.contention` — device-specific interference
+  curves that do not fit the generic queueing model (the CXL nt-store
+  sweet spots of §4.3.2).
+"""
+
+from .latency import LatencyModel
+from .throughput import BandwidthResult, ThroughputModel
+from .contention import nt_store_sweet_spot_derate
+
+__all__ = [
+    "LatencyModel",
+    "ThroughputModel",
+    "BandwidthResult",
+    "nt_store_sweet_spot_derate",
+]

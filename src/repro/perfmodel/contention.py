@@ -1,0 +1,41 @@
+"""Device-specific interference curves.
+
+The generic queueing model in :mod:`repro.mem.bandwidth` covers
+utilization effects; this module holds the empirically-shaped curves the
+paper attributes to the Agilex device's finite buffering, calibrated to
+the figure anchors rather than derived from first principles (documented
+in DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+NT_BUFFER_BYTES = 64 * 1024
+"""Effective nt-store burst capacity of the device (buffer + pipeline).
+
+§4.3.2's sweet spots imply threads x block ~ 64 KiB: "the 2-thread
+bandwidth reaches its peak when the block size is 32KB, and the 4-thread
+bandwidth peaks at a block size of 16KB".
+"""
+
+
+def nt_store_sweet_spot_derate(threads: int, block_bytes: int,
+                               buffer_bytes: int = NT_BUFFER_BYTES) -> float:
+    """Random-block nt-store derate for the CXL device (Fig. 5, bottom-right).
+
+    * One thread never overflows — its issue rate stays below the device
+      drain rate, so "single-threaded nt-store scales nicely with block
+      size".
+    * Multiple threads exceed the drain rate; bursts accumulate in the
+      device buffer and the sweet spot sits where the aggregate burst
+      (``threads * block``) matches the buffer.  Past it, stalls grow
+      with the overflow ratio.
+    """
+    if threads <= 0 or block_bytes <= 0 or buffer_bytes <= 0:
+        raise ValueError("threads, block and buffer must be positive")
+    if threads == 1:
+        return 1.0
+    burst = threads * block_bytes
+    if burst <= buffer_bytes:
+        return 1.0
+    overflow = burst / buffer_bytes
+    return max(0.35, 1.0 / (0.6 + 0.4 * overflow))

@@ -1,0 +1,267 @@
+"""The closed-loop bandwidth solver behind Figs 3, 4a and 5.
+
+Model
+-----
+Each of ``n`` pinned threads keeps ``MLP(kind, pattern)`` 64 B lines in
+flight, each occupying its slot for the unloaded path latency — Little's
+law gives per-thread bandwidth and hence the linear region's slope.
+Aggregate demand then meets the device's derated ceiling:
+
+* a bus ceiling from :meth:`MemoryBackend.bus_ceiling` (row locality,
+  channel count, link framing, write turnaround);
+* device-specific concurrency derates (the Agilex controller's
+  stream-mixing and write-buffer behavior).
+
+``app_bandwidth = min(demand, ceiling / traffic_factor)`` — the sharp
+saturation the paper's curves show.  The reported ``loaded_read_ns``
+inflates the unloaded latency by the resulting utilization via the
+queueing curve, which is what application models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cpu.isa import AccessKind
+from ..cpu.system import MemoryScheme, System
+from ..cxl.device import CxlMemoryBackend
+from ..errors import ConfigError
+from ..mem.bandwidth import queueing_inflation
+from ..mem.device import MemoryBackend
+from ..mem.dram import AccessPattern
+from ..cpu.core import WRITE_ACCEPTANCE_NS
+from .contention import nt_store_sweet_spot_derate
+
+DEFAULT_BLOCK = 1 << 20
+"""Block size used for sequential runs (large enough for full locality)."""
+
+
+@dataclass(frozen=True)
+class BandwidthResult:
+    """One point of a bandwidth sweep."""
+
+    scheme: str
+    kind: AccessKind
+    pattern: AccessPattern
+    threads: int
+    block_bytes: int
+    app_bandwidth: float          # application B/s
+    bus_bandwidth: float          # bus B/s (= app x traffic factor)
+    utilization: float            # of the derated bus ceiling
+    loaded_read_ns: float         # equilibrium read-path latency
+
+    @property
+    def per_thread_bandwidth(self) -> float:
+        return self.app_bandwidth / self.threads
+
+    @property
+    def gb_per_s(self) -> float:
+        """Application bandwidth in the paper's GB/s convention."""
+        return self.app_bandwidth / 1e9
+
+
+class ThroughputModel:
+    """Bandwidth queries for every scheme of a system."""
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+
+    # -- public API ---------------------------------------------------------
+
+    def bandwidth(self, scheme: MemoryScheme, kind: AccessKind,
+                  pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+                  *, threads: int = 1,
+                  block_bytes: int = DEFAULT_BLOCK) -> BandwidthResult:
+        """Sustained bandwidth for one (scheme, kind, pattern) point."""
+        if threads <= 0:
+            raise ConfigError(f"thread count must be positive: {threads}")
+        if threads > self.system.socket.config.cores:
+            raise ConfigError(
+                f"{threads} threads exceed the socket's "
+                f"{self.system.socket.config.cores} cores")
+        if kind is AccessKind.MOVDIR64B:
+            raise ConfigError(
+                "movdir64B is a copy; use copy_bandwidth(src, dst)")
+        backend = self.system.scheme_backend(scheme)
+        ceiling_bus = self._derated_ceiling(backend, kind, pattern,
+                                            block_bytes, threads)
+        traffic = kind.traffic_factor
+        app_ceiling = ceiling_bus / traffic
+
+        demand = threads * self._per_thread_bw(backend, kind, pattern,
+                                               block_bytes, 0.0)
+        app_bw = min(demand, app_ceiling)
+        rho = app_bw * traffic / ceiling_bus
+        loaded_read = self._read_latency(backend, rho)
+        return BandwidthResult(scheme=scheme.label, kind=kind,
+                               pattern=pattern, threads=threads,
+                               block_bytes=block_bytes,
+                               app_bandwidth=app_bw,
+                               bus_bandwidth=app_bw * traffic,
+                               utilization=rho,
+                               loaded_read_ns=loaded_read)
+
+    def copy_bandwidth(self, src: MemoryScheme, dst: MemoryScheme,
+                       *, threads: int = 1,
+                       block_bytes: int = DEFAULT_BLOCK) -> BandwidthResult:
+        """movdir64B copy bandwidth between two schemes (Fig. 4a).
+
+        Per line: a cache-bypassing 64 B read at the source plus a posted
+        64 B write at the destination.  The source read latency dominates
+        the per-thread rate (§4.3.1); ceilings apply on both devices,
+        sharing one bus when ``src == dst``.
+        """
+        if threads <= 0:
+            raise ConfigError(f"thread count must be positive: {threads}")
+        kind = AccessKind.MOVDIR64B
+        src_backend = self.system.scheme_backend(src)
+        dst_backend = self.system.scheme_backend(dst)
+        core = self.system.socket.cores[0]
+        mlp = core.effective_mlp(kind, AccessPattern.SEQUENTIAL)
+        issue = core.config.issue_overhead_ns
+        read0 = self._read_latency(src_backend, 0.0)
+
+        if src is dst:
+            ceiling = src_backend.bus_ceiling(
+                AccessPattern.SEQUENTIAL, block_bytes, streams=2 * threads,
+                write_fraction=0.5)
+            ceiling *= src_backend.concurrency_derate(
+                readers=threads, writers=0, nt_writers=threads)
+            traffic = 2.0     # read + write share one bus
+        else:
+            read_ceiling = (src_backend.bus_ceiling(
+                AccessPattern.SEQUENTIAL, block_bytes, streams=threads)
+                * src_backend.concurrency_derate(readers=threads, writers=0))
+            write_ceiling = (dst_backend.bus_ceiling(
+                AccessPattern.SEQUENTIAL, block_bytes, streams=threads,
+                write_fraction=1.0)
+                * dst_backend.concurrency_derate(readers=0, writers=0,
+                                                 nt_writers=threads))
+            ceiling = min(read_ceiling, write_ceiling)
+            traffic = 1.0     # each bus sees app bytes once
+
+        service = issue + read0 + WRITE_ACCEPTANCE_NS
+        demand = threads * mlp * 64 / (service / 1e9)
+        app_bw = min(demand, ceiling / traffic)
+        rho = app_bw * traffic / ceiling
+        return BandwidthResult(scheme=f"{_short(src)}2{_short(dst)}",
+                               kind=kind, pattern=AccessPattern.SEQUENTIAL,
+                               threads=threads, block_bytes=block_bytes,
+                               app_bandwidth=app_bw,
+                               bus_bandwidth=app_bw * traffic,
+                               utilization=rho,
+                               loaded_read_ns=read0 * queueing_inflation(rho))
+
+    def memcpy_bandwidth(self, src: MemoryScheme, dst: MemoryScheme,
+                         *, threads: int = 1,
+                         block_bytes: int = DEFAULT_BLOCK) -> BandwidthResult:
+        """Plain ``memcpy()``: cached loads + temporal stores (Fig. 4b).
+
+        Unlike movdir64B, the destination writes are temporal — each pays
+        an RFO, so the destination bus sees twice the application bytes.
+        """
+        if threads <= 0:
+            raise ConfigError(f"thread count must be positive: {threads}")
+        src_backend = self.system.scheme_backend(src)
+        dst_backend = self.system.scheme_backend(dst)
+        core = self.system.socket.cores[0]
+        read0 = self._read_latency(src_backend, 0.0)
+        write0 = self._write_latency(dst_backend, 0.0)
+        mlp = core.effective_mlp(AccessKind.STORE, AccessPattern.SEQUENTIAL)
+        service = core.config.issue_overhead_ns + read0 + 0.3 * write0
+        demand = threads * mlp * 64 / (service / 1e9)
+
+        if src is dst:
+            bus = src_backend.bus_ceiling(AccessPattern.SEQUENTIAL,
+                                          block_bytes, streams=2 * threads,
+                                          write_fraction=2 / 3)
+            app_ceiling = bus / 3.0       # 1 read + RFO + writeback
+        else:
+            read_bus = src_backend.bus_ceiling(
+                AccessPattern.SEQUENTIAL, block_bytes, streams=threads)
+            write_bus = dst_backend.bus_ceiling(
+                AccessPattern.SEQUENTIAL, block_bytes, streams=threads,
+                write_fraction=0.5)
+            app_ceiling = min(read_bus, write_bus / 2.0)
+        app_bw = min(demand, app_ceiling)
+        return BandwidthResult(scheme=f"{_short(src)}2{_short(dst)}-memcpy",
+                               kind=AccessKind.STORE,
+                               pattern=AccessPattern.SEQUENTIAL,
+                               threads=threads, block_bytes=block_bytes,
+                               app_bandwidth=app_bw,
+                               bus_bandwidth=app_bw * 3.0,
+                               utilization=min(1.0, app_bw / app_ceiling),
+                               loaded_read_ns=read0)
+
+    def sweep_threads(self, scheme: MemoryScheme, kind: AccessKind,
+                      thread_counts: list[int],
+                      pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+                      block_bytes: int = DEFAULT_BLOCK
+                      ) -> list[BandwidthResult]:
+        """One Fig-3 curve: bandwidth at each thread count."""
+        return [self.bandwidth(scheme, kind, pattern, threads=n,
+                               block_bytes=block_bytes)
+                for n in thread_counts]
+
+    # -- internals ---------------------------------------------------------
+
+    def _read_latency(self, backend: MemoryBackend, rho: float) -> float:
+        base = self.system.edge_ns() + backend.idle_read_ns()
+        return base * queueing_inflation(rho)
+
+    def _write_latency(self, backend: MemoryBackend, rho: float) -> float:
+        base = self.system.edge_ns() + backend.idle_write_ns()
+        return base * queueing_inflation(rho)
+
+    def _per_thread_bw(self, backend: MemoryBackend, kind: AccessKind,
+                       pattern: AccessPattern, block_bytes: int,
+                       rho: float) -> float:
+        core = self.system.socket.cores[0]
+        read_ns = self._read_latency(backend, rho)
+        write_ns = self._write_latency(backend, rho)
+        if kind is AccessKind.NT_STORE:
+            accept = WRITE_ACCEPTANCE_NS * queueing_inflation(rho)
+            if pattern is AccessPattern.RANDOM_BLOCK:
+                # The per-block sfence drains the pipeline: fill the block
+                # at the acceptance rate, then wait one write round trip.
+                issue_ns = block_bytes / (core.config.wc_buffers * 64) \
+                    * accept
+                return block_bytes / ((issue_ns + write_ns) / 1e9)
+            return core.config.wc_buffers * 64 / (
+                (core.config.issue_overhead_ns + accept) / 1e9)
+        bandwidth = core.peak_thread_bandwidth(kind, pattern,
+                                               read_latency_ns=read_ns,
+                                               write_latency_ns=write_ns)
+        if pattern is AccessPattern.RANDOM_BLOCK:
+            # Each random block restarts the stream: the prefetcher has
+            # nothing queued and the TLB walks a fresh page, so small
+            # blocks cannot keep the fill buffers full (Fig 5: 1 KiB
+            # blocks hurt every scheme's per-thread rate).
+            startup_lines = 16
+            bandwidth *= block_bytes / (block_bytes + startup_lines * 64)
+        return bandwidth
+
+    def _derated_ceiling(self, backend: MemoryBackend, kind: AccessKind,
+                         pattern: AccessPattern, block_bytes: int,
+                         threads: int) -> float:
+        traffic = kind.traffic_factor
+        write_fraction = kind.bus_writes_per_line / traffic
+        ceiling = backend.bus_ceiling(pattern, block_bytes, streams=threads,
+                                      write_fraction=write_fraction)
+        readers = threads if kind is AccessKind.LOAD else 0
+        writers = threads if kind is AccessKind.STORE else 0
+        nt_writers = threads if kind is AccessKind.NT_STORE else 0
+        ceiling *= backend.concurrency_derate(readers=readers,
+                                              writers=writers,
+                                              nt_writers=nt_writers)
+        if (kind is AccessKind.NT_STORE
+                and pattern is AccessPattern.RANDOM_BLOCK
+                and isinstance(backend, CxlMemoryBackend)):
+            ceiling *= nt_store_sweet_spot_derate(threads, block_bytes)
+        return ceiling
+
+
+def _short(scheme: MemoryScheme) -> str:
+    """The paper's one-letter tags: D for DDR5-L8, C for CXL, R for remote."""
+    return {MemoryScheme.DDR5_L8: "D", MemoryScheme.DDR5_R1: "R",
+            MemoryScheme.CXL: "C"}[scheme]

@@ -1,0 +1,42 @@
+"""A small discrete-event simulation (DES) kernel.
+
+The engine drives the request-level application studies (Redis-YCSB,
+DeathStarBench) and the DSA offload pipeline, where *tail* latency — not
+just the mean — is the result the paper reports.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Engine` — the event loop and clock (ns).
+* :class:`~repro.sim.process.Process` and the command objects
+  (:class:`~repro.sim.process.Timeout`, …) — generator-based processes.
+* :class:`~repro.sim.resources.Server`,
+  :class:`~repro.sim.resources.Store` — contention primitives.
+* :class:`~repro.sim.stats.LatencyRecorder`,
+  :class:`~repro.sim.stats.RateMeter` — measurement.
+* :func:`~repro.sim.rng.substream` — deterministic named RNG streams.
+"""
+
+from .engine import Engine
+from .process import Process, Timeout, Acquire, Release, Get, Put, WaitEvent, Signal
+from .resources import Server, Store, SimEvent
+from .stats import LatencyRecorder, RateMeter, percentile
+from .rng import substream
+
+__all__ = [
+    "Engine",
+    "Process",
+    "Timeout",
+    "Acquire",
+    "Release",
+    "Get",
+    "Put",
+    "WaitEvent",
+    "Signal",
+    "Server",
+    "Store",
+    "SimEvent",
+    "LatencyRecorder",
+    "RateMeter",
+    "percentile",
+    "substream",
+]

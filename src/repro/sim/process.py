@@ -1,0 +1,169 @@
+"""Generator-based processes on top of the event engine.
+
+A process is a Python generator that ``yield``\\ s *command* objects; the
+:class:`Process` driver interprets each command, parks the generator, and
+resumes it (optionally with a value) when the command completes:
+
+* :class:`Timeout` — advance simulated time;
+* :class:`Acquire` / :class:`Release` — claim / free a slot of a
+  :class:`~repro.sim.resources.Server`;
+* :class:`Get` / :class:`Put` — consume / produce items of a
+  :class:`~repro.sim.resources.Store`;
+* :class:`WaitEvent` / :class:`Signal` — one-shot broadcast events;
+* a :class:`Process` instance — wait for a child process to finish
+  (its return value becomes the ``yield`` result).
+
+This mirrors the SimPy programming model, reimplemented minimally so the
+library has no runtime dependencies beyond numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from ..errors import SimulationError
+from .engine import Engine
+from .resources import Server, SimEvent, Store
+
+Command = Any
+ProcessBody = Generator[Command, Any, Any]
+
+
+class Timeout:
+    """Suspend the process for ``delay`` ns."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+
+
+class Acquire:
+    """Wait for, then hold, one slot of a :class:`Server`."""
+
+    __slots__ = ("server",)
+
+    def __init__(self, server: Server) -> None:
+        self.server = server
+
+
+class Release:
+    """Free one previously acquired slot of a :class:`Server`."""
+
+    __slots__ = ("server",)
+
+    def __init__(self, server: Server) -> None:
+        self.server = server
+
+
+class Get:
+    """Wait for an item from a :class:`Store`; the item is yielded back."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: Store) -> None:
+        self.store = store
+
+
+class Put:
+    """Deposit an item into a :class:`Store` (never blocks)."""
+
+    __slots__ = ("store", "item")
+
+    def __init__(self, store: Store, item: Any) -> None:
+        self.store = store
+        self.item = item
+
+
+class WaitEvent:
+    """Block until a :class:`SimEvent` is signalled."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: SimEvent) -> None:
+        self.event = event
+
+
+class Signal:
+    """Fire a :class:`SimEvent`, waking every waiter."""
+
+    __slots__ = ("event", "value")
+
+    def __init__(self, event: SimEvent, value: Any = None) -> None:
+        self.event = event
+        self.value = value
+
+
+class Process:
+    """Drives one generator to completion against an :class:`Engine`.
+
+    The process starts at the current simulation time (scheduled as an
+    immediate event).  ``proc.done`` / ``proc.result`` report completion;
+    other processes may ``yield proc`` to join on it.
+    """
+
+    def __init__(self, engine: Engine, body: ProcessBody,
+                 name: str = "proc") -> None:
+        self.engine = engine
+        self.name = name
+        self._body = body
+        self.done = False
+        self.result: Any = None
+        self._joiners: list[Callable[[Any], None]] = []
+        engine.schedule(0.0, lambda: self._resume(None))
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "running"
+        return f"<Process {self.name} {state}>"
+
+    # -- driver ------------------------------------------------------------
+
+    def _resume(self, value: Any) -> None:
+        try:
+            command = self._body.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(command)
+
+    def _finish(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        joiners, self._joiners = self._joiners, []
+        for wake in joiners:
+            wake(result)
+
+    def _dispatch(self, command: Command) -> None:
+        if isinstance(command, Timeout):
+            self.engine.schedule(command.delay, lambda: self._resume(None))
+        elif isinstance(command, Acquire):
+            command.server.acquire(lambda: self._resume(None))
+        elif isinstance(command, Release):
+            command.server.release()
+            self.engine.schedule(0.0, lambda: self._resume(None))
+        elif isinstance(command, Get):
+            command.store.get(lambda item: self._resume(item))
+        elif isinstance(command, Put):
+            command.store.put(command.item)
+            self.engine.schedule(0.0, lambda: self._resume(None))
+        elif isinstance(command, WaitEvent):
+            command.event.wait(lambda value: self._resume(value))
+        elif isinstance(command, Signal):
+            command.event.signal(command.value)
+            self.engine.schedule(0.0, lambda: self._resume(None))
+        elif isinstance(command, Process):
+            if command.done:
+                self.engine.schedule(
+                    0.0, lambda: self._resume(command.result))
+            else:
+                command._joiners.append(self._resume)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unknown command: {command!r}")
+
+
+def spawn(engine: Engine, body: ProcessBody, name: str = "proc") -> Process:
+    """Convenience constructor mirroring ``simpy.Environment.process``."""
+    return Process(engine, body, name=name)

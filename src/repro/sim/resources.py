@@ -1,0 +1,116 @@
+"""Contention primitives for the DES layer.
+
+These are deliberately callback-based (the :class:`~repro.sim.process.Process`
+driver adapts them to generators) so that non-process code — e.g. the DSA
+engine model — can also use them directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+
+class Server:
+    """A capacity-``n`` service station with a FIFO wait queue.
+
+    Models anything that serves one request per slot: the single-threaded
+    Redis event loop (capacity 1), an nginx worker pool, a DSA processing
+    engine, or a memory-controller queue.
+    """
+
+    def __init__(self, capacity: int, name: str = "server") -> None:
+        if capacity <= 0:
+            raise SimulationError(f"server capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._busy = 0
+        self._waiters: deque[Callable[[], None]] = deque()
+        # Peak queue depth, useful for sizing diagnostics in tests.
+        self.max_queue_depth = 0
+
+    @property
+    def busy(self) -> int:
+        """Slots currently held."""
+        return self._busy
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._waiters)
+
+    def acquire(self, granted: Callable[[], None]) -> None:
+        """Claim a slot; ``granted`` fires immediately or when one frees."""
+        if self._busy < self.capacity:
+            self._busy += 1
+            granted()
+        else:
+            self._waiters.append(granted)
+            self.max_queue_depth = max(self.max_queue_depth, len(self._waiters))
+
+    def release(self) -> None:
+        """Free one slot, handing it to the oldest waiter if any."""
+        if self._busy <= 0:
+            raise SimulationError(f"release() on idle server {self.name!r}")
+        if self._waiters:
+            # The slot transfers directly; _busy stays constant.
+            waiter = self._waiters.popleft()
+            waiter()
+        else:
+            self._busy -= 1
+
+
+class Store:
+    """An unbounded FIFO buffer of items with blocking consumers."""
+
+    def __init__(self, name: str = "store") -> None:
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Callable[[Any], None]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest blocked consumer if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter(item)
+        else:
+            self._items.append(item)
+
+    def get(self, consumer: Callable[[Any], None]) -> None:
+        """Hand the oldest item to ``consumer``, blocking if empty."""
+        if self._items:
+            consumer(self._items.popleft())
+        else:
+            self._getters.append(consumer)
+
+
+class SimEvent:
+    """A one-shot broadcast event carrying an optional value."""
+
+    def __init__(self, name: str = "event") -> None:
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    def wait(self, waiter: Callable[[Any], None]) -> None:
+        """Register ``waiter``; fires immediately if already signalled."""
+        if self.fired:
+            waiter(self.value)
+        else:
+            self._waiters.append(waiter)
+
+    def signal(self, value: Any = None) -> None:
+        """Fire the event.  Signalling twice is an error by design."""
+        if self.fired:
+            raise SimulationError(f"event {self.name!r} signalled twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)

@@ -1,0 +1,124 @@
+"""Measurement utilities: percentile estimation and rate metering.
+
+The paper reports p99 tail latency (Figs 6, 10) and sustained bandwidth
+over fixed intervals (§4.3 — "the main program calculates the average
+bandwidth for a fixed interval").  Both measurement styles live here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def percentile(samples: list[float], pct: float) -> float:
+    """Linear-interpolated percentile, ``pct`` in [0, 100].
+
+    Matches ``numpy.percentile(..., method='linear')`` without requiring a
+    numpy array; implemented locally because it is called on small hot
+    lists inside the DES loop.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"pct must be in [0, 100], got {pct}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+class LatencyRecorder:
+    """Accumulates latency samples and reports summary statistics."""
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self._samples: list[float] = []
+
+    def record(self, latency_ns: float) -> None:
+        """Add one sample; negative latencies indicate a model bug."""
+        if latency_ns < 0:
+            raise ValueError(f"negative latency recorded: {latency_ns}")
+        self._samples.append(latency_ns)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[float]:
+        """A copy of the raw samples (ns)."""
+        return list(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError(f"{self.name}: no samples recorded")
+        return sum(self._samples) / len(self._samples)
+
+    def p(self, pct: float) -> float:
+        """Percentile of the recorded samples."""
+        return percentile(self._samples, pct)
+
+    def p50(self) -> float:
+        return self.p(50.0)
+
+    def p99(self) -> float:
+        """The paper's headline tail metric."""
+        return self.p(99.0)
+
+    def max(self) -> float:
+        if not self._samples:
+            raise ValueError(f"{self.name}: no samples recorded")
+        return max(self._samples)
+
+    def summary(self) -> dict[str, float]:
+        """Mean / p50 / p99 / max in one dict, for table rendering."""
+        return {
+            "count": float(len(self._samples)),
+            "mean_ns": self.mean(),
+            "p50_ns": self.p50(),
+            "p99_ns": self.p99(),
+            "max_ns": self.max(),
+        }
+
+
+@dataclass
+class RateMeter:
+    """Counts completed bytes/operations over a simulated window."""
+
+    name: str = "rate"
+    bytes_total: float = 0.0
+    ops_total: int = 0
+    window_start_ns: float = 0.0
+
+    def add(self, nbytes: float, ops: int = 1) -> None:
+        """Record ``nbytes`` moved by ``ops`` completed operations."""
+        if nbytes < 0 or ops < 0:
+            raise ValueError("rate meter additions must be non-negative")
+        self.bytes_total += nbytes
+        self.ops_total += ops
+
+    def bandwidth(self, now_ns: float) -> float:
+        """Average B/s since ``window_start_ns``."""
+        elapsed = now_ns - self.window_start_ns
+        if elapsed <= 0:
+            raise ValueError("rate window has zero or negative length")
+        return self.bytes_total / (elapsed / 1e9)
+
+    def throughput(self, now_ns: float) -> float:
+        """Average operations/s since ``window_start_ns``."""
+        elapsed = now_ns - self.window_start_ns
+        if elapsed <= 0:
+            raise ValueError("rate window has zero or negative length")
+        return self.ops_total / (elapsed / 1e9)
+
+    def reset(self, now_ns: float) -> None:
+        """Start a fresh measurement window at ``now_ns``."""
+        self.bytes_total = 0.0
+        self.ops_total = 0
+        self.window_start_ns = now_ns

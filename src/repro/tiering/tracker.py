@@ -1,0 +1,69 @@
+"""Page-hotness tracking with epoch decay.
+
+Mirrors how TPP-style kernels detect promotion candidates: sample page
+accesses during an epoch, decay history geometrically so stale heat
+fades, and expose the hottest / coldest page sets to the policy layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+class HotnessTracker:
+    """Exponentially-decayed per-page access counters."""
+
+    def __init__(self, num_pages: int, *, decay: float = 0.5) -> None:
+        if num_pages <= 0:
+            raise WorkloadError(f"num_pages must be positive: {num_pages}")
+        if not 0.0 <= decay < 1.0:
+            raise WorkloadError(f"decay must be in [0, 1): {decay}")
+        self.num_pages = num_pages
+        self.decay = decay
+        self._heat = np.zeros(num_pages, dtype=np.float64)
+        self._epoch_counts = np.zeros(num_pages, dtype=np.int64)
+        self.epochs = 0
+
+    def record_accesses(self, pages: np.ndarray) -> None:
+        """Count an array of page indices accessed this epoch."""
+        if pages.size == 0:
+            return
+        if pages.min() < 0 or pages.max() >= self.num_pages:
+            raise WorkloadError("page index out of range")
+        np.add.at(self._epoch_counts, pages, 1)
+
+    def end_epoch(self) -> None:
+        """Fold this epoch's counts into the decayed heat and reset."""
+        self._heat *= self.decay
+        self._heat += self._epoch_counts
+        self._epoch_counts[:] = 0
+        self.epochs += 1
+
+    def heat(self, page: int) -> float:
+        """Current decayed heat of one page."""
+        return float(self._heat[page])
+
+    def heats(self, pages: np.ndarray) -> np.ndarray:
+        """Vectorized heat lookup."""
+        return self._heat[pages]
+
+    def hottest(self, count: int) -> np.ndarray:
+        """Indices of the ``count`` hottest pages, hottest first."""
+        count = min(count, self.num_pages)
+        order = np.argsort(self._heat)[::-1]
+        return order[:count]
+
+    def coldest_within(self, candidates: np.ndarray,
+                       count: int) -> np.ndarray:
+        """The ``count`` coldest pages among ``candidates``."""
+        if candidates.size == 0:
+            return candidates
+        heats = self._heat[candidates]
+        order = np.argsort(heats)
+        return candidates[order[:min(count, candidates.size)]]
+
+    def is_hot(self, page: int, threshold: float) -> bool:
+        """Promotion test: decayed heat above an absolute threshold."""
+        return self._heat[page] >= threshold

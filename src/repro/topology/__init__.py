@@ -1,0 +1,37 @@
+"""NUMA topology, page allocation, and memory-placement policies.
+
+This package models the pieces of Linux memory management the paper's
+application studies rely on (§5):
+
+* CPU-less NUMA node exposure of the CXL device (§3) —
+  :class:`~repro.topology.numa.NumaNode` with ``cpus=0``;
+* ``numa_alloc_onnode`` and friends —
+  :class:`~repro.topology.allocator.PageAllocator`;
+* ``numactl`` membind / preferred / interleave modes plus the N:M
+  weighted-interleave kernel patch [30] —
+  :mod:`repro.topology.interleave`.
+"""
+
+from .numa import MemoryKind, NumaNode, NumaTopology
+from .pages import Allocation
+from .allocator import PageAllocator
+from .interleave import (
+    Interleaved,
+    Membind,
+    PlacementPolicy,
+    Preferred,
+    WeightedInterleave,
+)
+
+__all__ = [
+    "MemoryKind",
+    "NumaNode",
+    "NumaTopology",
+    "Allocation",
+    "PageAllocator",
+    "PlacementPolicy",
+    "Membind",
+    "Preferred",
+    "Interleaved",
+    "WeightedInterleave",
+]

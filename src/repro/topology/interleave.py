@@ -1,0 +1,182 @@
+"""Memory-placement policies: the ``numactl`` modes plus weighted interleave.
+
+The paper pins application memory with three standard modes (§5) and the
+then-new N:M weighted-interleave kernel patch [30]:
+
+    "we can allocate 20% of memory to CXL memory if we set the DRAM:CXL
+    ratio to 4:1"
+
+Each policy answers one question — *which node receives page i?* — via
+:meth:`PlacementPolicy.node_for_page`.  Policies are deterministic in the
+page index, so an allocation's layout is reproducible and exactly matches
+the requested ratio over any full cycle of pages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+class PlacementPolicy:
+    """Deterministically maps page indices to NUMA node ids."""
+
+    def node_for_page(self, page_index: int) -> int:
+        """Node id that should back page ``page_index`` (0-based)."""
+        raise NotImplementedError
+
+    def fractions(self) -> dict[int, float]:
+        """Long-run fraction of pages landing on each node."""
+        raise NotImplementedError
+
+    def nodes(self) -> list[int]:
+        """All node ids this policy may place pages on, in priority order."""
+        return sorted(self.fractions())
+
+
+@dataclass(frozen=True)
+class Membind(PlacementPolicy):
+    """``numactl --membind``: every page on one node, hard binding."""
+
+    node_id: int
+    strict: bool = True
+
+    def node_for_page(self, page_index: int) -> int:
+        return self.node_id
+
+    def fractions(self) -> dict[int, float]:
+        return {self.node_id: 1.0}
+
+
+@dataclass(frozen=True)
+class Preferred(PlacementPolicy):
+    """``numactl --preferred``: one node first, spill elsewhere when full.
+
+    The spill decision is made by the allocator (which knows occupancy);
+    the policy itself just ranks nodes.
+    """
+
+    node_id: int
+    fallback_node_id: int
+
+    def __post_init__(self) -> None:
+        if self.node_id == self.fallback_node_id:
+            raise ConfigError("preferred and fallback node must differ")
+
+    def node_for_page(self, page_index: int) -> int:
+        return self.node_id
+
+    def fractions(self) -> dict[int, float]:
+        # Nominal behavior (no spill): everything on the preferred node.
+        return {self.node_id: 1.0, self.fallback_node_id: 0.0}
+
+    def nodes(self) -> list[int]:
+        return [self.node_id, self.fallback_node_id]
+
+
+@dataclass(frozen=True)
+class Interleaved(PlacementPolicy):
+    """``numactl --interleave``: round-robin across a node set."""
+
+    node_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.node_ids:
+            raise ConfigError("interleave needs at least one node")
+        if len(set(self.node_ids)) != len(self.node_ids):
+            raise ConfigError(f"duplicate nodes in interleave: {self.node_ids}")
+
+    def node_for_page(self, page_index: int) -> int:
+        return self.node_ids[page_index % len(self.node_ids)]
+
+    def fractions(self) -> dict[int, float]:
+        share = 1.0 / len(self.node_ids)
+        return {node_id: share for node_id in self.node_ids}
+
+
+@dataclass(frozen=True)
+class WeightedInterleave(PlacementPolicy):
+    """The N:M weighted-interleave patch [30].
+
+    ``WeightedInterleave(((0, 4), (2, 1)))`` places pages in a repeating
+    cycle of 4 pages on node 0 then 1 page on node 2 — the paper's
+    "DRAM:CXL ratio 4:1" = 20 % CXL example.  Weights are positive
+    integers; the cycle length is their sum.
+    """
+
+    weights: tuple[tuple[int, int], ...]   # ((node_id, weight), ...)
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ConfigError("weighted interleave needs at least one node")
+        node_ids = [node_id for node_id, _ in self.weights]
+        if len(set(node_ids)) != len(node_ids):
+            raise ConfigError(f"duplicate nodes in weights: {node_ids}")
+        for node_id, weight in self.weights:
+            if weight <= 0 or not isinstance(weight, int):
+                raise ConfigError(
+                    f"weight for node {node_id} must be a positive integer, "
+                    f"got {weight!r}")
+
+    @classmethod
+    def from_ratio(cls, dram_node: int, cxl_node: int, dram: int,
+                   cxl: int) -> "WeightedInterleave":
+        """Build the paper's ``DRAM:CXL = dram:cxl`` policy, reduced.
+
+        ``from_ratio(0, 2, 30, 1)`` is the paper's 3.23 %-on-CXL setting;
+        ``from_ratio(0, 2, 9, 1)`` is the 10 % setting; 4:1 gives 20 %.
+        """
+        if dram <= 0 or cxl <= 0:
+            raise ConfigError("ratio terms must be positive")
+        divisor = math.gcd(dram, cxl)
+        return cls(((dram_node, dram // divisor), (cxl_node, cxl // divisor)))
+
+    @classmethod
+    def from_cxl_fraction(cls, dram_node: int, cxl_node: int,
+                          fraction: float,
+                          max_cycle: int = 1000) -> "WeightedInterleave":
+        """Closest integer-ratio policy to a target CXL page fraction.
+
+        Used by experiments specified as "50 % of memory on CXL" etc.
+        Raises if the fraction is 0 or 1 — use :class:`Membind` for those.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ConfigError(
+                f"fraction must be strictly between 0 and 1, got {fraction}; "
+                "use Membind for all-DRAM or all-CXL placement")
+        best: tuple[int, int] | None = None
+        best_err = math.inf
+        for cycle in range(2, max_cycle + 1):
+            cxl_pages = round(fraction * cycle)
+            if not 0 < cxl_pages < cycle:
+                continue
+            err = abs(cxl_pages / cycle - fraction)
+            if err < best_err - 1e-15:
+                best_err = err
+                best = (cycle - cxl_pages, cxl_pages)
+            if best_err == 0.0:
+                break
+        assert best is not None
+        return cls.from_ratio(dram_node, cxl_node, best[0], best[1])
+
+    @property
+    def cycle_length(self) -> int:
+        return sum(weight for _, weight in self.weights)
+
+    def node_for_page(self, page_index: int) -> int:
+        slot = page_index % self.cycle_length
+        for node_id, weight in self.weights:
+            if slot < weight:
+                return node_id
+            slot -= weight
+        raise AssertionError("unreachable: slot within cycle length")
+
+    def fractions(self) -> dict[int, float]:
+        cycle = self.cycle_length
+        return {node_id: weight / cycle for node_id, weight in self.weights}
+
+    def cxl_fraction(self, cxl_node: int) -> float:
+        """Fraction of pages on ``cxl_node`` — the number quoted in §5."""
+        return self.fractions().get(cxl_node, 0.0)

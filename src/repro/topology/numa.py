@@ -1,0 +1,130 @@
+"""NUMA nodes and topologies.
+
+The paper's systems expose up to three kinds of memory, all visible to
+the OS as NUMA nodes:
+
+* node 0 — local-socket DDR5 with CPU cores ("DDR5-L8"),
+* node 1 — remote-socket DDR5 across UPI ("DDR5-R1" when restricted to a
+  single channel),
+* node 2 — the CXL Type-3 device, a *CPU-less* node (§3: "transparently
+  exposed to the CPU and OS as a NUMA node having 16 GB memory without
+  CPU cores").
+
+Under SNC mode one socket further splits into four nodes (§5.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+
+class MemoryKind(enum.Enum):
+    """What physically backs a NUMA node."""
+
+    DRAM_LOCAL = "dram-local"
+    DRAM_REMOTE = "dram-remote"
+    CXL = "cxl"
+
+    @property
+    def is_cxl(self) -> bool:
+        return self is MemoryKind.CXL
+
+
+@dataclass(frozen=True)
+class NumaNode:
+    """One OS-visible memory node."""
+
+    node_id: int
+    kind: MemoryKind
+    capacity_bytes: int
+    cpus: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ConfigError(f"node id must be non-negative: {self.node_id}")
+        if self.capacity_bytes <= 0:
+            raise ConfigError(f"node {self.node_id}: capacity must be positive")
+        if self.cpus < 0:
+            raise ConfigError(f"node {self.node_id}: negative cpu count")
+        if self.kind.is_cxl and self.cpus:
+            raise ConfigError(
+                f"node {self.node_id}: a CXL Type-3 node is CPU-less (§3)")
+
+    @property
+    def is_cpuless(self) -> bool:
+        return self.cpus == 0
+
+
+@dataclass
+class NumaTopology:
+    """An indexed set of NUMA nodes with a relative-distance matrix.
+
+    Distances follow the ACPI SLIT convention: the local node is 10 and
+    other entries scale relative to it.  They are descriptive metadata —
+    actual latencies come from :mod:`repro.perfmodel` — but experiments
+    use them to pick "nearest DRAM node" style defaults.
+    """
+
+    nodes: list[NumaNode]
+    distances: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        ids = [node.node_id for node in self.nodes]
+        if len(set(ids)) != len(ids):
+            raise ConfigError(f"duplicate node ids: {ids}")
+        if not self.nodes:
+            raise ConfigError("topology needs at least one node")
+        if not self.distances:
+            self.distances = self._default_distances()
+
+    def _default_distances(self) -> dict[tuple[int, int], int]:
+        table: dict[tuple[int, int], int] = {}
+        for a in self.nodes:
+            for b in self.nodes:
+                if a.node_id == b.node_id:
+                    table[(a.node_id, b.node_id)] = 10
+                elif MemoryKind.CXL in (a.kind, b.kind):
+                    # CXL nodes sit further than a socket hop, matching
+                    # how SPR firmware reports them.
+                    table[(a.node_id, b.node_id)] = 32
+                else:
+                    table[(a.node_id, b.node_id)] = 21
+        return table
+
+    def node(self, node_id: int) -> NumaNode:
+        """Look up a node by id; raises ``ConfigError`` if absent."""
+        for candidate in self.nodes:
+            if candidate.node_id == node_id:
+                return candidate
+        raise ConfigError(f"no NUMA node with id {node_id}")
+
+    def __contains__(self, node_id: int) -> bool:
+        return any(node.node_id == node_id for node in self.nodes)
+
+    def distance(self, src: int, dst: int) -> int:
+        """SLIT distance between two nodes."""
+        key = (src, dst)
+        if key not in self.distances:
+            raise ConfigError(f"no distance entry for {key}")
+        return self.distances[key]
+
+    @property
+    def cpu_nodes(self) -> list[NumaNode]:
+        """Nodes that have CPU cores attached."""
+        return [node for node in self.nodes if not node.is_cpuless]
+
+    @property
+    def cxl_nodes(self) -> list[NumaNode]:
+        """CPU-less CXL expander nodes."""
+        return [node for node in self.nodes if node.kind.is_cxl]
+
+    def nearest_dram(self, from_node: int) -> NumaNode:
+        """The closest non-CXL node to ``from_node`` (itself if DRAM)."""
+        dram = [node for node in self.nodes if not node.kind.is_cxl]
+        if not dram:
+            raise ConfigError("topology has no DRAM node")
+        return min(dram, key=lambda n: self.distance(from_node, n.node_id))

@@ -1,0 +1,112 @@
+"""Cross-model validation: the three model layers must agree.
+
+The library computes the same quantities in independent ways — analytic
+formulas, functional cache/protocol simulation, and discrete-event
+simulation.  :func:`cross_validate` checks that they agree where they
+overlap:
+
+1. the credit-based link DES reproduces the analytic flit-framing
+   bandwidth ceiling;
+2. functionally-measured bus traffic matches each access kind's declared
+   RFO traffic factor;
+3. the DES Redis server saturates at the analytic ``1/E[service]``
+   capacity;
+4. the functional pointer chase lands between the analytic staircase
+   and the full-traversal bound.
+
+Run from the CLI with ``repro-experiments --validate``.
+"""
+
+from __future__ import annotations
+
+from .analysis.compare import ShapeCheck
+from .apps.kvstore import RedisYcsbStudy
+from .cache.hierarchy import CacheHierarchy
+from .config import CacheConfig, CacheLevelConfig
+from .cpu.isa import AccessKind
+from .cpu.system import System
+from .cxl.link_sim import CreditedLinkSim
+from .cxl.port import CxlPort
+from .memo.pointer_chase import simulate_chase
+from .memo.traffic import measure_stream_traffic
+from .units import KIB
+from .workloads.ycsb import WORKLOADS
+
+
+def _small_hierarchy() -> CacheHierarchy:
+    return CacheHierarchy(CacheConfig(
+        l1=CacheLevelConfig("L1d", 4 * KIB, ways=4, latency_ns=2.0),
+        l2=CacheLevelConfig("L2", 16 * KIB, ways=4, latency_ns=8.0),
+        llc=CacheLevelConfig("LLC", 64 * KIB, ways=8, latency_ns=25.0),
+    ))
+
+
+def validate_link_ceiling() -> ShapeCheck:
+    """DES-achieved link bandwidth vs the analytic 64/136 framing."""
+    port = CxlPort()
+    sim = CreditedLinkSim(port, device_service_ns=1.0,
+                          device_parallelism=64, request_credits=64)
+    achieved = sim.read_bandwidth()
+    analytic = port.data_bandwidth_ceiling(slots_per_line=5)
+    agree = abs(achieved - analytic) / analytic < 0.05 \
+        and achieved <= analytic
+    return ShapeCheck(
+        "link DES reproduces the analytic flit-framing ceiling",
+        agree, f"DES={achieved / 1e9:.1f} vs analytic="
+               f"{analytic / 1e9:.1f} GB/s")
+
+
+def validate_traffic_factors() -> ShapeCheck:
+    """Functional bus counts vs the declared per-kind traffic factors."""
+    mismatches = []
+    for kind in (AccessKind.LOAD, AccessKind.STORE, AccessKind.NT_STORE):
+        measured = measure_stream_traffic(_small_hierarchy(), kind,
+                                          512).traffic_factor
+        if abs(measured - kind.traffic_factor) > 0.05:
+            mismatches.append(f"{kind.value}: {measured:.2f} vs "
+                              f"{kind.traffic_factor}")
+    return ShapeCheck(
+        "functional traffic matches declared RFO factors",
+        not mismatches,
+        "; ".join(mismatches) if mismatches else "ld=1, st+wb=2, nt-st=1")
+
+
+def validate_redis_capacity(system: System) -> ShapeCheck:
+    """DES server saturation vs the analytic max-QPS capacity."""
+    study = RedisYcsbStudy(system, num_keys=100_000)
+    workload = WORKLOADS["A"]
+    capacity = study.max_qps(workload, 1.0)
+    below = study.p99_point(workload, 1.0, capacity * 0.85,
+                            requests=6000)
+    above = study.p99_point(workload, 1.0, capacity * 1.3,
+                            requests=6000)
+    agree = (not below.saturated) and (above.saturated
+                                       or above.p99_ns > 5 * below.p99_ns)
+    return ShapeCheck(
+        "DES Redis saturates at the analytic 1/E[service] capacity",
+        agree, f"capacity={capacity:.0f} QPS; 85% keeps up, "
+               f"130% p99={above.p99_ns / 1000:.0f}us")
+
+
+def validate_chase_bounds() -> ShapeCheck:
+    """Functional chase between the analytic staircase and full path."""
+    wss = 48 * KIB
+    functional = simulate_chase(_small_hierarchy(), wss, accesses=3000,
+                                memory_latency_ns=400.0)
+    analytic = _small_hierarchy().expected_latency_ns(wss, 400.0)
+    traversal = 2.0 + 8.0 + 25.0
+    within = analytic <= functional <= traversal + 400.0
+    return ShapeCheck(
+        "functional pointer chase bounded by analytic regimes",
+        within, f"analytic={analytic:.1f} <= functional="
+                f"{functional:.1f} <= {traversal + 400:.1f} ns")
+
+
+def cross_validate(system: System) -> list[ShapeCheck]:
+    """All cross-model agreement checks."""
+    return [
+        validate_link_ceiling(),
+        validate_traffic_factors(),
+        validate_redis_capacity(system),
+        validate_chase_bounds(),
+    ]

@@ -1,0 +1,19 @@
+"""Request-distribution generators and the YCSB core workloads (§5.1)."""
+
+from .distributions import (
+    KeyChooser,
+    LatestKeys,
+    UniformKeys,
+    ZipfianKeys,
+)
+from .ycsb import Operation, YcsbWorkload, WORKLOADS
+
+__all__ = [
+    "KeyChooser",
+    "UniformKeys",
+    "ZipfianKeys",
+    "LatestKeys",
+    "Operation",
+    "YcsbWorkload",
+    "WORKLOADS",
+]

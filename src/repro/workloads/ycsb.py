@@ -1,0 +1,97 @@
+"""The YCSB core workloads [6].
+
+§5.1: "With the exception of workload D, all workloads used a uniform
+distribution for requests, ensuring maximal stress on the memory", and
+Fig 7 additionally runs workload D with Zipfian and uniform request
+distributions ("lat", "zipf", "uni").  Workload E (range scans) is
+omitted exactly as the paper omits it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .distributions import KeyChooser, LatestKeys, UniformKeys, ZipfianKeys
+
+
+class Operation(enum.Enum):
+    """YCSB operation types."""
+
+    READ = "read"
+    UPDATE = "update"
+    INSERT = "insert"
+    READ_MODIFY_WRITE = "rmw"
+    SCAN = "scan"
+
+
+@dataclass(frozen=True)
+class YcsbWorkload:
+    """One YCSB core workload: an operation mix plus a key distribution."""
+
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    rmw: float = 0.0
+    scan: float = 0.0
+    distribution: str = "uniform"      # uniform | zipfian | latest
+    value_bytes: int = 1000            # 10 fields x 100 B, the YCSB default
+    fields_per_record: int = 10
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.insert + self.rmw + self.scan
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(
+                f"workload {self.name}: proportions sum to {total}, not 1")
+        if self.distribution not in ("uniform", "zipfian", "latest"):
+            raise WorkloadError(
+                f"unknown distribution {self.distribution!r}")
+        if self.scan > 0:
+            raise WorkloadError(
+                "range scans are not modeled (the paper omits workload E)")
+
+    def with_distribution(self, distribution: str) -> "YcsbWorkload":
+        """The Fig-7 variants: D-lat / D-zipf / D-uni."""
+        suffix = {"uniform": "uni", "zipfian": "zipf",
+                  "latest": "lat"}[distribution]
+        base = self.name.split("-")[0]
+        return replace(self, name=f"{base}-{suffix}",
+                       distribution=distribution)
+
+    def make_chooser(self, keyspace: int) -> KeyChooser:
+        if self.distribution == "uniform":
+            return UniformKeys(keyspace)
+        if self.distribution == "zipfian":
+            return ZipfianKeys(keyspace)
+        return LatestKeys(keyspace)
+
+    def next_operation(self, rng: np.random.Generator) -> Operation:
+        """Draw one operation according to the mix."""
+        draw = rng.random()
+        for op, share in ((Operation.READ, self.read),
+                          (Operation.UPDATE, self.update),
+                          (Operation.INSERT, self.insert),
+                          (Operation.READ_MODIFY_WRITE, self.rmw)):
+            if draw < share:
+                return op
+            draw -= share
+        return Operation.READ            # numeric slack lands on reads
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of operations that mutate the store."""
+        return self.update + self.insert + self.rmw
+
+
+WORKLOADS: dict[str, YcsbWorkload] = {
+    # §5.1 uses uniform for everything except D.
+    "A": YcsbWorkload("A", read=0.5, update=0.5),
+    "B": YcsbWorkload("B", read=0.95, update=0.05),
+    "C": YcsbWorkload("C", read=1.0),
+    "D": YcsbWorkload("D", read=0.95, insert=0.05, distribution="latest"),
+    "F": YcsbWorkload("F", read=0.5, rmw=0.5),
+}

@@ -1,0 +1,77 @@
+"""Bandwidth-matched interleave recommendation (§6)."""
+
+import pytest
+
+from repro import build_system, combined_testbed
+from repro.analysis.interleave_opt import bandwidth_matched_fraction
+from repro.apps.dlrm import DlrmInferenceStudy
+from repro.errors import WorkloadError
+from repro.mem import AccessPattern
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system(combined_testbed())
+
+
+class TestRecommendation:
+    def test_fraction_matches_bandwidth_shares(self, system):
+        rec = bandwidth_matched_fraction(
+            system, pattern=AccessPattern.SEQUENTIAL,
+            block_bytes=1 << 20, streams=8)
+        expected = rec.cxl_bandwidth / (rec.cxl_bandwidth
+                                        + rec.dram_bandwidth)
+        assert rec.cxl_fraction == pytest.approx(expected)
+
+    def test_small_fraction_for_l8_plus_single_channel_cxl(self, system):
+        """Eight DDR5 channels dwarf one DDR4 channel: f* is small."""
+        rec = bandwidth_matched_fraction(
+            system, pattern=AccessPattern.SEQUENTIAL,
+            block_bytes=1 << 20, streams=8)
+        assert 0.02 < rec.cxl_fraction < 0.20
+
+    def test_latency_bound_workload_gets_zero(self, system):
+        """§5.1: interleaving never helps Redis — recommend all-DRAM."""
+        rec = bandwidth_matched_fraction(
+            system, pattern=AccessPattern.RANDOM_BLOCK, block_bytes=1024,
+            streams=1, bandwidth_bound=False)
+        assert rec.cxl_fraction == 0.0
+        assert rec.dram_to_cxl_ratio == (1, 0)
+
+    def test_ratio_approximates_fraction(self, system):
+        rec = bandwidth_matched_fraction(
+            system, pattern=AccessPattern.SEQUENTIAL,
+            block_bytes=1 << 20, streams=8)
+        dram, cxl = rec.dram_to_cxl_ratio
+        assert cxl / (dram + cxl) == pytest.approx(rec.cxl_fraction,
+                                                   abs=0.01)
+
+    def test_zero_streams_rejected(self, system):
+        with pytest.raises(WorkloadError):
+            bandwidth_matched_fraction(
+                system, pattern=AccessPattern.SEQUENTIAL,
+                block_bytes=1 << 20, streams=0)
+
+
+class TestAgainstDlrmSnc:
+    """The recommendation should be near-optimal for the Fig-9 regime."""
+
+    def test_matched_fraction_beats_neighbors_under_snc(self):
+        from repro.apps.dlrm.inference import snc_memory_config
+        from repro.cpu.system import System
+
+        study = DlrmInferenceStudy(combined_testbed())
+        snc_system = System(snc_memory_config(combined_testbed()))
+        rec = bandwidth_matched_fraction(
+            snc_system, pattern=AccessPattern.RANDOM_BLOCK,
+            block_bytes=256, streams=32)
+        # Under SNC (2 channels) the CXL share is much larger than under
+        # the full 8-channel socket.
+        assert rec.cxl_fraction > 0.15
+
+        at_matched = study.kernel(round(rec.cxl_fraction, 3),
+                                  snc=True).throughput(32)
+        at_none = study.kernel("local", snc=True).throughput(32)
+        at_heavy = study.kernel(0.8, snc=True).throughput(32)
+        assert at_matched > at_none       # interleaving helps when bound
+        assert at_matched > at_heavy      # but too much CXL hurts

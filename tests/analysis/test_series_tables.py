@@ -1,0 +1,112 @@
+"""Series containers, table rendering, shape checks."""
+
+import pytest
+
+from repro.analysis import (
+    Series,
+    ShapeCheck,
+    check_monotone,
+    check_peak_near,
+    check_ratio,
+    format_table,
+    series_table,
+)
+from repro.analysis.compare import check_ordering
+from repro.errors import ExperimentError
+
+
+class TestSeries:
+    def test_append_and_len(self):
+        series = Series("s")
+        series.append(1.0, 10.0)
+        series.append(2.0, 20.0)
+        assert len(series) == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ExperimentError):
+            Series("s", x=[1.0], y=[])
+
+    def test_y_at(self):
+        series = Series("s", x=[1.0, 2.0], y=[10.0, 20.0])
+        assert series.y_at(2.0) == 20.0
+        with pytest.raises(ExperimentError):
+            series.y_at(3.0)
+
+    def test_peak(self):
+        series = Series("s", x=[1.0, 2.0, 3.0], y=[5.0, 9.0, 7.0])
+        assert series.peak == (2.0, 9.0)
+        assert series.max_y == 9.0
+
+    def test_peak_of_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            _ = Series("s").peak
+
+    def test_scaled_and_normalized(self):
+        series = Series("s", x=[1.0], y=[10.0])
+        assert series.scaled(2.0).y == [20.0]
+        assert series.normalized_to(5.0).y == [2.0]
+        with pytest.raises(ExperimentError):
+            series.normalized_to(0.0)
+
+    def test_monotone_with_tolerance(self):
+        wobbling = Series("s", x=[1, 2, 3], y=[10.0, 9.7, 11.0])
+        assert not wobbling.is_monotone_increasing()
+        assert wobbling.is_monotone_increasing(tolerance=0.05)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["10", "20"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1   # equal widths
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            format_table(["a"], [["1", "2"]])
+
+    def test_series_table(self):
+        a = Series("A", x=[1.0, 2.0], y=[10.0, 20.0], x_label="threads")
+        b = Series("B", x=[1.0, 2.0], y=[1.0, 2.0])
+        text = series_table([a, b])
+        assert "threads" in text
+        assert "20.0" in text
+
+    def test_series_table_requires_shared_axis(self):
+        a = Series("A", x=[1.0], y=[1.0])
+        b = Series("B", x=[2.0], y=[1.0])
+        with pytest.raises(ExperimentError):
+            series_table([a, b])
+
+    def test_empty_series_list_rejected(self):
+        with pytest.raises(ExperimentError):
+            series_table([])
+
+
+class TestShapeChecks:
+    def test_ratio_pass_and_fail(self):
+        assert check_ratio("c", 2.2, 1.0, 2.2, 0.1).passed
+        assert not check_ratio("c", 3.0, 1.0, 2.2, 0.1).passed
+
+    def test_ratio_zero_denominator(self):
+        assert not check_ratio("c", 1.0, 0.0, 1.0, 0.1).passed
+
+    def test_monotone(self):
+        rising = Series("s", x=[1, 2], y=[1.0, 2.0])
+        falling = Series("s", x=[1, 2], y=[2.0, 1.0])
+        assert check_monotone("c", rising).passed
+        assert not check_monotone("c", falling).passed
+
+    def test_peak_near(self):
+        series = Series("s", x=[1, 2, 3], y=[1.0, 5.0, 2.0])
+        assert check_peak_near("c", series, expected_x=2, slack=0).passed
+        assert not check_peak_near("c", series, expected_x=3,
+                                   slack=0).passed
+
+    def test_ordering(self):
+        assert check_ordering("c", {"a": 1.0, "b": 2.0}).passed
+        assert not check_ordering("c", {"a": 2.0, "b": 1.0}).passed
+
+    def test_str_rendering(self):
+        check = ShapeCheck("claim", True, "42")
+        assert "[PASS]" in str(check)
+        assert "[FAIL]" in str(ShapeCheck("claim", False, "42"))

@@ -1,0 +1,73 @@
+"""Sparkline rendering."""
+
+import pytest
+
+from repro.analysis.series import Series
+from repro.analysis.sparkline import BARS, series_sparklines, sparkline
+from repro.errors import ExperimentError
+
+
+class TestSparkline:
+    def test_monotone_series_uses_rising_bars(self):
+        text = sparkline([1.0, 2.0, 3.0, 4.0])
+        heights = [BARS.index(ch) for ch in text]
+        assert heights == sorted(heights)
+        assert heights[0] == 0
+        assert heights[-1] == len(BARS) - 1
+
+    def test_flat_series_is_mid_height(self):
+        text = sparkline([5.0, 5.0, 5.0])
+        assert len(set(text)) == 1
+
+    def test_pinned_scale(self):
+        # With lo=0 a small value renders low even if it's the minimum.
+        text = sparkline([8.0, 10.0], lo=0.0, hi=10.0)
+        assert BARS.index(text[0]) >= 5
+        assert text[1] == BARS[-1]
+
+    def test_values_clamped_to_scale(self):
+        text = sparkline([-5.0, 50.0], lo=0.0, hi=10.0)
+        assert text[0] == BARS[0]
+        assert text[1] == BARS[-1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            sparkline([])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ExperimentError):
+            sparkline([1.0], lo=5.0, hi=1.0)
+
+    def test_one_bar_per_point(self):
+        assert len(sparkline(list(range(17)))) == 17
+
+
+class TestSeriesSparklines:
+    def test_shared_scale_across_series(self):
+        big = Series("big", x=[1, 2], y=[10.0, 100.0])
+        small = Series("small", x=[1, 2], y=[1.0, 2.0])
+        text = series_sparklines([big, small])
+        lines = text.splitlines()
+        assert lines[0].lstrip().startswith("big")
+        # The small series renders at the bottom of the shared scale.
+        small_bars = lines[1].split()[1]
+        assert all(BARS.index(ch) <= 1 for ch in small_bars)
+
+    def test_labels_and_max(self):
+        series = Series("CXL", x=[1, 2, 3], y=[5.0, 20.7, 9.3])
+        text = series_sparklines([series])
+        assert "CXL" in text
+        assert "max=20.7" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            series_sparklines([])
+
+    def test_report_render_includes_sparklines(self):
+        from repro.memo import BenchReport
+        report = BenchReport(title="t")
+        report.add_series("p", Series("s", x=[1, 2, 3],
+                                      y=[1.0, 2.0, 3.0]))
+        assert any(ch in report.render() for ch in BARS)
+        assert not any(ch in report.render(sparklines=False)
+                       for ch in BARS)

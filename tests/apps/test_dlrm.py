@@ -1,0 +1,121 @@
+"""DLRM embedding reduction: Fig 8/9 shapes."""
+
+import pytest
+
+from repro import combined_testbed
+from repro.apps.dlrm import DlrmInferenceStudy
+from repro.apps.dlrm.inference import r1_remote_config, snc_memory_config
+from repro.errors import WorkloadError
+
+THREADS = [1, 4, 8, 16, 24, 28, 32]
+
+
+@pytest.fixture(scope="module")
+def study():
+    return DlrmInferenceStudy(combined_testbed())
+
+
+class TestConfigs:
+    def test_snc_memory_keeps_cores(self):
+        config = snc_memory_config(combined_testbed())
+        assert config.sockets[0].cores == 40      # threads still scale
+        assert config.sockets[0].dram.channels == 2
+
+    def test_r1_remote_single_channel(self):
+        config = r1_remote_config(combined_testbed())
+        assert config.sockets[1].dram.channels == 1
+
+    def test_r1_requires_remote(self):
+        from repro import single_socket_testbed
+        with pytest.raises(WorkloadError):
+            r1_remote_config(single_socket_testbed())
+
+
+class TestPlacements:
+    def test_table_fractions(self, study):
+        assert study.kernel("local").tables.cxl_fraction() == 0.0
+        assert study.kernel("cxl").tables.cxl_fraction() == 1.0
+        mixed = study.kernel(0.5).tables.cxl_fraction()
+        assert mixed == pytest.approx(0.5, abs=0.01)
+
+    def test_bad_placement_rejected(self, study):
+        with pytest.raises(WorkloadError):
+            study.kernel("hbm")
+
+    def test_cxl_lookups_slower(self, study):
+        local = study.kernel("local").tables.average_lookup_latency_ns()
+        cxl = study.kernel("cxl").tables.average_lookup_latency_ns()
+        assert cxl > 3 * local
+
+
+class TestFig8Shapes:
+    def test_dram_scales_linearly_through_32(self, study):
+        """'the pure-DRAM inference throughput scales linearly, and its
+        linear trend seems to extend beyond 32 threads'."""
+        series = study.curve("local", THREADS)
+        per_thread = [y / x for x, y in zip(series.x, series.y)]
+        assert max(per_thread) / min(per_thread) < 1.05
+
+    def test_cxl_flattens_early(self, study):
+        series = study.curve("cxl", THREADS)
+        assert series.y_at(32) < 1.1 * series.y_at(8)
+
+    def test_r1_and_cxl_trends_similar(self, study):
+        """'The overall trend of DDR5-R1 and CXL memory is similar'."""
+        cxl = study.curve("cxl", THREADS)
+        r1 = study.curve("remote", THREADS)
+        # Both flatten: their 32-thread value is far below linear scaling.
+        for series in (cxl, r1):
+            assert series.y_at(32) < 0.5 * 32 * series.y_at(1)
+
+    def test_interleave_ordering_at_32(self, study):
+        """'As we reduce the amount of memory interleaved to CXL,
+        inference throughput increases' — but 3.23% still loses to DRAM."""
+        normalized = study.normalized_at(["cxl", 0.5, 0.0323])
+        assert (normalized["CXL"] < normalized["CXL-50.00%"]
+                < normalized["CXL-3.23%"] < 1.0)
+
+    def test_throughput_monotone_in_threads(self, study):
+        for placement in ("local", "cxl", 0.5):
+            assert study.curve(placement, THREADS).is_monotone_increasing()
+
+
+class TestFig9Snc:
+    def test_snc_stops_scaling(self, study):
+        """'the inference throughput on SNC ... stops scaling linearly
+        after 24 threads'."""
+        series = study.curve("local", THREADS, snc=True)
+        linear_8 = series.y_at(8) / 8
+        assert series.y_at(16) == pytest.approx(16 * linear_8, rel=0.05)
+        assert series.y_at(32) < 0.95 * 32 * linear_8
+
+    def test_snc_binds_between_16_and_32_threads(self, study):
+        kernel = study.kernel("local", snc=True)
+        assert not kernel.is_bandwidth_bound(16)
+        assert kernel.is_bandwidth_bound(32)
+
+    def test_full_l8_not_bound_at_32(self, study):
+        """Eight channels sustain DLRM beyond 32 threads (§5.2)."""
+        assert not study.kernel("local").is_bandwidth_bound(32)
+
+    def test_cxl_interleave_helps_under_snc(self, study):
+        """'at 32 threads, putting 20% of memory on CXL increases the
+        inference throughput by 11% compared to the SNC case'."""
+        gain = study.snc_gain(0.2, threads=32)
+        assert 0.05 <= gain <= 0.30
+
+    def test_interleave_hurts_when_not_bound(self, study):
+        """Off SNC (no bandwidth bound), interleaving only adds latency."""
+        base = study.kernel("local").throughput(8)
+        mixed = study.kernel(0.2).throughput(8)
+        assert mixed < base
+
+
+class TestKernelValidation:
+    def test_zero_threads_rejected(self, study):
+        with pytest.raises(WorkloadError):
+            study.kernel("local").throughput(0)
+
+    def test_bytes_per_inference(self, study):
+        kernel = study.kernel("local")
+        assert kernel.bytes_per_inference == 256 * 4 * 64   # 256 rows x 4 lines

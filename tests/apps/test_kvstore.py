@@ -1,0 +1,270 @@
+"""Redis-YCSB study: placement, service model, DES server, Fig 6/7 shapes."""
+
+import numpy as np
+import pytest
+
+from repro import build_system, combined_testbed
+from repro.apps.kvstore import KvServer, KvStore, RedisYcsbStudy
+from repro.errors import WorkloadError
+from repro.topology import Membind
+from repro.workloads import WORKLOADS, Operation
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system(combined_testbed())
+
+
+@pytest.fixture(scope="module")
+def study(system):
+    # 200k x ~1.2 KiB records: the keyspace dwarfs the LLC, as in the
+    # paper's setup (uniform requests "ensuring maximal stress on the
+    # memory").
+    return RedisYcsbStudy(system, num_keys=200_000)
+
+
+class TestStorePlacement:
+    def test_membind_dram(self, study):
+        store = study.build_store(WORKLOADS["A"], 0.0)
+        assert store.cxl_resident_fraction() == 0.0
+
+    def test_membind_cxl(self, study):
+        store = study.build_store(WORKLOADS["A"], 1.0)
+        assert store.cxl_resident_fraction() == 1.0
+
+    def test_half_interleave(self, study):
+        store = study.build_store(WORKLOADS["A"], 0.5)
+        assert store.cxl_resident_fraction() == pytest.approx(0.5, abs=0.01)
+
+    def test_paper_ratio_3_23(self, study):
+        store = study.build_store(WORKLOADS["A"], 1 / 31)
+        assert store.cxl_resident_fraction() == pytest.approx(0.0323,
+                                                              abs=0.002)
+
+    def test_bad_fraction_rejected(self, study):
+        with pytest.raises(WorkloadError):
+            study.policy_for_fraction(1.5)
+
+    def test_record_node_mix_sums_to_one(self, study):
+        store = study.build_store(WORKLOADS["A"], 0.5)
+        mix = store.record_node_mix(123)
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+
+class TestServiceModel:
+    def test_cxl_queries_slower(self, study):
+        dram = study.build_store(WORKLOADS["A"], 0.0)
+        cxl = study.build_store(WORKLOADS["A"], 1.0)
+        assert cxl.mean_service_ns() > dram.mean_service_ns()
+
+    def test_interleave_between_extremes(self, study):
+        dram = study.build_store(WORKLOADS["A"], 0.0).mean_service_ns()
+        half = study.build_store(WORKLOADS["A"], 0.5).mean_service_ns()
+        cxl = study.build_store(WORKLOADS["A"], 1.0).mean_service_ns()
+        assert dram < half < cxl
+
+    def test_updates_cost_more_than_reads(self, system):
+        store = KvStore(system, Membind(0), workload=WORKLOADS["A"],
+                        num_keys=10_000, rng=np.random.default_rng(0))
+        reads = np.mean([store.sample_service_ns(Operation.READ, 5)
+                         for _ in range(500)])
+        updates = np.mean([store.sample_service_ns(Operation.UPDATE, 5)
+                           for _ in range(500)])
+        assert updates > reads
+
+    def test_latest_distribution_caches_better(self, study):
+        """Fig 7 D-variants: lat > zipf > uni in cache friendliness."""
+        d = WORKLOADS["D"]
+        hit = {dist: study.build_store(d.with_distribution(dist),
+                                       1.0).cache_hit_prob
+               for dist in ("latest", "zipfian", "uniform")}
+        assert hit["latest"] >= hit["zipfian"] > hit["uniform"]
+
+    def test_out_of_range_key_rejected(self, study):
+        store = study.build_store(WORKLOADS["A"], 0.0)
+        with pytest.raises(WorkloadError):
+            store.record_offset(10**9)
+
+
+class TestMaxQps:
+    """Fig 7 anchors: ~80k DRAM, ~65k at 50%, ~55k pure CXL."""
+
+    def test_dram_near_80k(self, study):
+        qps = study.max_qps(WORKLOADS["A"], 0.0)
+        assert qps == pytest.approx(80_000, rel=0.08)
+
+    def test_pure_cxl_near_55k(self, study):
+        qps = study.max_qps(WORKLOADS["A"], 1.0)
+        assert qps == pytest.approx(55_000, rel=0.08)
+
+    def test_half_cxl_near_65k(self, study):
+        qps = study.max_qps(WORKLOADS["A"], 0.5)
+        assert qps == pytest.approx(65_000, rel=0.08)
+
+    def test_less_cxl_more_qps(self, study):
+        """Fig 7: 'having less memory allocated to CXL memory delivers a
+        higher max QPS across all tested workloads'."""
+        for name in ("A", "B", "C"):
+            workload = WORKLOADS[name]
+            values = [study.max_qps(workload, f)
+                      for f in (1.0, 0.5, 0.1, 1 / 31, 0.0)]
+            assert values == sorted(values)
+
+    def test_nothing_beats_pure_dram(self, study):
+        """'none of which can surpass the performance of running Redis
+        purely on DRAM'."""
+        dram = study.max_qps(WORKLOADS["A"], 0.0)
+        for fraction in (1 / 31, 0.1, 0.5, 1.0):
+            assert study.max_qps(WORKLOADS["A"], fraction) < dram
+
+    def test_d_lat_beats_zipf_beats_uni(self, study):
+        d = WORKLOADS["D"]
+        lat = study.max_qps(d.with_distribution("latest"), 1.0)
+        zipf = study.max_qps(d.with_distribution("zipfian"), 1.0)
+        uni = study.max_qps(d.with_distribution("uniform"), 1.0)
+        assert lat > zipf > uni
+
+    def test_fig7_table_structure(self, study):
+        table = study.max_qps_table(cxl_fractions=[0.0, 1.0],
+                                    workload_names=["A", "D"])
+        assert set(table) == {"A", "D-lat", "D-zipf", "D-uni"}
+
+
+class TestDesServer:
+    def test_p99_gap_at_low_qps(self, study):
+        """Fig 6: 'a significant gap in p99 tail latency at low QPS
+        (20k) when Redis runs purely on CXL memory' (~2x)."""
+        dram = study.p99_point(WORKLOADS["A"], 0.0, 20_000,
+                               requests=6000)
+        cxl = study.p99_point(WORKLOADS["A"], 1.0, 20_000,
+                              requests=6000)
+        assert 1.5 <= cxl.p99_ns / dram.p99_ns <= 3.5
+
+    def test_half_cxl_p99_between(self, study):
+        """Fig 6: 50% CXL p99 sits between pure DRAM and pure CXL."""
+        results = {f: study.p99_point(WORKLOADS["A"], f, 30_000,
+                                      requests=6000).p99_ns
+                   for f in (0.0, 0.5, 1.0)}
+        assert results[0.0] < results[0.5] < results[1.0]
+
+    def test_cxl_saturates_before_dram(self, study):
+        """Fig 6: CXL Redis cannot reach the QPS DRAM Redis sustains."""
+        qps = 70_000
+        dram = study.p99_point(WORKLOADS["A"], 0.0, qps, requests=8000)
+        cxl = study.p99_point(WORKLOADS["A"], 1.0, qps, requests=8000)
+        assert cxl.p99_ns > 3 * dram.p99_ns
+
+    def test_des_validates_analytic_capacity(self, study):
+        """The DES server keeps up just below the analytic max QPS and
+        falls behind just above it."""
+        capacity = study.max_qps(WORKLOADS["A"], 1.0)
+        below = study.p99_point(WORKLOADS["A"], 1.0, capacity * 0.85,
+                                requests=8000)
+        above = study.p99_point(WORKLOADS["A"], 1.0, capacity * 1.3,
+                                requests=8000)
+        assert not below.saturated
+        assert above.saturated or above.p99_ns > 10 * below.p99_ns
+
+    def test_invalid_qps_rejected(self, study):
+        with pytest.raises(WorkloadError):
+            study.p99_point(WORKLOADS["A"], 0.0, 0.0)
+
+    def test_achieved_tracks_target_under_capacity(self, study):
+        result = study.p99_point(WORKLOADS["A"], 0.0, 10_000,
+                                 requests=4000)
+        assert result.achieved_qps == pytest.approx(10_000, rel=0.1)
+
+
+class TestInserts:
+    """Workload D's 5% inserts grow the keyspace during the run."""
+
+    def test_insert_grows_keyspace(self, system):
+        store = KvStore(system, Membind(0), workload=WORKLOADS["D"],
+                        num_keys=1000, capacity_keys=1100,
+                        rng=np.random.default_rng(0))
+        try:
+            key = store.insert_record()
+            assert key == 1000
+            assert store.num_keys == 1001
+            store.record_offset(key)          # addressable now
+        finally:
+            store.free()
+
+    def test_capacity_exhaustion_raises(self, system):
+        store = KvStore(system, Membind(0), workload=WORKLOADS["D"],
+                        num_keys=10, capacity_keys=11,
+                        rng=np.random.default_rng(0))
+        try:
+            store.insert_record()
+            with pytest.raises(WorkloadError):
+                store.insert_record()
+        finally:
+            store.free()
+
+    def test_capacity_below_keys_rejected(self, system):
+        with pytest.raises(WorkloadError):
+            KvStore(system, Membind(0), workload=WORKLOADS["D"],
+                    num_keys=10, capacity_keys=5)
+
+    def test_workload_d_run_performs_inserts(self, system):
+        store = KvStore(system, Membind(0), workload=WORKLOADS["D"],
+                        num_keys=20_000,
+                        rng=np.random.default_rng(0))
+        try:
+            KvServer(store).run(30_000, requests=4000)
+            # ~5% of 4000 operations inserted new records.
+            inserted = store.num_keys - 20_000
+            assert inserted == pytest.approx(200, abs=60)
+        finally:
+            store.free()
+
+    def test_latest_reads_follow_the_inserts(self, system):
+        """After a D run, the chooser favors the newly inserted tail."""
+        store = KvStore(system, Membind(0), workload=WORKLOADS["D"],
+                        num_keys=20_000,
+                        rng=np.random.default_rng(0))
+        try:
+            KvServer(store).run(30_000, requests=4000)
+            rng = np.random.default_rng(1)
+            keys = [store.chooser.next_key(rng) for _ in range(500)]
+            assert np.median(keys) > 0.9 * store.num_keys
+        finally:
+            store.free()
+
+
+class TestMemcachedVariant:
+    """§6.1: memcached (threaded) is latency-bound just like Redis."""
+
+    def run_with_workers(self, study, fraction, qps, workers,
+                         requests=5000):
+        store = study.build_store(WORKLOADS["A"], fraction)
+        try:
+            return KvServer(store, workers=workers).run(
+                qps, requests=requests)
+        finally:
+            store.free()
+
+    def test_workers_raise_saturation(self, study):
+        """Four workers keep up where one thread drowns."""
+        qps = 150_000
+        one = self.run_with_workers(study, 0.0, qps, workers=1)
+        four = self.run_with_workers(study, 0.0, qps, workers=4)
+        assert four.achieved_qps > one.achieved_qps
+
+    def test_cxl_penalty_survives_threading(self):
+        """More workers do not shrink the per-query CXL latency gap —
+        the §6.1 latency-bound signature."""
+        from repro import build_system, combined_testbed
+        study = RedisYcsbStudy(build_system(combined_testbed()),
+                               num_keys=200_000)
+        dram = self.run_with_workers(study, 0.0, 30_000, workers=4)
+        cxl = self.run_with_workers(study, 1.0, 30_000, workers=4)
+        assert cxl.mean_service_ns > 1.3 * dram.mean_service_ns
+
+    def test_zero_workers_rejected(self, study):
+        store = study.build_store(WORKLOADS["A"], 0.0)
+        try:
+            with pytest.raises(WorkloadError):
+                KvServer(store, workers=0)
+        finally:
+            store.free()

@@ -1,0 +1,76 @@
+"""MERCI memoization: worth more when embeddings live on CXL."""
+
+import pytest
+
+from repro.apps.dlrm import DlrmInferenceStudy
+from repro.apps.dlrm.merci import MerciMemoization
+from repro.config import combined_testbed
+from repro.errors import WorkloadError
+
+
+@pytest.fixture(scope="module")
+def study():
+    return DlrmInferenceStudy(combined_testbed())
+
+
+class TestAccounting:
+    def test_lookup_split(self, study):
+        merci = MerciMemoization(study.kernel("cxl"), memo_hit_rate=0.4)
+        assert merci.table_lookups == pytest.approx(256 * 0.6)
+        assert merci.memo_lookups == pytest.approx(256 * 0.4)
+
+    def test_table_traffic_scales_with_miss_rate(self, study):
+        kernel = study.kernel("cxl")
+        merci = MerciMemoization(kernel, memo_hit_rate=0.5)
+        assert merci.bytes_per_inference_on_tables() == pytest.approx(
+            kernel.bytes_per_inference * 0.5)
+
+    def test_zero_hit_rate_matches_baseline(self, study):
+        kernel = study.kernel("cxl")
+        merci = MerciMemoization(kernel, memo_hit_rate=0.0)
+        assert merci.service_ns_per_inference() == pytest.approx(
+            kernel.service_ns_per_inference())
+        assert merci.throughput(8) == pytest.approx(kernel.throughput(8),
+                                                    rel=0.01)
+
+    def test_validation(self, study):
+        kernel = study.kernel("cxl")
+        with pytest.raises(WorkloadError):
+            MerciMemoization(kernel, memo_hit_rate=1.0)
+        with pytest.raises(WorkloadError):
+            MerciMemoization(kernel, memo_table_bytes=0)
+        with pytest.raises(WorkloadError):
+            MerciMemoization(kernel).throughput(0)
+
+
+class TestSpeedups:
+    def test_memoization_helps(self, study):
+        """Modest in the latency-bound region (dense compute dominates),
+        large once the kernel is bandwidth-bound."""
+        merci = MerciMemoization(study.kernel("cxl"), memo_hit_rate=0.35)
+        for threads in (1, 8):
+            assert merci.speedup(threads) > 1.05
+        assert merci.speedup(32) > 1.3
+
+    def test_helps_cxl_more_than_dram(self, study):
+        """Each memo hit converts a ~390 ns CXL gather into a ~106 ns
+        DRAM read — the saving is larger when tables are offloaded."""
+        cxl_gain = MerciMemoization(study.kernel("cxl"),
+                                    memo_hit_rate=0.35).speedup(8)
+        dram_gain = MerciMemoization(study.kernel("local"),
+                                     memo_hit_rate=0.35).speedup(8)
+        assert cxl_gain > dram_gain
+
+    def test_lifts_the_bandwidth_plateau(self, study):
+        """At 32 threads the CXL kernel is bandwidth-bound; memoization
+        removes table traffic and raises the plateau proportionally."""
+        kernel = study.kernel("cxl")
+        merci = MerciMemoization(kernel, memo_hit_rate=0.5)
+        assert merci.bandwidth_bound(32) == pytest.approx(
+            kernel.bandwidth_bound(32) * 2.0, rel=0.01)
+
+    def test_higher_hit_rate_more_speedup(self, study):
+        kernel = study.kernel("cxl")
+        gains = [MerciMemoization(kernel, memo_hit_rate=rate).speedup(8)
+                 for rate in (0.2, 0.4, 0.6)]
+        assert gains == sorted(gains)

@@ -1,0 +1,101 @@
+"""Extension features: inline acceleration (§6) and device pooling (§5.2)."""
+
+import pytest
+
+from repro import build_system
+from repro.apps.dlrm import DlrmInferenceStudy
+from repro.apps.dlrm.nearmem import NearMemoryReduction
+from repro.config import combined_testbed, pooled_cxl_testbed
+from repro.errors import ConfigError, WorkloadError
+from repro.topology import MemoryKind
+
+
+@pytest.fixture(scope="module")
+def study():
+    return DlrmInferenceStudy(combined_testbed())
+
+
+@pytest.fixture(scope="module")
+def nearmem(study):
+    return NearMemoryReduction(study.kernel("cxl"))
+
+
+class TestNearMemoryReduction:
+    def test_requires_cxl_resident_tables(self, study):
+        with pytest.raises(WorkloadError):
+            NearMemoryReduction(study.kernel("local"))
+        with pytest.raises(WorkloadError):
+            NearMemoryReduction(study.kernel(0.5))
+
+    def test_link_traffic_collapses(self, nearmem):
+        """Indices down + pooled vector back vs full rows: ~28x less."""
+        assert nearmem.link_traffic_reduction() > 20
+
+    def test_offload_beats_host_gather(self, nearmem):
+        for threads in (1, 8, 32):
+            assert nearmem.speedup_over_host_gather(threads) > 1.2
+
+    def test_accel_latency_hidden_end_to_end(self, nearmem):
+        """§6: the accelerator's extra latency 'will not be visible from
+        an end-to-end point of view'."""
+        assert nearmem.accel_latency_hidden(threads=16)
+
+    def test_accel_latency_visible_single_inference(self, nearmem):
+        """...but one unpipelined inference does pay ACCEL_LATENCY_NS."""
+        from repro.apps.dlrm.nearmem import ACCEL_LATENCY_NS
+        assert nearmem.single_inference_latency_ns() > ACCEL_LATENCY_NS
+
+    def test_device_bound_caps_throughput(self, nearmem):
+        assert nearmem.throughput(32) == pytest.approx(
+            min(32 * 1e9 / nearmem.host_service_ns(),
+                nearmem.device_bound()))
+
+    def test_zero_threads_rejected(self, nearmem):
+        with pytest.raises(WorkloadError):
+            nearmem.throughput(0)
+
+
+class TestPooledDevices:
+    def test_pooled_config_has_n_devices(self):
+        config = pooled_cxl_testbed(3)
+        assert len(config.cxl_devices) == 3
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(ConfigError):
+            pooled_cxl_testbed(0)
+
+    def test_each_device_is_a_numa_node(self):
+        system = build_system(pooled_cxl_testbed(2))
+        assert len(system.topology.cxl_nodes) == 2
+        for node in system.topology.cxl_nodes:
+            assert node.kind is MemoryKind.CXL
+            assert node.is_cpuless
+
+    def test_pool_placement_spreads_tables(self):
+        study = DlrmInferenceStudy(pooled_cxl_testbed(2))
+        kernel = study.kernel("cxl-pool")
+        fractions = kernel.tables.node_fractions()
+        cxl_shares = [share for node, share in fractions.items()
+                      if node >= 1]
+        assert len(cxl_shares) == 2
+        assert all(share == pytest.approx(0.5, abs=0.01)
+                   for share in cxl_shares)
+
+    def test_pooling_scales_bandwidth_bound(self):
+        """§5.2's anticipation: more aggregate CXL bandwidth lifts
+        bandwidth-bound throughput."""
+        bounds = {}
+        for devices in (1, 2, 4):
+            study = DlrmInferenceStudy(pooled_cxl_testbed(devices))
+            bounds[devices] = study.kernel(
+                "cxl-pool").bandwidth_bound(32)
+        assert bounds[2] == pytest.approx(2 * bounds[1], rel=0.05)
+        assert bounds[4] == pytest.approx(4 * bounds[1], rel=0.05)
+
+    def test_pooling_does_not_change_latency_class(self):
+        """Pooling adds bandwidth, not lower latency — the per-thread
+        slope stays the same."""
+        one = DlrmInferenceStudy(pooled_cxl_testbed(1)).kernel("cxl-pool")
+        four = DlrmInferenceStudy(pooled_cxl_testbed(4)).kernel("cxl-pool")
+        assert one.service_ns_per_inference() == pytest.approx(
+            four.service_ns_per_inference(), rel=0.01)

@@ -1,0 +1,139 @@
+"""MESI transitions and the RFO traffic accounting."""
+
+import pytest
+
+from repro.errors import CacheError
+from repro.cache import MesiState, MesiCoherence
+from repro.cache.cacheline import CacheLine, line_address
+
+
+class TestMesiState:
+    def test_only_modified_is_dirty(self):
+        assert MesiState.MODIFIED.is_dirty
+        for state in (MesiState.EXCLUSIVE, MesiState.SHARED,
+                      MesiState.INVALID):
+            assert not state.is_dirty
+
+    def test_silent_write_states(self):
+        assert MesiState.MODIFIED.can_write_silently
+        assert MesiState.EXCLUSIVE.can_write_silently
+        assert not MesiState.SHARED.can_write_silently
+
+    def test_validity(self):
+        assert not MesiState.INVALID.is_valid
+        assert MesiState.SHARED.is_valid
+
+
+class TestCacheLine:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            CacheLine(address=70)
+
+    def test_line_address_rounds_down(self):
+        assert line_address(0) == 0
+        assert line_address(63) == 0
+        assert line_address(64) == 64
+        assert line_address(130) == 128
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            line_address(-1)
+
+
+class TestLoadTransitions:
+    def test_miss_fills_exclusive(self):
+        state, actions = MesiCoherence.on_load(MesiState.INVALID)
+        assert state is MesiState.EXCLUSIVE
+        assert actions == ("fill",)
+
+    def test_hits_are_silent(self):
+        for before in (MesiState.MODIFIED, MesiState.EXCLUSIVE,
+                       MesiState.SHARED):
+            state, actions = MesiCoherence.on_load(before)
+            assert state is before
+            assert actions == ()
+
+
+class TestStoreTransitions:
+    def test_miss_triggers_rfo(self):
+        """The §4.2 behavior: 'cachelines are loaded into the cache for
+        each store miss'."""
+        state, actions = MesiCoherence.on_store(MesiState.INVALID)
+        assert state is MesiState.MODIFIED
+        assert actions == ("rfo",)
+
+    def test_shared_upgrade_invalidates(self):
+        state, actions = MesiCoherence.on_store(MesiState.SHARED)
+        assert state is MesiState.MODIFIED
+        assert actions == ("invalidate",)
+
+    def test_exclusive_writes_silently(self):
+        state, actions = MesiCoherence.on_store(MesiState.EXCLUSIVE)
+        assert state is MesiState.MODIFIED
+        assert actions == ()
+
+
+class TestNtStoreTransitions:
+    def test_nt_store_never_allocates(self):
+        for before in MesiState:
+            state, actions = MesiCoherence.on_nt_store(before)
+            assert state is MesiState.INVALID
+            assert "nt-write" in actions
+            assert "rfo" not in actions
+
+    def test_nt_store_on_dirty_copy_writes_back_first(self):
+        _, actions = MesiCoherence.on_nt_store(MesiState.MODIFIED)
+        assert actions == ("writeback", "nt-write")
+
+
+class TestFlushTransitions:
+    def test_clflush_dirty_writes_back(self):
+        state, actions = MesiCoherence.on_clflush(MesiState.MODIFIED)
+        assert state is MesiState.INVALID
+        assert actions == ("writeback",)
+
+    def test_clflush_clean_is_silent_drop(self):
+        state, actions = MesiCoherence.on_clflush(MesiState.EXCLUSIVE)
+        assert state is MesiState.INVALID
+        assert actions == ()
+
+    def test_clwb_keeps_line(self):
+        """clwb vs clflush: the line stays resident (MEMO's st+wb probe)."""
+        state, actions = MesiCoherence.on_clwb(MesiState.MODIFIED)
+        assert state.is_valid
+        assert actions == ("writeback",)
+
+    def test_clwb_clean_is_noop(self):
+        state, actions = MesiCoherence.on_clwb(MesiState.SHARED)
+        assert state is MesiState.SHARED
+        assert actions == ()
+
+
+class TestEviction:
+    def test_dirty_eviction_writes_back(self):
+        _, actions = MesiCoherence.on_eviction(MesiState.MODIFIED)
+        assert actions == ("writeback",)
+
+    def test_clean_eviction_is_silent(self):
+        _, actions = MesiCoherence.on_eviction(MesiState.SHARED)
+        assert actions == ()
+
+    def test_evicting_invalid_is_a_bug(self):
+        with pytest.raises(CacheError):
+            MesiCoherence.on_eviction(MesiState.INVALID)
+
+
+class TestValidateTransition:
+    def test_accepts_legal(self):
+        MesiCoherence.validate_transition(MesiState.INVALID, "load",
+                                          MesiState.EXCLUSIVE)
+
+    def test_rejects_illegal(self):
+        with pytest.raises(CacheError):
+            MesiCoherence.validate_transition(MesiState.INVALID, "load",
+                                              MesiState.MODIFIED)
+
+    def test_rejects_unknown_event(self):
+        with pytest.raises(CacheError):
+            MesiCoherence.validate_transition(MesiState.INVALID, "warp",
+                                              MesiState.MODIFIED)

@@ -1,0 +1,108 @@
+"""Core MLP model and Little's-law per-thread bandwidth."""
+
+import pytest
+
+from repro.config import CoreConfig
+from repro.cpu import AccessKind, Core
+from repro.cpu.core import WRITE_ACCEPTANCE_NS
+from repro.mem import AccessPattern
+
+
+def make_core() -> Core:
+    return Core(CoreConfig())
+
+
+class TestEffectiveMlp:
+    def test_pointer_chase_has_no_parallelism(self):
+        core = make_core()
+        for kind in (AccessKind.LOAD, AccessKind.STORE, AccessKind.NT_STORE):
+            assert core.effective_mlp(kind, AccessPattern.POINTER_CHASE) == 1.0
+
+    def test_loads_use_most_fill_buffers(self):
+        mlp = make_core().effective_mlp(AccessKind.LOAD,
+                                        AccessPattern.SEQUENTIAL)
+        assert 10 <= mlp <= 16
+
+    def test_stores_below_loads(self):
+        core = make_core()
+        assert (core.effective_mlp(AccessKind.STORE, AccessPattern.SEQUENTIAL)
+                < core.effective_mlp(AccessKind.LOAD,
+                                     AccessPattern.SEQUENTIAL))
+
+    def test_nt_store_uses_wc_buffers(self):
+        core = make_core()
+        assert core.effective_mlp(
+            AccessKind.NT_STORE, AccessPattern.SEQUENTIAL) == \
+            core.config.wc_buffers
+
+    def test_mlp_capped_by_fill_buffers(self):
+        small = Core(CoreConfig(fill_buffers=6))
+        assert small.effective_mlp(AccessKind.LOAD,
+                                   AccessPattern.SEQUENTIAL) == 6
+
+
+class TestServiceLatency:
+    def test_load_pays_read_path(self):
+        core = make_core()
+        service = core.service_latency_ns(AccessKind.LOAD,
+                                          read_latency_ns=100.0,
+                                          write_latency_ns=100.0)
+        assert service == pytest.approx(100.0 + core.config.issue_overhead_ns)
+
+    def test_store_pays_rfo_plus_writeback_share(self):
+        core = make_core()
+        store = core.service_latency_ns(AccessKind.STORE,
+                                        read_latency_ns=100.0,
+                                        write_latency_ns=100.0)
+        load = core.service_latency_ns(AccessKind.LOAD,
+                                       read_latency_ns=100.0,
+                                       write_latency_ns=100.0)
+        assert store > load
+
+    def test_nt_store_is_acceptance_bound_not_device_bound(self):
+        """Posted writes complete at uncore acceptance, so the device's
+        latency does not appear in their service time (Fig-3 anchor)."""
+        core = make_core()
+        near = core.service_latency_ns(AccessKind.NT_STORE,
+                                       read_latency_ns=100.0,
+                                       write_latency_ns=105.0)
+        far = core.service_latency_ns(AccessKind.NT_STORE,
+                                      read_latency_ns=400.0,
+                                      write_latency_ns=390.0)
+        assert near == far
+        assert near == pytest.approx(
+            core.config.issue_overhead_ns + WRITE_ACCEPTANCE_NS)
+
+    def test_movdir_dominated_by_source_read(self):
+        """§4.3.1: slower loads from CXL lower movdir64B throughput."""
+        core = make_core()
+        fast_src = core.service_latency_ns(AccessKind.MOVDIR64B,
+                                           read_latency_ns=100.0,
+                                           write_latency_ns=400.0)
+        slow_src = core.service_latency_ns(AccessKind.MOVDIR64B,
+                                           read_latency_ns=400.0,
+                                           write_latency_ns=100.0)
+        assert slow_src > fast_src
+
+
+class TestPeakThreadBandwidth:
+    def test_littles_law(self):
+        core = make_core()
+        bw = core.peak_thread_bandwidth(AccessKind.LOAD,
+                                        AccessPattern.SEQUENTIAL,
+                                        read_latency_ns=98.0,
+                                        write_latency_ns=98.0)
+        mlp = core.effective_mlp(AccessKind.LOAD, AccessPattern.SEQUENTIAL)
+        assert bw == pytest.approx(mlp * 64 / 100e-9)
+
+    def test_higher_latency_lowers_bandwidth(self):
+        core = make_core()
+        near = core.peak_thread_bandwidth(AccessKind.LOAD,
+                                          AccessPattern.SEQUENTIAL,
+                                          read_latency_ns=106.0,
+                                          write_latency_ns=106.0)
+        far = core.peak_thread_bandwidth(AccessKind.LOAD,
+                                         AccessPattern.SEQUENTIAL,
+                                         read_latency_ns=387.0,
+                                         write_latency_ns=390.0)
+        assert near / far == pytest.approx(387 / 106, rel=0.1)

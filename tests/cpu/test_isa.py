@@ -1,0 +1,58 @@
+"""Access kinds: the RFO traffic table and ordering semantics."""
+
+from repro.cpu import AccessKind
+
+
+class TestTrafficAccounting:
+    def test_load(self):
+        assert AccessKind.LOAD.bus_reads_per_line == 1
+        assert AccessKind.LOAD.bus_writes_per_line == 0
+        assert AccessKind.LOAD.traffic_factor == 1
+
+    def test_temporal_store_pays_rfo(self):
+        """§4.3.1: RFO doubles the traffic of a temporal store."""
+        assert AccessKind.STORE.bus_reads_per_line == 1
+        assert AccessKind.STORE.bus_writes_per_line == 1
+        assert AccessKind.STORE.traffic_factor == 2
+
+    def test_nt_store_is_write_only(self):
+        assert AccessKind.NT_STORE.bus_reads_per_line == 0
+        assert AccessKind.NT_STORE.traffic_factor == 1
+
+    def test_movdir_reads_and_writes(self):
+        assert AccessKind.MOVDIR64B.bus_reads_per_line == 1
+        assert AccessKind.MOVDIR64B.bus_writes_per_line == 1
+
+    def test_store_traffic_is_double_nt_store(self):
+        assert (AccessKind.STORE.traffic_factor
+                == 2 * AccessKind.NT_STORE.traffic_factor)
+
+
+class TestSemantics:
+    def test_weak_ordering_needs_fences(self):
+        """§6: 'both nt-store and movdir64B are weakly-ordered'."""
+        assert AccessKind.NT_STORE.is_weakly_ordered
+        assert AccessKind.MOVDIR64B.is_weakly_ordered
+        assert not AccessKind.LOAD.is_weakly_ordered
+        assert not AccessKind.STORE.is_weakly_ordered
+
+    def test_cache_allocation(self):
+        assert AccessKind.LOAD.allocates_in_cache
+        assert AccessKind.STORE.allocates_in_cache
+        assert not AccessKind.NT_STORE.allocates_in_cache
+        assert not AccessKind.MOVDIR64B.allocates_in_cache
+
+    def test_nt_store_frees_core_tracking(self):
+        """§4.3.2: nt-store does not occupy core tracking resources."""
+        assert not AccessKind.NT_STORE.occupies_core_tracking
+        assert AccessKind.LOAD.occupies_core_tracking
+
+    def test_write_classification(self):
+        assert AccessKind.STORE.is_write
+        assert AccessKind.NT_STORE.is_write
+        assert not AccessKind.LOAD.is_write
+
+    def test_labels_match_figure_legends(self):
+        assert AccessKind.LOAD.value == "ld"
+        assert AccessKind.STORE.value == "st+wb"
+        assert AccessKind.NT_STORE.value == "nt-st"

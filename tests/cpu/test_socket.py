@@ -1,0 +1,55 @@
+"""Socket runtime: edge latency composition and SNC slicing."""
+
+import pytest
+
+from repro.config import single_socket_testbed
+from repro.cpu.socket import Socket
+
+
+@pytest.fixture(scope="module")
+def socket():
+    return Socket(single_socket_testbed().socket)
+
+
+class TestLatencyComposition:
+    def test_hierarchy_traversal_sums_levels(self, socket):
+        expected = sum(level.latency_ns
+                       for level in socket.config.cache.levels)
+        assert socket.hierarchy_traversal_ns() == pytest.approx(expected)
+
+    def test_edge_adds_mesh_and_home_agent(self, socket):
+        edge = socket.socket_edge_ns()
+        assert edge == pytest.approx(socket.hierarchy_traversal_ns()
+                                     + socket.mesh.traverse_ns()
+                                     + socket.config.home_agent_ns)
+
+    def test_fresh_hierarchies_are_independent(self, socket):
+        first = socket.new_hierarchy()
+        second = socket.new_hierarchy()
+        first.load(0)
+        assert first.l1.contains(0)
+        assert not second.l1.contains(0)
+
+
+class TestSncSlicing:
+    def test_snc_socket_has_quarter_resources(self):
+        config = single_socket_testbed().socket
+        snc = Socket(config, snc=True)
+        assert snc.config.cores == config.cores // 4
+        assert snc.config.dram.channels == config.dram.channels // 4
+
+    def test_snc_edge_is_shorter(self):
+        config = single_socket_testbed().socket
+        full = Socket(config)
+        snc = Socket(config, snc=True)
+        assert snc.socket_edge_ns() < full.socket_edge_ns()
+
+    def test_backend_labels(self):
+        config = single_socket_testbed().socket
+        assert Socket(config).local_backend().label == "DDR5-L8"
+        assert Socket(config, snc=True).local_backend().label == \
+            "SNC-DDR5-L2"
+
+    def test_core_count_matches_config(self, socket):
+        assert len(socket.cores) == socket.config.cores
+        assert socket.cores[5].core_id == 5

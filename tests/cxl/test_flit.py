@@ -1,0 +1,112 @@
+"""Flit packing: the 68 B layout and slot-conservation properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProtocolError
+from repro.cxl import Flit, Slot, SlotKind, pack_slots
+from repro.cxl.flit import (
+    FLIT_OVERHEAD_BYTES,
+    SLOT_BYTES,
+    SLOTS_PER_FLIT,
+    packing_efficiency,
+    wire_bytes_for_slots,
+)
+
+
+def data_slots(n: int, message_id: int = 1) -> list[Slot]:
+    return [Slot(SlotKind.DATA, message_id) for _ in range(n)]
+
+
+class TestFlitLayout:
+    def test_flit_is_68_bytes(self):
+        assert Flit().wire_bytes == 68
+
+    def test_four_slots_of_16_bytes_plus_crc_and_pid(self):
+        assert SLOTS_PER_FLIT * SLOT_BYTES == 64
+        assert FLIT_OVERHEAD_BYTES == 4      # 2 B CRC + 2 B protocol ID
+
+    def test_three_payload_slots_per_flit(self):
+        # Slot 0 carries the flit header.
+        assert Flit.MAX_PAYLOAD_SLOTS == 3
+
+    def test_overfilling_rejected(self):
+        flit = Flit()
+        for slot in data_slots(3):
+            flit.add(slot)
+        assert flit.is_full
+        with pytest.raises(ProtocolError):
+            flit.add(data_slots(1)[0])
+
+    def test_constructing_overfull_rejected(self):
+        with pytest.raises(ProtocolError):
+            Flit(slots=data_slots(4))
+
+
+class TestSlot:
+    def test_payload_slot_needs_message_id(self):
+        with pytest.raises(ProtocolError):
+            Slot(SlotKind.DATA)
+        with pytest.raises(ProtocolError):
+            Slot(SlotKind.REQUEST)
+
+    def test_header_slot_needs_no_message(self):
+        assert Slot(SlotKind.HEADER).message_id == -1
+
+
+class TestPacking:
+    def test_five_slots_need_two_flits(self):
+        flits = pack_slots(data_slots(5))
+        assert len(flits) == 2
+        assert flits[0].payload_slots == 3
+        assert flits[1].payload_slots == 2
+
+    def test_order_preserved(self):
+        slots = [Slot(SlotKind.DATA, message_id=i) for i in range(7)]
+        flits = pack_slots(slots)
+        flattened = [s.message_id for flit in flits for s in flit.slots]
+        assert flattened == list(range(7))
+
+    def test_empty_input_gives_no_flits(self):
+        assert pack_slots([]) == []
+
+    def test_header_slots_rejected(self):
+        with pytest.raises(ProtocolError):
+            pack_slots([Slot(SlotKind.HEADER)])
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_slot_conservation(self, n):
+        """No slot lost, no flit overfull, all but the last full."""
+        flits = pack_slots(data_slots(n))
+        assert sum(f.payload_slots for f in flits) == n
+        for flit in flits[:-1]:
+            assert flit.is_full
+        assert 1 <= flits[-1].payload_slots <= Flit.MAX_PAYLOAD_SLOTS
+
+
+class TestWireAccounting:
+    def test_zero_slots_zero_bytes(self):
+        assert wire_bytes_for_slots(0) == 0
+
+    def test_one_slot_costs_a_whole_flit(self):
+        assert wire_bytes_for_slots(1) == 68
+
+    def test_read_response_five_slots(self):
+        # header + 4 data slots = 2 flits = 136 B for 64 B of data.
+        assert wire_bytes_for_slots(5) == 136
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProtocolError):
+            wire_bytes_for_slots(-1)
+
+    def test_packing_efficiency_improves_with_batching(self):
+        assert packing_efficiency(30) > packing_efficiency(5)
+
+    def test_efficiency_bounded(self):
+        for n in (1, 3, 5, 30, 300):
+            assert 0 < packing_efficiency(n) <= 3 * SLOT_BYTES / 68
+
+    @given(st.integers(min_value=1, max_value=1000))
+    def test_wire_bytes_matches_pack_slots(self, n):
+        flits = pack_slots(data_slots(n))
+        assert wire_bytes_for_slots(n) == sum(f.wire_bytes for f in flits)

@@ -1,0 +1,86 @@
+"""CXL.mem message pairing and traffic accounting."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.cxl import MemOpcode, MemTransaction, read_transaction, write_transaction
+from repro.cxl.messages import transactions_per_line
+
+
+class TestOpcodes:
+    def test_data_carriers(self):
+        assert MemOpcode.MEM_WR.carries_data
+        assert MemOpcode.MEM_DATA.carries_data
+        assert not MemOpcode.MEM_RD.carries_data
+        assert not MemOpcode.CMP.carries_data
+
+    def test_directions(self):
+        assert MemOpcode.MEM_RD.direction == "M2S"
+        assert MemOpcode.MEM_WR.direction == "M2S"
+        assert MemOpcode.CMP.direction == "S2M"
+        assert MemOpcode.MEM_DATA.direction == "S2M"
+
+    def test_slot_counts(self):
+        assert MemOpcode.MEM_RD.slots == 1
+        assert MemOpcode.CMP.slots == 1
+        assert MemOpcode.MEM_WR.slots == 5
+        assert MemOpcode.MEM_DATA.slots == 5
+
+
+class TestTransactions:
+    def test_read_pairing(self):
+        txn = read_transaction()
+        assert txn.request is MemOpcode.MEM_RD
+        assert txn.response is MemOpcode.MEM_DATA
+
+    def test_write_pairing(self):
+        txn = write_transaction()
+        assert txn.request is MemOpcode.MEM_WR
+        assert txn.response is MemOpcode.CMP
+
+    def test_invalid_pairings_rejected(self):
+        with pytest.raises(ProtocolError):
+            MemTransaction(MemOpcode.MEM_RD, MemOpcode.CMP)
+        with pytest.raises(ProtocolError):
+            MemTransaction(MemOpcode.MEM_WR, MemOpcode.MEM_DATA)
+
+    def test_read_wire_bytes_are_asymmetric(self):
+        """§2.1: reply contains data for reads, only a header for writes."""
+        txn = read_transaction()
+        assert txn.wire_bytes_m2s() == 68        # 1 slot -> 1 flit
+        assert txn.wire_bytes_s2m() == 136       # 5 slots -> 2 flits
+
+    def test_write_wire_bytes_mirror_read(self):
+        txn = write_transaction()
+        assert txn.wire_bytes_m2s() == 136
+        assert txn.wire_bytes_s2m() == 68
+
+    def test_payload_is_one_cacheline(self):
+        assert read_transaction().payload_bytes == 64
+        assert write_transaction().payload_bytes == 64
+
+    def test_slot_objects_match_counts(self):
+        txn = read_transaction(message_id=9)
+        assert len(txn.request_slot_objects()) == 1
+        assert len(txn.response_slot_objects()) == 5
+        assert all(s.message_id == 9 for s in txn.response_slot_objects())
+
+
+class TestRfoAccounting:
+    def test_nt_store_is_one_transaction(self):
+        assert len(transactions_per_line(rfo=False)) == 1
+
+    def test_temporal_store_is_two_transactions(self):
+        """RFO: read for ownership then write back (§4.2)."""
+        txns = transactions_per_line(rfo=True)
+        assert len(txns) == 2
+        assert txns[0].request is MemOpcode.MEM_RD
+        assert txns[1].request is MemOpcode.MEM_WR
+
+    def test_rfo_roughly_doubles_wire_traffic(self):
+        def total_wire(txns):
+            return sum(t.wire_bytes_m2s() + t.wire_bytes_s2m() for t in txns)
+
+        nt = total_wire(transactions_per_line(rfo=False))
+        rfo = total_wire(transactions_per_line(rfo=True))
+        assert rfo == 2 * nt

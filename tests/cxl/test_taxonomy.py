@@ -1,0 +1,55 @@
+"""The §2.1 device taxonomy."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.cxl.taxonomy import CxlDeviceType, CxlProtocol
+
+
+class TestProtocolSets:
+    def test_type1_is_io_plus_cache(self):
+        assert CxlDeviceType.TYPE1.protocols == frozenset(
+            {CxlProtocol.IO, CxlProtocol.CACHE})
+
+    def test_type2_is_all_three(self):
+        assert CxlDeviceType.TYPE2.protocols == frozenset(
+            {CxlProtocol.IO, CxlProtocol.CACHE, CxlProtocol.MEM})
+
+    def test_type3_is_io_plus_mem(self):
+        """'Type-3 devices support CXL.io and CXL.mem' (§2.1)."""
+        assert CxlDeviceType.TYPE3.protocols == frozenset(
+            {CxlProtocol.IO, CxlProtocol.MEM})
+
+    def test_every_type_speaks_io(self):
+        for device_type in CxlDeviceType:
+            assert CxlProtocol.IO in device_type.protocols
+
+
+class TestCapabilities:
+    def test_host_managed_memory(self):
+        assert not CxlDeviceType.TYPE1.has_host_managed_memory
+        assert CxlDeviceType.TYPE2.has_host_managed_memory
+        assert CxlDeviceType.TYPE3.has_host_managed_memory
+
+    def test_device_side_caching(self):
+        assert CxlDeviceType.TYPE1.can_cache_host_memory
+        assert CxlDeviceType.TYPE2.can_cache_host_memory
+        assert not CxlDeviceType.TYPE3.can_cache_host_memory
+
+    def test_require_passes_and_fails(self):
+        CxlDeviceType.TYPE3.require(CxlProtocol.MEM)
+        with pytest.raises(ProtocolError):
+            CxlDeviceType.TYPE3.require(CxlProtocol.CACHE)
+        with pytest.raises(ProtocolError):
+            CxlDeviceType.TYPE1.require(CxlProtocol.MEM)
+
+
+class TestLookup:
+    def test_for_protocols_roundtrip(self):
+        for device_type in CxlDeviceType:
+            assert CxlDeviceType.for_protocols(
+                device_type.protocols) is device_type
+
+    def test_unknown_set_rejected(self):
+        with pytest.raises(ProtocolError):
+            CxlDeviceType.for_protocols(frozenset({CxlProtocol.IO}))

@@ -1,0 +1,107 @@
+"""Links: serialization math, UPI and PCIe parameters."""
+
+import pytest
+
+from repro import units
+from repro.config import LinkConfig
+from repro.interconnect import (
+    Link,
+    Mesh,
+    PcieGen,
+    PciePhy,
+    UpiLink,
+    default_upi,
+    pcie_lane_rate,
+)
+
+
+def make_link(gbps=64.0, hop=50.0) -> Link:
+    return Link(LinkConfig("test", units.gb_per_s(gbps), hop))
+
+
+class TestLink:
+    def test_serialization_time(self):
+        link = make_link(gbps=64.0)
+        # 64 B at 64 GB/s = 1 ns.
+        assert link.serialization_ns(64) == pytest.approx(1.0)
+
+    def test_one_way_includes_hop(self):
+        link = make_link(gbps=64.0, hop=50.0)
+        assert link.one_way_ns(64) == pytest.approx(51.0)
+
+    def test_round_trip_two_hops(self):
+        link = make_link(gbps=64.0, hop=50.0)
+        rt = link.round_trip_ns(request_bytes=64, response_bytes=128)
+        assert rt == pytest.approx(50.0 + 1.0 + 50.0 + 2.0)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            make_link().serialization_ns(-1)
+
+    def test_utilization_accounting(self):
+        link = make_link(gbps=64.0)
+        link.one_way_ns(units.gb_per_s(32.0) * 1e-9 * 1000, record=True)
+        # 32 GB/s-worth of bytes over 1000 ns on a 64 GB/s link = 50%.
+        assert link.utilization(1000.0) == pytest.approx(0.5)
+
+    def test_utilization_tracks_busiest_direction(self):
+        link = make_link(gbps=64.0)
+        link.one_way_ns(1000, record=True)
+        link.one_way_ns(4000, record=True, reverse=True)
+        window = 1000.0
+        expected = 4000 / (link.bandwidth * window / 1e9)
+        assert link.utilization(window) == pytest.approx(expected)
+
+
+class TestMesh:
+    def test_snc_shortens_path(self):
+        assert Mesh(12.0, snc=True).traverse_ns() < Mesh(12.0).traverse_ns()
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh(-1.0)
+
+
+class TestUpi:
+    def test_cacheline_round_trip_has_two_hops(self):
+        upi = default_upi()
+        rt = upi.cacheline_round_trip_ns()
+        assert rt > 2 * upi.config.hop_latency_ns
+
+    def test_effective_bandwidth_below_raw(self):
+        upi = default_upi()
+        assert upi.effective_bandwidth() < upi.bandwidth
+        assert upi.effective_bandwidth() == pytest.approx(
+            upi.bandwidth * 64 / 80)
+
+
+class TestPcie:
+    def test_gen5_x16_is_64_gb_per_s_nominal(self):
+        # §2.1: "as of PCIe Gen 5, the bandwidth has reached 32 GT/s
+        # (i.e., 64 GB/s with 16 lanes)" — nominal, before line coding.
+        phy = PciePhy(PcieGen.GEN5, 16)
+        nominal = PcieGen.GEN5.gt_per_s * 16 / 8
+        assert nominal == pytest.approx(64.0)
+        # Usable rate is nominal x 128/130.
+        assert units.to_gb_per_s(phy.bandwidth) == pytest.approx(
+            64.0 * 128 / 130)
+
+    def test_effective_bandwidth_roughly_doubles_each_generation(self):
+        # §2.1: "the bandwidth has doubled in each generation".  Gen3 moved
+        # from 8b/10b to 128b/130b coding, so the doubling holds for
+        # *effective* bandwidth (Gen2->Gen3 is 4 -> 7.88 GB/s per lane x8).
+        rates = [pcie_lane_rate(PcieGen(g)) for g in range(1, 6)]
+        for slower, faster in zip(rates, rates[1:]):
+            assert faster == pytest.approx(2 * slower, rel=0.02)
+
+    def test_gen12_use_8b10b(self):
+        assert PcieGen.GEN1.encoding_efficiency == pytest.approx(0.8)
+        assert PcieGen.GEN3.encoding_efficiency == pytest.approx(128 / 130)
+
+    def test_lane_scaling(self):
+        assert pcie_lane_rate(PcieGen.GEN5) * 16 == pytest.approx(
+            PciePhy(PcieGen.GEN5, 16).bandwidth)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            PciePhy(PcieGen.GEN5, 3)

@@ -1,0 +1,153 @@
+"""MEMO bandwidth benches: Fig 3 / 4 / 5 report structure and shapes."""
+
+import pytest
+
+from repro import build_system, combined_testbed, dual_socket_testbed
+from repro.cpu import AccessKind, MemoryScheme
+from repro.errors import ConfigError
+from repro.memo import (
+    DsaBench,
+    MovdirBench,
+    RandomBlockBench,
+    SequentialBandwidthBench,
+)
+
+L8, R1, CXL = MemoryScheme.DDR5_L8, MemoryScheme.DDR5_R1, MemoryScheme.CXL
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system(combined_testbed())
+
+
+class TestSequentialBench:
+    def test_panels_per_scheme(self, system):
+        report = SequentialBandwidthBench(system).run()
+        assert set(report.panels) == {"fig3-DDR5-L8", "fig3-DDR5-R1",
+                                      "fig3-CXL"}
+
+    def test_three_curves_per_panel(self, system):
+        report = SequentialBandwidthBench(system).run()
+        for panel in report.panels.values():
+            assert [s.name for s in panel] == ["ld", "st+wb", "nt-st"]
+
+    def test_l8_load_peak_matches_paper(self, system):
+        bench = SequentialBandwidthBench(system)
+        threads, bandwidth = bench.peak(L8, AccessKind.LOAD)
+        assert bandwidth == pytest.approx(221.0, abs=4.0)
+        assert 24 <= threads <= 32
+
+    def test_cxl_nt_peak_at_2_threads(self, system):
+        bench = SequentialBandwidthBench(system)
+        threads, bandwidth = bench.peak(CXL, AccessKind.NT_STORE)
+        assert threads == 2
+        assert bandwidth == pytest.approx(21.0, abs=1.5)
+
+    def test_theoretical_line_noted(self, system):
+        report = SequentialBandwidthBench(system).run()
+        assert any("21.3" in note for note in report.notes)
+
+    def test_thread_counts_clamped_to_cores(self):
+        # The dual-socket testbed has 40 cores; default sweeps fit.
+        system = build_system(dual_socket_testbed())
+        bench = SequentialBandwidthBench(system, schemes=[L8])
+        assert max(bench.thread_counts) <= 40
+
+    def test_empty_thread_counts_rejected(self, system):
+        with pytest.raises(ConfigError):
+            SequentialBandwidthBench(system, thread_counts=[])
+
+
+class TestRandomBench:
+    def test_grid_is_3x3(self, system):
+        report = RandomBlockBench(system).run()
+        assert len(report.panels) == 9
+
+    def test_point_query(self, system):
+        bench = RandomBlockBench(system)
+        value = bench.point(CXL, AccessKind.NT_STORE, threads=2,
+                            block_bytes=32 * 1024)
+        assert value > 10.0
+
+    def test_l8_random_load_scales_with_block_size(self, system):
+        report = RandomBlockBench(system).run()
+        series = report.series("fig5-DDR5-L8-ld", "4T")
+        assert series.y[-1] >= series.y[0]
+
+    def test_cxl_nt_2threads_has_interior_peak(self, system):
+        """Fig 5: the 2-thread nt-store curve peaks then drops."""
+        report = RandomBlockBench(system).run()
+        series = report.series("fig5-CXL-nt-st", "2T")
+        peak_x, _ = series.peak
+        assert series.x[0] < peak_x < series.x[-1]
+
+    def test_sub_line_block_rejected(self, system):
+        with pytest.raises(ConfigError):
+            RandomBlockBench(system, block_sizes=[32])
+
+
+class TestMovdirBench:
+    def test_route_order(self, system):
+        report = MovdirBench(system).run()
+        assert [s.name for s in report.panel("fig4a")] == [
+            "D2D", "D2C", "C2D", "C2C"]
+
+    def test_d2_routes_similar_c2_routes_lower(self, system):
+        bench = MovdirBench(system)
+        d2d = bench.route_bandwidth(L8, L8)
+        d2c = bench.route_bandwidth(L8, CXL)
+        c2d = bench.route_bandwidth(CXL, L8)
+        c2c = bench.route_bandwidth(CXL, CXL)
+        assert d2c == pytest.approx(d2d, rel=0.15)
+        assert c2d < 0.6 * d2d
+        assert c2c <= c2d
+
+    def test_requires_cxl(self):
+        system = build_system(dual_socket_testbed())
+        with pytest.raises(ConfigError):
+            MovdirBench(system)
+
+
+class TestDsaBench:
+    def test_method_list(self, system):
+        bench = DsaBench(system)
+        assert bench.methods() == [
+            "memcpy", "movdir64B", "dsa-sync-b1", "dsa-sync-b16",
+            "dsa-sync-b128", "dsa-async-b1", "dsa-async-b16",
+            "dsa-async-b128"]
+
+    def test_report_routes(self, system):
+        report = DsaBench(system).run()
+        assert [s.name for s in report.panel("fig4b")] == [
+            "D2C", "C2D", "C2C", "D2D"]
+
+    def test_sync_b1_matches_memcpy(self, system):
+        """Fig 4b: non-batched sync offload ~ plain memcpy."""
+        bench = DsaBench(system)
+        memcpy = bench.throughput("memcpy", L8, CXL)
+        sync_b1 = bench.throughput("dsa-sync-b1", L8, CXL)
+        assert sync_b1 == pytest.approx(memcpy, rel=0.5)
+
+    def test_async_and_batching_improve(self, system):
+        """Fig 4b: 'any level of asynchronicity or batching brings
+        improvements'."""
+        bench = DsaBench(system)
+        base = bench.throughput("dsa-sync-b1", L8, CXL)
+        assert bench.throughput("dsa-sync-b16", L8, CXL) > base
+        assert bench.throughput("dsa-async-b1", L8, CXL) > base
+
+    def test_c2d_highest_among_cxl_routes(self, system):
+        bench = DsaBench(system)
+        method = "dsa-async-b128"
+        c2d = bench.throughput(method, CXL, L8)
+        d2c = bench.throughput(method, L8, CXL)
+        c2c = bench.throughput(method, CXL, CXL)
+        assert c2d > d2c > c2c
+
+    def test_unknown_method_rejected(self, system):
+        with pytest.raises(ConfigError):
+            DsaBench(system).throughput("rdma", L8, CXL)
+
+    def test_zero_transfer_rejected(self, system):
+        with pytest.raises(ConfigError):
+            DsaBench(system, transfer_bytes=0)

@@ -1,0 +1,57 @@
+"""The memo CLI: argument parsing and end-to-end runs."""
+
+import pytest
+
+from repro.memo.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for bench in ("latency", "chase", "bw", "random", "movdir", "dsa"):
+            args = parser.parse_args([bench])
+            assert args.bench == bench
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scheme_filter(self):
+        args = build_parser().parse_args(["latency", "--scheme", "CXL"])
+        assert args.scheme == ["CXL"]
+
+    def test_thread_list(self):
+        args = build_parser().parse_args(["bw", "--threads", "1", "8"])
+        assert args.threads == [1, 8]
+
+
+class TestEndToEnd:
+    def test_latency_run(self, capsys):
+        assert main(["latency"]) == 0
+        out = capsys.readouterr().out
+        assert "DDR5-L8" in out and "CXL" in out
+
+    def test_bw_run_with_few_threads(self, capsys):
+        assert main(["bw", "--threads", "1", "2", "--scheme", "CXL"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3-CXL" in out
+
+    def test_unknown_scheme_exits(self):
+        with pytest.raises(SystemExit):
+            main(["latency", "--scheme", "HBM"])
+
+    def test_dsa_run(self, capsys):
+        assert main(["dsa", "--batches", "1", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "dsa-async-b16" in out
+
+    def test_replay_run(self, capsys):
+        assert main(["replay", "--pattern", "random", "--kind", "nt-st",
+                     "--lines", "512", "--scheme", "CXL"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated bandwidth" in out
+
+    def test_replay_defaults(self, capsys):
+        assert main(["replay", "--lines", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out

@@ -1,0 +1,166 @@
+"""MEMO latency bench and the pointer-chase implementations."""
+
+import pytest
+
+from repro import build_system, combined_testbed, units
+from repro.cpu import AccessKind, MemoryScheme
+from repro.config import CacheConfig, CacheLevelConfig
+from repro.cache import CacheHierarchy
+from repro.errors import ConfigError
+from repro.memo import LatencyBench, PointerChaseBench, simulate_chase
+from repro.memo.pointer_chase import build_chain
+from repro.sim.rng import substream
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system(combined_testbed())
+
+
+class TestLatencyBench:
+    def test_report_has_all_schemes(self, system):
+        report = LatencyBench(system).run()
+        names = [s.name for s in report.panel("fig2-left")]
+        assert names == ["DDR5-L8", "DDR5-R1", "CXL"]
+
+    def test_each_series_has_four_probes(self, system):
+        report = LatencyBench(system).run()
+        for series in report.panel("fig2-left"):
+            assert len(series) == 4     # ld, st+wb, nt-st, ptr-chase
+
+    def test_prefetch_on_is_rejected(self, system):
+        with pytest.raises(ConfigError):
+            LatencyBench(system, prefetch_enabled=True)
+
+    def test_probe_matches_model(self, system):
+        bench = LatencyBench(system)
+        assert bench.probe(MemoryScheme.CXL, AccessKind.LOAD) == \
+            bench.model.flushed_load_ns(MemoryScheme.CXL)
+
+    def test_scheme_subset(self, system):
+        report = LatencyBench(
+            system, schemes=[MemoryScheme.CXL]).run()
+        assert [s.name for s in report.panel("fig2-left")] == ["CXL"]
+
+    def test_render_mentions_probe_order(self, system):
+        text = LatencyBench(system).run().render()
+        assert "ld" in text and "ptr-chase" in text
+
+
+class TestReportRendering:
+    def test_scalar_panel_rendering(self):
+        from repro.analysis.series import Series
+        from repro.errors import ExperimentError
+        from repro.memo import BenchReport
+        report = BenchReport(title="t")
+        report.add_series("panel", Series("case-a", x=[0.0], y=[42.0]))
+        text = report.render_scalar_panel("panel", "value")
+        assert "case-a" in text and "42.0" in text
+        report.add_series("panel", Series("bad", x=[0.0, 1.0],
+                                          y=[1.0, 2.0]))
+        with pytest.raises(ExperimentError):
+            report.render_scalar_panel("panel", "value")
+
+    def test_missing_panel_and_series_errors(self):
+        from repro.errors import ExperimentError
+        from repro.memo import BenchReport
+        report = BenchReport(title="t")
+        with pytest.raises(ExperimentError):
+            report.panel("nope")
+        from repro.analysis.series import Series
+        report.add_series("p", Series("s", x=[1.0], y=[1.0]))
+        with pytest.raises(ExperimentError):
+            report.series("p", "absent")
+
+
+class TestPointerChaseBench:
+    def test_staircase_rises(self, system):
+        report = PointerChaseBench(system).run()
+        for series in report.panel("fig2-right"):
+            assert series.is_monotone_increasing()
+
+    def test_schemes_converge_at_small_wss(self, system):
+        report = PointerChaseBench(system).run()
+        first = [series.y[0] for series in report.panel("fig2-right")]
+        assert max(first) == pytest.approx(min(first), rel=0.02)
+
+    def test_schemes_diverge_at_large_wss(self, system):
+        report = PointerChaseBench(system).run()
+        last = {series.name: series.y[-1]
+                for series in report.panel("fig2-right")}
+        assert last["CXL"] > last["DDR5-R1"] > last["DDR5-L8"]
+
+    def test_bad_wss_rejected(self, system):
+        with pytest.raises(ConfigError):
+            PointerChaseBench(system, wss_points=[0])
+
+
+class TestBuildChain:
+    def test_chain_is_single_cycle(self):
+        chain = build_chain(64 * 64, substream("t1"))
+        seen = set()
+        line = 0
+        for _ in range(len(chain)):
+            assert line not in seen
+            seen.add(line)
+            line = int(chain[line])
+        assert line == 0                 # back to the start
+        assert len(seen) == len(chain)   # visited every line once
+
+    def test_chain_is_deterministic_per_seed(self):
+        a = build_chain(64 * 64, substream("t2", seed=5))
+        b = build_chain(64 * 64, substream("t2", seed=5))
+        assert (a == b).all()
+
+    def test_too_small_wss_rejected(self):
+        with pytest.raises(ConfigError):
+            build_chain(64, substream("t3"))
+
+
+class TestFunctionalChase:
+    """The functional cache walk validates the analytic staircase."""
+
+    @staticmethod
+    def tiny_hierarchy() -> CacheHierarchy:
+        return CacheHierarchy(CacheConfig(
+            l1=CacheLevelConfig("L1d", units.kib(4), ways=4, latency_ns=2.0),
+            l2=CacheLevelConfig("L2", units.kib(16), ways=4, latency_ns=8.0),
+            llc=CacheLevelConfig("LLC", units.kib(64), ways=8,
+                                 latency_ns=25.0),
+        ))
+
+    def test_l1_resident_chase_is_cheap(self):
+        hierarchy = self.tiny_hierarchy()
+        average = simulate_chase(hierarchy, units.kib(2), accesses=2000,
+                                 memory_latency_ns=400.0)
+        assert average == pytest.approx(2.0, abs=1.0)
+
+    def test_oversized_chase_pays_memory_latency(self):
+        hierarchy = self.tiny_hierarchy()
+        average = simulate_chase(hierarchy, units.kib(512), accesses=2000,
+                                 memory_latency_ns=400.0)
+        assert average > 300.0
+
+    def test_llc_resident_chase_pays_full_traversal(self):
+        """WSS between L2 and LLC: a cyclic chase's reuse distance equals
+        the WSS, so L1/L2 never hit — every access is an LLC hit paying
+        the full L1+L2+LLC traversal (2+8+25 ns)."""
+        hierarchy = self.tiny_hierarchy()
+        functional = simulate_chase(hierarchy, units.kib(48), accesses=4000,
+                                    memory_latency_ns=400.0)
+        assert functional == pytest.approx(35.0, rel=0.05)
+
+    def test_functional_bounded_by_analytic_regimes(self):
+        """The analytic stacked-capacity estimate (which optimistically
+        grants upper-level hits) lower-bounds the cyclic functional walk,
+        and the full-traversal-plus-memory path upper-bounds it."""
+        wss = units.kib(48)
+        functional = simulate_chase(self.tiny_hierarchy(), wss,
+                                    accesses=4000, memory_latency_ns=400.0)
+        analytic = self.tiny_hierarchy().expected_latency_ns(wss, 400.0)
+        assert analytic <= functional <= 35.0 + 400.0
+
+    def test_zero_accesses_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_chase(self.tiny_hierarchy(), units.kib(8), accesses=0,
+                           memory_latency_ns=100.0)

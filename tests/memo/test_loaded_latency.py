@@ -1,0 +1,88 @@
+"""Loaded-latency curves (MLC-style extension of MEMO)."""
+
+import math
+
+import pytest
+
+from repro import build_system, combined_testbed
+from repro.cpu import MemoryScheme
+from repro.errors import ConfigError
+from repro.memo.loaded_latency import LoadedLatencyBench
+
+L8, R1, CXL = (MemoryScheme.DDR5_L8, MemoryScheme.DDR5_R1,
+               MemoryScheme.CXL)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return LoadedLatencyBench(build_system(combined_testbed()))
+
+
+class TestCurves:
+    def test_latency_rises_with_injection(self, bench):
+        for scheme in (L8, R1, CXL):
+            series = bench.curve(scheme)
+            assert series.is_monotone_increasing()
+            assert series.y[-1] > 2 * series.y[0]
+
+    def test_unloaded_point_matches_latency_model(self, bench):
+        series = bench.curve(CXL)
+        assert series.y[0] == pytest.approx(
+            bench.latency.read_path_ns(CXL))
+
+    def test_saturation_bandwidth_ordering(self, bench):
+        assert (bench.saturation_bandwidth(L8)
+                > bench.saturation_bandwidth(R1)
+                > bench.saturation_bandwidth(CXL))
+
+    def test_report_has_three_curves(self, bench):
+        report = bench.run()
+        assert [s.name for s in report.panel("loaded-latency")] == [
+            "DDR5-L8", "DDR5-R1", "CXL"]
+
+    def test_absolute_curve_spans_to_saturation(self, bench):
+        series = bench.curve_absolute(L8)
+        assert series.x[0] == 0.0
+        assert series.x[-1] == pytest.approx(
+            bench.saturation_bandwidth(L8) / 1e9 * 0.98)
+
+    def test_report_notes_list_saturations(self, bench):
+        report = bench.run()
+        assert any("DDR5-L8 saturation" in note for note in report.notes)
+
+
+class TestEqualInjection:
+    def test_cxl_hits_the_wall_first(self, bench):
+        """At 30 GB/s of injected traffic the CXL device is simply
+        over capacity while DDR5-L8 barely notices."""
+        outcome = bench.latency_at_equal_injection(30.0)
+        assert math.isinf(outcome["CXL"])
+        assert not math.isinf(outcome["DDR5-L8"])
+
+    def test_low_injection_everyone_absorbs(self, bench):
+        outcome = bench.latency_at_equal_injection(5.0)
+        assert all(not math.isinf(v) for v in outcome.values())
+        assert outcome["DDR5-L8"] < outcome["DDR5-R1"] < outcome["CXL"]
+
+    def test_cxl_latency_degrades_faster_per_gb(self, bench):
+        """The same absolute injection is a larger fraction of CXL's
+        ceiling, so its latency inflates more."""
+        outcome = bench.latency_at_equal_injection(12.0)
+        unloaded_gap = (bench.latency.read_path_ns(CXL)
+                        / bench.latency.read_path_ns(L8))
+        loaded_gap = outcome["CXL"] / outcome["DDR5-L8"]
+        assert loaded_gap > unloaded_gap
+
+    def test_negative_injection_rejected(self, bench):
+        with pytest.raises(ConfigError):
+            bench.latency_at_equal_injection(-1.0)
+
+
+class TestValidation:
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigError):
+            LoadedLatencyBench(build_system(combined_testbed()), points=1)
+
+    def test_fraction_out_of_range_rejected(self, bench):
+        with pytest.raises(ConfigError):
+            bench.loaded_read_ns(CXL, 1.5)

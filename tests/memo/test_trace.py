@@ -1,0 +1,115 @@
+"""Trace construction and functional replay."""
+
+import numpy as np
+import pytest
+
+from repro import build_system, combined_testbed, units
+from repro.cpu import AccessKind, MemoryScheme
+from repro.errors import WorkloadError
+from repro.memo.trace import AccessTrace, replay
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system(combined_testbed())
+
+
+class TestTraceConstruction:
+    def test_sequential_addresses(self):
+        trace = AccessTrace.sequential(AccessKind.LOAD, num_lines=4)
+        assert list(trace.addresses) == [0, 64, 128, 192]
+        assert len(trace) == 4
+
+    def test_from_operations(self):
+        trace = AccessTrace.from_operations(
+            [(0, AccessKind.LOAD), (64, AccessKind.NT_STORE)])
+        assert len(trace) == 2
+
+    def test_footprint_counts_distinct_lines(self):
+        trace = AccessTrace.from_operations(
+            [(0, AccessKind.LOAD), (10, AccessKind.LOAD),
+             (64, AccessKind.LOAD)])
+        assert trace.footprint_bytes == 128
+
+    def test_random_block_shape(self):
+        trace = AccessTrace.random_block(
+            AccessKind.LOAD, num_blocks=10, block_bytes=1024,
+            region_bytes=units.mib(1))
+        assert len(trace) == 10 * 16        # 16 lines per 1 KiB block
+        # Lines within a block are consecutive.
+        assert trace.addresses[1] - trace.addresses[0] == 64
+
+    def test_random_block_deterministic_by_seed(self):
+        a = AccessTrace.random_block(AccessKind.LOAD, num_blocks=5,
+                                     block_bytes=256,
+                                     region_bytes=units.kib(64), seed=3)
+        b = AccessTrace.random_block(AccessKind.LOAD, num_blocks=5,
+                                     block_bytes=256,
+                                     region_bytes=units.kib(64), seed=3)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            AccessTrace.from_operations([])
+        with pytest.raises(WorkloadError):
+            AccessTrace.sequential(AccessKind.LOAD, num_lines=0)
+        with pytest.raises(WorkloadError):
+            AccessTrace.random_block(AccessKind.LOAD, num_blocks=1,
+                                     block_bytes=100,
+                                     region_bytes=units.kib(4))
+        with pytest.raises(WorkloadError):
+            AccessTrace(np.array([-64]), np.array([0], dtype=np.int8))
+
+
+class TestReplay:
+    def test_cold_sequential_loads_all_miss(self, system):
+        trace = AccessTrace.sequential(AccessKind.LOAD, num_lines=64)
+        result = replay(trace, system, MemoryScheme.DDR5_L8)
+        assert result.level_hits["memory"] == 64
+        assert result.memory_reads == 64
+        assert result.hit_rate == 0.0
+
+    def test_second_pass_hits(self, system):
+        trace = AccessTrace.sequential(AccessKind.LOAD, num_lines=64)
+        hierarchy = system.socket.new_hierarchy()
+        replay(trace, system, MemoryScheme.DDR5_L8, hierarchy=hierarchy)
+        warm = replay(trace, system, MemoryScheme.DDR5_L8,
+                      hierarchy=hierarchy)
+        assert warm.hit_rate == 1.0
+        assert warm.memory_reads == 0
+
+    def test_cxl_replay_slower_than_dram(self, system):
+        trace = AccessTrace.sequential(AccessKind.LOAD, num_lines=256)
+        dram = replay(trace, system, MemoryScheme.DDR5_L8)
+        cxl = replay(trace, system, MemoryScheme.CXL)
+        assert cxl.estimated_ns > dram.estimated_ns
+        assert cxl.estimated_bandwidth < dram.estimated_bandwidth
+
+    def test_nt_store_trace_writes_only(self, system):
+        trace = AccessTrace.sequential(AccessKind.NT_STORE, num_lines=64)
+        result = replay(trace, system, MemoryScheme.CXL)
+        assert result.memory_reads == 0
+        assert result.memory_writes == 64
+
+    def test_store_trace_shows_rfo(self, system):
+        trace = AccessTrace.sequential(AccessKind.STORE, num_lines=64)
+        result = replay(trace, system, MemoryScheme.CXL)
+        assert result.memory_reads == 64        # RFO fills
+
+    def test_dependent_chain_overlap_zero_is_slowest(self, system):
+        trace = AccessTrace.sequential(AccessKind.LOAD, num_lines=128)
+        serialized = replay(trace, system, MemoryScheme.CXL, overlap=0.0)
+        pipelined = replay(trace, system, MemoryScheme.CXL, overlap=0.9)
+        assert serialized.estimated_ns > 2 * pipelined.estimated_ns
+
+    def test_bad_overlap_rejected(self, system):
+        trace = AccessTrace.sequential(AccessKind.LOAD, num_lines=4)
+        with pytest.raises(WorkloadError):
+            replay(trace, system, MemoryScheme.CXL, overlap=1.0)
+
+    def test_mixed_trace_level_hits_sum(self, system):
+        trace = AccessTrace.from_operations(
+            [(i * 64, AccessKind.LOAD) for i in range(32)]
+            + [(i * 64, AccessKind.LOAD) for i in range(32)])
+        result = replay(trace, system, MemoryScheme.DDR5_L8)
+        assert sum(result.level_hits.values()) == len(trace)

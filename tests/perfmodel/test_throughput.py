@@ -1,0 +1,215 @@
+"""The throughput solver must reproduce the paper's §4.3 anchors."""
+
+import pytest
+
+from repro import build_system, combined_testbed, units
+from repro.cpu import AccessKind, MemoryScheme
+from repro.errors import ConfigError
+from repro.mem import AccessPattern
+from repro.perfmodel import ThroughputModel
+
+L8, R1, CXL = MemoryScheme.DDR5_L8, MemoryScheme.DDR5_R1, MemoryScheme.CXL
+
+
+@pytest.fixture(scope="module")
+def model() -> ThroughputModel:
+    return ThroughputModel(build_system(combined_testbed()))
+
+
+class TestSequentialL8:
+    def test_load_peak_221(self, model):
+        """Fig 3a: 'peaked at the maximum bandwidth of 221 GB/s'."""
+        result = model.bandwidth(L8, AccessKind.LOAD, threads=32)
+        assert result.gb_per_s == pytest.approx(221.0, abs=3.0)
+
+    def test_load_saturates_around_26_threads(self, model):
+        """Fig 3a: '...with approximately 26 threads'."""
+        almost = model.bandwidth(L8, AccessKind.LOAD, threads=20)
+        peak = model.bandwidth(L8, AccessKind.LOAD, threads=28)
+        assert almost.gb_per_s < 0.95 * peak.gb_per_s
+        assert model.bandwidth(L8, AccessKind.LOAD, threads=30).gb_per_s == \
+            pytest.approx(peak.gb_per_s, rel=0.02)
+
+    def test_nt_store_peak_170_at_16_threads(self, model):
+        """Fig 3a: nt-store max 170 GB/s around 16 threads."""
+        result = model.bandwidth(L8, AccessKind.NT_STORE, threads=16)
+        assert result.gb_per_s == pytest.approx(170.0, abs=4.0)
+        more = model.bandwidth(L8, AccessKind.NT_STORE, threads=32)
+        assert more.gb_per_s == pytest.approx(result.gb_per_s, rel=0.02)
+
+    def test_nt_store_peak_below_load_peak(self, model):
+        load = model.bandwidth(L8, AccessKind.LOAD, threads=32)
+        ntst = model.bandwidth(L8, AccessKind.NT_STORE, threads=32)
+        assert ntst.gb_per_s < load.gb_per_s
+
+    def test_load_scales_linearly_at_low_threads(self, model):
+        one = model.bandwidth(L8, AccessKind.LOAD, threads=1)
+        eight = model.bandwidth(L8, AccessKind.LOAD, threads=8)
+        assert eight.gb_per_s == pytest.approx(8 * one.gb_per_s, rel=0.05)
+
+
+class TestSequentialCxl:
+    def test_load_peaks_around_8_threads_near_21(self, model):
+        """Fig 3b: load max with ~8 threads near the DDR4 line."""
+        result = model.bandwidth(CXL, AccessKind.LOAD, threads=8)
+        assert 18.0 <= result.gb_per_s <= 21.5
+
+    def test_load_drops_to_16_8_past_12_threads(self, model):
+        """Fig 3b: 'drops to 16.8 GB/s when we increase the thread count
+        beyond 12 threads'."""
+        result = model.bandwidth(CXL, AccessKind.LOAD, threads=16)
+        assert result.gb_per_s == pytest.approx(16.8, abs=0.8)
+
+    def test_nt_store_22_at_2_threads(self, model):
+        """Fig 3b: 'maximum bandwidth of 22 GB/s with only 2 threads,
+        close to the theoretical max' (21.3)."""
+        result = model.bandwidth(CXL, AccessKind.NT_STORE, threads=2)
+        assert result.gb_per_s == pytest.approx(21.0, abs=1.5)
+
+    def test_nt_store_collapses_beyond_2_threads(self, model):
+        """Fig 3b: 'this bandwidth drops immediately as we increase the
+        thread count'."""
+        two = model.bandwidth(CXL, AccessKind.NT_STORE, threads=2)
+        eight = model.bandwidth(CXL, AccessKind.NT_STORE, threads=8)
+        assert eight.gb_per_s < 0.6 * two.gb_per_s
+
+    def test_temporal_store_significantly_below_nt(self, model):
+        """Fig 3b / §4.3.1: RFO halves temporal-store transfer efficiency."""
+        nt = model.bandwidth(CXL, AccessKind.NT_STORE, threads=2)
+        st = model.bandwidth(CXL, AccessKind.STORE, threads=8)
+        assert st.gb_per_s < 0.6 * nt.gb_per_s
+
+    def test_nt_store_ceiling_near_theoretical_ddr4(self, model):
+        theoretical = units.to_gb_per_s(units.ddr_peak_bandwidth(2666, 1))
+        result = model.bandwidth(CXL, AccessKind.NT_STORE, threads=2)
+        assert result.gb_per_s <= theoretical
+        assert result.gb_per_s >= 0.9 * theoretical
+
+
+class TestSequentialR1:
+    def test_r1_beats_cxl_on_loads(self, model):
+        """Fig 3c: higher transfer rate + lower latency on UPI."""
+        r1 = model.bandwidth(R1, AccessKind.LOAD, threads=8)
+        cxl = model.bandwidth(CXL, AccessKind.LOAD, threads=8)
+        assert r1.gb_per_s > cxl.gb_per_s
+
+    def test_r1_nt_store_at_least_cxl(self, model):
+        r1 = model.bandwidth(R1, AccessKind.NT_STORE, threads=2)
+        cxl = model.bandwidth(CXL, AccessKind.NT_STORE, threads=2)
+        assert r1.gb_per_s >= cxl.gb_per_s * 0.98
+
+    def test_r1_temporal_store_similar_to_cxl(self, model):
+        """Fig 3c: 'similar throughput in temporal stores'."""
+        r1 = model.bandwidth(R1, AccessKind.STORE, threads=8)
+        cxl = model.bandwidth(CXL, AccessKind.STORE, threads=8)
+        assert r1.gb_per_s == pytest.approx(cxl.gb_per_s, rel=0.4)
+
+    def test_r1_well_below_l8(self, model):
+        r1 = model.bandwidth(R1, AccessKind.LOAD, threads=16)
+        l8 = model.bandwidth(L8, AccessKind.LOAD, threads=16)
+        assert r1.gb_per_s < 0.3 * l8.gb_per_s
+
+
+class TestRandomBlocks:
+    def test_small_blocks_hurt_all_schemes(self, model):
+        """Fig 5: at 1 KiB all three suffer roughly equally (relative to
+        their own sequential rate)."""
+        for scheme in (L8, R1, CXL):
+            random_bw = model.bandwidth(scheme, AccessKind.LOAD,
+                                        AccessPattern.RANDOM_BLOCK,
+                                        threads=4, block_bytes=1024)
+            seq_bw = model.bandwidth(scheme, AccessKind.LOAD,
+                                     threads=4)
+            assert random_bw.gb_per_s <= seq_bw.gb_per_s
+
+    def test_16k_blocks_separate_l8_from_single_channel(self, model):
+        """Fig 5: at 16 KiB, L8 keeps scaling with threads while R1/CXL
+        flatten after ~4 threads."""
+        def gain(scheme):
+            four = model.bandwidth(scheme, AccessKind.LOAD,
+                                   AccessPattern.RANDOM_BLOCK,
+                                   threads=4, block_bytes=16384)
+            sixteen = model.bandwidth(scheme, AccessKind.LOAD,
+                                      AccessPattern.RANDOM_BLOCK,
+                                      threads=16, block_bytes=16384)
+            return sixteen.gb_per_s / four.gb_per_s
+
+        assert gain(L8) > 3.0
+        assert gain(CXL) < 2.0
+        assert gain(R1) < 2.0
+
+    def test_cxl_nt_single_thread_scales_with_block(self, model):
+        """Fig 5: 'Single-threaded nt-store scales nicely with block
+        size'."""
+        sizes = [1024, 4096, 16384, 65536]
+        values = [model.bandwidth(CXL, AccessKind.NT_STORE,
+                                  AccessPattern.RANDOM_BLOCK, threads=1,
+                                  block_bytes=s).gb_per_s for s in sizes]
+        assert values == sorted(values)
+
+    def test_cxl_nt_2_threads_peak_at_32k(self, model):
+        """Fig 5: 'the 2-thread bandwidth reaches its peak when the
+        block size is 32KB'."""
+        curve = {s: model.bandwidth(CXL, AccessKind.NT_STORE,
+                                    AccessPattern.RANDOM_BLOCK, threads=2,
+                                    block_bytes=s).gb_per_s
+                 for s in (4096, 16384, 32768, 65536, 131072)}
+        peak_block = max(curve, key=curve.get)
+        assert peak_block in (16384, 32768)
+        assert curve[131072] < curve[peak_block]
+
+    def test_cxl_nt_4_threads_peak_at_16k(self, model):
+        """Fig 5: 'the 4-thread bandwidth peaks at a block size of 16KB'."""
+        curve = {s: model.bandwidth(CXL, AccessKind.NT_STORE,
+                                    AccessPattern.RANDOM_BLOCK, threads=4,
+                                    block_bytes=s).gb_per_s
+                 for s in (4096, 8192, 16384, 32768, 65536)}
+        peak_block = max(curve, key=curve.get)
+        assert peak_block in (8192, 16384)
+
+
+class TestMovdirCopies:
+    def test_d2_star_similar(self, model):
+        """Fig 4a: 'D2* operations exhibit similar behavior'."""
+        d2d = model.copy_bandwidth(L8, L8, threads=4)
+        d2c = model.copy_bandwidth(L8, CXL, threads=4)
+        assert d2c.gb_per_s == pytest.approx(d2d.gb_per_s, rel=0.15)
+
+    def test_c2_star_lower(self, model):
+        """Fig 4a: 'C2* operations show lower throughput in general'."""
+        d2d = model.copy_bandwidth(L8, L8, threads=4)
+        c2d = model.copy_bandwidth(CXL, L8, threads=4)
+        c2c = model.copy_bandwidth(CXL, CXL, threads=4)
+        assert c2d.gb_per_s < 0.6 * d2d.gb_per_s
+        assert c2c.gb_per_s <= c2d.gb_per_s
+
+    def test_copy_scheme_labels(self, model):
+        assert model.copy_bandwidth(L8, CXL).scheme == "D2C"
+        assert model.copy_bandwidth(CXL, L8).scheme == "C2D"
+        assert model.copy_bandwidth(CXL, CXL).scheme == "C2C"
+
+
+class TestValidation:
+    def test_zero_threads_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.bandwidth(L8, AccessKind.LOAD, threads=0)
+
+    def test_too_many_threads_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.bandwidth(L8, AccessKind.LOAD, threads=1000)
+
+    def test_movdir_requires_copy_api(self, model):
+        with pytest.raises(ConfigError):
+            model.bandwidth(L8, AccessKind.MOVDIR64B)
+
+    def test_result_accessors(self, model):
+        result = model.bandwidth(L8, AccessKind.LOAD, threads=4)
+        assert result.per_thread_bandwidth == pytest.approx(
+            result.app_bandwidth / 4)
+        assert result.bus_bandwidth == pytest.approx(result.app_bandwidth)
+        assert 0.0 <= result.utilization <= 1.0
+
+    def test_sweep_helper(self, model):
+        sweep = model.sweep_threads(L8, AccessKind.LOAD, [1, 2, 4])
+        assert [r.threads for r in sweep] == [1, 2, 4]
+        assert sweep[0].gb_per_s < sweep[-1].gb_per_s

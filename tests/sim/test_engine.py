@@ -1,0 +1,128 @@
+"""The event engine: ordering, cancellation, and run bounds."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        order = []
+        eng.schedule(30.0, lambda: order.append("c"))
+        eng.schedule(10.0, lambda: order.append("a"))
+        eng.schedule(20.0, lambda: order.append("b"))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        eng = Engine()
+        order = []
+        for tag in "abcde":
+            eng.schedule(5.0, lambda t=tag: order.append(t))
+        eng.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(42.0, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [42.0]
+        assert eng.now == 42.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        eng = Engine()
+        eng.schedule(10.0, lambda: eng.schedule_at(25.0, lambda: None))
+        eng.run()
+        assert eng.now == 25.0
+
+    def test_nested_scheduling_from_callback(self):
+        eng = Engine()
+        order = []
+
+        def first():
+            order.append(("first", eng.now))
+            eng.schedule(5.0, lambda: order.append(("second", eng.now)))
+
+        eng.schedule(10.0, first)
+        eng.run()
+        assert order == [("first", 10.0), ("second", 15.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = Engine()
+        fired = []
+        handle = eng.schedule(10.0, lambda: fired.append(1))
+        eng.cancel(handle)
+        eng.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        handle = eng.schedule(10.0, lambda: None)
+        eng.cancel(handle)
+        eng.cancel(handle)
+        eng.run()
+
+    def test_peek_skips_cancelled(self):
+        eng = Engine()
+        early = eng.schedule(5.0, lambda: None)
+        eng.schedule(10.0, lambda: None)
+        eng.cancel(early)
+        assert eng.peek() == 10.0
+
+
+class TestRunBounds:
+    def test_run_until_stops_clock(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(10.0, lambda: fired.append("early"))
+        eng.schedule(100.0, lambda: fired.append("late"))
+        eng.run(until=50.0)
+        assert fired == ["early"]
+        assert eng.now == 50.0
+
+    def test_run_until_then_resume(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(100.0, lambda: fired.append("late"))
+        eng.run(until=50.0)
+        eng.run()
+        assert fired == ["late"]
+        assert eng.now == 100.0
+
+    def test_run_until_beyond_last_event_advances_clock(self):
+        eng = Engine()
+        eng.schedule(10.0, lambda: None)
+        eng.run(until=500.0)
+        assert eng.now == 500.0
+
+    def test_max_events_guard(self):
+        eng = Engine()
+
+        def rescheduler():
+            eng.schedule(1.0, rescheduler)
+
+        eng.schedule(1.0, rescheduler)
+        with pytest.raises(SimulationError):
+            eng.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        eng = Engine()
+        for _ in range(7):
+            eng.schedule(1.0, lambda: None)
+        eng.run()
+        assert eng.events_processed == 7
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False

@@ -1,0 +1,220 @@
+"""Generator processes: timeouts, resources, joins, and events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    Acquire,
+    Engine,
+    Get,
+    Process,
+    Put,
+    Release,
+    Server,
+    Signal,
+    SimEvent,
+    Store,
+    Timeout,
+    WaitEvent,
+)
+from repro.sim.process import spawn
+
+
+class TestTimeout:
+    def test_timeout_advances_time(self):
+        eng = Engine()
+        times = []
+
+        def body():
+            yield Timeout(10.0)
+            times.append(eng.now)
+            yield Timeout(5.0)
+            times.append(eng.now)
+
+        spawn(eng, body())
+        eng.run()
+        assert times == [10.0, 15.0]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_process_result(self):
+        eng = Engine()
+
+        def body():
+            yield Timeout(1.0)
+            return 42
+
+        proc = spawn(eng, body())
+        eng.run()
+        assert proc.done
+        assert proc.result == 42
+
+
+class TestServerInteraction:
+    def test_capacity_one_serializes(self):
+        eng = Engine()
+        server = Server(1)
+        log = []
+
+        def worker(tag):
+            yield Acquire(server)
+            log.append((tag, "start", eng.now))
+            yield Timeout(10.0)
+            log.append((tag, "end", eng.now))
+            yield Release(server)
+
+        spawn(eng, worker("a"))
+        spawn(eng, worker("b"))
+        eng.run()
+        assert log == [("a", "start", 0.0), ("a", "end", 10.0),
+                       ("b", "start", 10.0), ("b", "end", 20.0)]
+
+    def test_capacity_two_overlaps(self):
+        eng = Engine()
+        server = Server(2)
+        ends = []
+
+        def worker():
+            yield Acquire(server)
+            yield Timeout(10.0)
+            yield Release(server)
+            ends.append(eng.now)
+
+        for _ in range(2):
+            spawn(eng, worker())
+        eng.run()
+        assert ends == [10.0, 10.0]
+
+    def test_fifo_ordering_of_waiters(self):
+        eng = Engine()
+        server = Server(1)
+        order = []
+
+        def worker(tag):
+            yield Acquire(server)
+            order.append(tag)
+            yield Timeout(1.0)
+            yield Release(server)
+
+        for tag in range(5):
+            spawn(eng, worker(tag))
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestStoreInteraction:
+    def test_producer_consumer(self):
+        eng = Engine()
+        store = Store()
+        received = []
+
+        def producer():
+            for i in range(3):
+                yield Timeout(10.0)
+                yield Put(store, i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield Get(store)
+                received.append((item, eng.now))
+
+        spawn(eng, producer())
+        spawn(eng, consumer())
+        eng.run()
+        assert [item for item, _ in received] == [0, 1, 2]
+        assert [t for _, t in received] == [10.0, 20.0, 30.0]
+
+
+class TestJoin:
+    def test_parent_waits_for_child(self):
+        eng = Engine()
+        seq = []
+
+        def child():
+            yield Timeout(50.0)
+            return "child-result"
+
+        def parent():
+            proc = spawn(eng, child())
+            result = yield proc
+            seq.append((result, eng.now))
+
+        spawn(eng, parent())
+        eng.run()
+        assert seq == [("child-result", 50.0)]
+
+    def test_join_on_already_done_child(self):
+        eng = Engine()
+        seq = []
+
+        def child():
+            yield Timeout(1.0)
+            return 7
+
+        def parent(proc):
+            yield Timeout(100.0)
+            result = yield proc
+            seq.append(result)
+
+        child_proc = spawn(eng, child())
+        spawn(eng, parent(child_proc))
+        eng.run()
+        assert seq == [7]
+
+
+class TestEvents:
+    def test_signal_wakes_all_waiters(self):
+        eng = Engine()
+        event = SimEvent()
+        woken = []
+
+        def waiter(tag):
+            value = yield WaitEvent(event)
+            woken.append((tag, value))
+
+        def signaller():
+            yield Timeout(5.0)
+            yield Signal(event, "go")
+
+        spawn(eng, waiter("a"))
+        spawn(eng, waiter("b"))
+        spawn(eng, signaller())
+        eng.run()
+        assert sorted(woken) == [("a", "go"), ("b", "go")]
+
+    def test_double_signal_is_error(self):
+        event = SimEvent()
+        event.signal()
+        with pytest.raises(SimulationError):
+            event.signal()
+
+    def test_unknown_command_rejected(self):
+        eng = Engine()
+
+        def body():
+            yield "not-a-command"
+
+        spawn(eng, body())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+
+class TestResourceDirectAPI:
+    def test_release_idle_server_is_error(self):
+        with pytest.raises(SimulationError):
+            Server(1).release()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Server(0)
+
+    def test_queue_depth_tracking(self):
+        server = Server(1)
+        server.acquire(lambda: None)
+        server.acquire(lambda: None)
+        server.acquire(lambda: None)
+        assert server.busy == 1
+        assert server.queue_depth == 2
+        assert server.max_queue_depth == 2

@@ -1,0 +1,130 @@
+"""Percentile estimation and rate metering."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import LatencyRecorder, RateMeter, percentile
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([5.0], 99.0) == 5.0
+
+    def test_median_of_odd_list(self):
+        assert percentile([1.0, 2.0, 3.0], 50.0) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 50.0) == 5.0
+
+    def test_p0_and_p100_are_extremes(self):
+        data = [3.0, 1.0, 7.0, 5.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 100.0) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_pct_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2,
+                    max_size=200),
+           st.floats(min_value=0, max_value=100))
+    def test_matches_numpy_linear(self, data, pct):
+        ours = percentile(data, pct)
+        theirs = float(np.percentile(np.array(data), pct, method="linear"))
+        assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-9)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=100))
+    def test_monotone_in_pct(self, data):
+        # Allow one ulp of slack: interpolating between two equal values can
+        # round a hair below the exact value.
+        p50, p99 = percentile(data, 50.0), percentile(data, 99.0)
+        assert p50 <= p99 or math.isclose(p50, p99, rel_tol=1e-12)
+
+
+class TestLatencyRecorder:
+    def test_summary(self):
+        rec = LatencyRecorder()
+        for v in [10.0, 20.0, 30.0, 40.0]:
+            rec.record(v)
+        summary = rec.summary()
+        assert summary["count"] == 4
+        assert summary["mean_ns"] == 25.0
+        assert summary["max_ns"] == 40.0
+        assert summary["p50_ns"] == 25.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1.0)
+
+    def test_empty_recorder_raises_on_stats(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().mean()
+
+    def test_p99_dominated_by_tail(self):
+        rec = LatencyRecorder()
+        for _ in range(99):
+            rec.record(1.0)
+        rec.record(1000.0)
+        assert rec.p99() > rec.p50()
+
+
+class TestRateMeter:
+    def test_bandwidth_over_window(self):
+        meter = RateMeter()
+        meter.add(nbytes=64_000_000_000, ops=1)  # 64 GB in 1 second
+        assert meter.bandwidth(now_ns=1e9) == pytest.approx(64e9)
+
+    def test_throughput(self):
+        meter = RateMeter()
+        meter.add(nbytes=0, ops=500)
+        assert meter.throughput(now_ns=1e9) == pytest.approx(500.0)
+
+    def test_reset_starts_new_window(self):
+        meter = RateMeter()
+        meter.add(nbytes=100, ops=1)
+        meter.reset(now_ns=1e9)
+        meter.add(nbytes=64, ops=1)
+        assert meter.bandwidth(now_ns=2e9) == pytest.approx(64.0)
+
+    def test_zero_window_rejected(self):
+        meter = RateMeter()
+        meter.add(nbytes=1, ops=1)
+        with pytest.raises(ValueError):
+            meter.bandwidth(now_ns=0.0)
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            RateMeter().add(nbytes=-1)
+
+
+class TestSubstream:
+    def test_same_name_same_stream(self):
+        from repro.sim import substream
+        a = substream("arrivals").random(5)
+        b = substream("arrivals").random(5)
+        assert np.array_equal(a, b)
+
+    def test_distinct_names_distinct_streams(self):
+        from repro.sim import substream
+        a = substream("arrivals").random(5)
+        b = substream("keys").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_seed_changes_stream(self):
+        from repro.sim import substream
+        a = substream("arrivals", seed=1).random(5)
+        b = substream("arrivals", seed=2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_empty_name_rejected(self):
+        from repro.sim import substream
+        with pytest.raises(ValueError):
+            substream("")

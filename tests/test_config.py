@@ -1,0 +1,158 @@
+"""Testbed configuration presets must match the paper's Table 1."""
+
+import pytest
+
+from repro import units
+from repro.config import (
+    CacheLevelConfig,
+    CoreConfig,
+    CxlDeviceConfig,
+    DramConfig,
+    LinkConfig,
+    SocketConfig,
+    SystemConfig,
+    combined_testbed,
+    dual_socket_testbed,
+    single_socket_testbed,
+)
+from repro.errors import ConfigError
+
+
+class TestTable1SingleSocket:
+    def setup_method(self):
+        self.system = single_socket_testbed()
+
+    def test_core_count(self):
+        assert self.system.socket.cores == 32
+        assert self.system.socket.smt == 2
+        assert self.system.socket.hardware_threads == 64
+
+    def test_llc_size(self):
+        assert self.system.socket.cache.llc.capacity_bytes == units.mib(60)
+
+    def test_dram(self):
+        dram = self.system.socket.dram
+        assert dram.generation == "DDR5"
+        assert dram.transfer_mt_s == 4800
+        assert dram.channels == 8
+        assert dram.capacity_bytes == units.gib(128)
+
+    def test_cxl_device_present(self):
+        cxl = self.system.cxl
+        assert cxl.dram.generation == "DDR4"
+        assert cxl.dram.transfer_mt_s == 2666
+        assert cxl.dram.channels == 1
+        assert cxl.dram.capacity_bytes == units.gib(16)
+
+    def test_cxl_link_is_pcie5_x16(self):
+        link = self.system.cxl.link
+        assert units.to_gb_per_s(link.bandwidth_bytes_per_s) == pytest.approx(64.0)
+
+
+class TestTable1DualSocket:
+    def setup_method(self):
+        self.system = dual_socket_testbed()
+
+    def test_two_sockets(self):
+        assert len(self.system.sockets) == 2
+        for socket in self.system.sockets:
+            assert socket.cores == 40
+            assert socket.cache.llc.capacity_bytes == units.mib(105)
+
+    def test_total_llc_is_210_mb(self):
+        total = sum(s.cache.llc.capacity_bytes for s in self.system.sockets)
+        assert total == units.mib(210)
+
+    def test_upi_link_exists(self):
+        assert self.system.upi is not None
+        assert self.system.upi.name == "UPI"
+
+    def test_no_cxl_device(self):
+        with pytest.raises(ConfigError):
+            _ = self.system.cxl
+
+
+class TestCombinedTestbed:
+    def test_has_all_three_memory_schemes(self):
+        system = combined_testbed()
+        assert len(system.sockets) == 2          # local + remote DDR5
+        assert system.upi is not None
+        assert system.cxl.dram.channels == 1     # CXL single channel
+
+
+class TestDramConfig:
+    def test_peak_bandwidth(self):
+        dram = single_socket_testbed().socket.dram
+        assert units.to_gb_per_s(dram.peak_bandwidth) == pytest.approx(307.2)
+        assert units.to_gb_per_s(dram.per_channel_peak) == pytest.approx(38.4)
+
+    def test_with_channels_scales_capacity(self):
+        dram = single_socket_testbed().socket.dram
+        one = dram.with_channels(1)
+        assert one.channels == 1
+        assert one.capacity_bytes == dram.capacity_bytes // 8
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ConfigError):
+            DramConfig("DDR5", 4800, 0, units.gib(1), 50.0)
+
+    def test_rejects_bad_efficiency_ordering(self):
+        with pytest.raises(ConfigError):
+            DramConfig("DDR5", 4800, 1, units.gib(1), 50.0,
+                       sequential_efficiency=0.3, random_efficiency=0.6)
+
+
+class TestSncMode:
+    def test_snc_node_slices_resources(self):
+        socket = single_socket_testbed().socket
+        node = socket.snc_node()
+        assert node.cores == 8              # 32 / 4 chiplets
+        assert node.dram.channels == 2      # 8 / 4 (Fig 9: two channels)
+        assert node.cache.llc.capacity_bytes == socket.cache.llc.capacity_bytes // 4
+        assert node.snc_clusters == 1
+
+    def test_snc_requires_divisibility(self):
+        socket = single_socket_testbed().socket
+        with pytest.raises(ConfigError):
+            SocketConfig(name="bad", cores=30, smt=2, core=socket.core,
+                         cache=socket.cache, dram=socket.dram,
+                         snc_clusters=4)
+
+
+class TestCxlDeviceConfig:
+    def test_asic_ablation_removes_fpga_penalty(self):
+        fpga = single_socket_testbed().cxl
+        asic = fpga.as_asic()
+        assert asic.fpga_penalty_ns == 0.0
+        assert asic.device_latency_ns < fpga.device_latency_ns
+
+    def test_device_latency_composition(self):
+        cxl = single_socket_testbed().cxl
+        expected = cxl.controller_ns + cxl.fpga_penalty_ns + cxl.dram.access_ns
+        assert cxl.device_latency_ns == expected
+
+    def test_rejects_empty_write_buffer(self):
+        cxl = single_socket_testbed().cxl
+        with pytest.raises(ConfigError):
+            CxlDeviceConfig(dram=cxl.dram, link=cxl.link,
+                            write_buffer_entries=0)
+
+
+class TestValidation:
+    def test_cache_level_geometry_must_divide(self):
+        with pytest.raises(ConfigError):
+            CacheLevelConfig("L1", capacity_bytes=1000, ways=3, latency_ns=1.0)
+
+    def test_multi_socket_requires_upi(self):
+        socket = single_socket_testbed().socket
+        with pytest.raises(ConfigError):
+            SystemConfig(name="bad", sockets=(socket, socket), upi=None)
+
+    def test_link_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            LinkConfig("bad", bandwidth_bytes_per_s=1.0, hop_latency_ns=-1.0)
+
+    def test_core_cycle_time(self):
+        core = CoreConfig(frequency_ghz=2.0)
+        assert core.cycle_ns == 0.5
+        assert core.issue_overhead_ns == pytest.approx(2.0)

@@ -1,0 +1,91 @@
+"""Config serialization: exact round trips and loud failure on typos."""
+
+import json
+
+import pytest
+
+from repro.config import (
+    combined_testbed,
+    dual_socket_testbed,
+    pooled_cxl_testbed,
+    single_socket_testbed,
+)
+from repro.config_io import (
+    load_system,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.errors import ConfigError
+
+PRESETS = [single_socket_testbed, dual_socket_testbed, combined_testbed,
+           lambda: pooled_cxl_testbed(3)]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("preset", PRESETS,
+                             ids=lambda p: getattr(p, "__name__", "pooled"))
+    def test_dict_roundtrip_is_exact(self, preset):
+        config = preset()
+        assert system_from_dict(system_to_dict(config)) == config
+
+    def test_file_roundtrip(self, tmp_path):
+        config = combined_testbed()
+        path = tmp_path / "testbed.json"
+        save_system(config, path)
+        assert load_system(path) == config
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "testbed.json"
+        save_system(single_socket_testbed(), path)
+        data = json.loads(path.read_text())
+        assert data["name"] == "single-socket"
+        assert data["sockets"][0]["cores"] == 32
+
+
+class TestEditing:
+    def test_edited_config_builds_a_system(self, tmp_path):
+        """The intended workflow: dump, tweak, reload, build."""
+        from repro import build_system
+        data = system_to_dict(single_socket_testbed())
+        data["cxl_devices"][0]["fpga_penalty_ns"] = 0.0   # "ASIC" edit
+        data["cxl_devices"][0]["dram"]["channels"] = 2
+        config = system_from_dict(data)
+        system = build_system(config)
+        assert system.cxl_backend().cxl_config.fpga_penalty_ns == 0.0
+
+    def test_validation_still_applies(self):
+        data = system_to_dict(single_socket_testbed())
+        data["sockets"][0]["cores"] = -1
+        with pytest.raises(ConfigError):
+            system_from_dict(data)
+
+
+class TestFailureModes:
+    def test_unknown_key_rejected(self):
+        data = system_to_dict(single_socket_testbed())
+        data["sockets"][0]["coers"] = 32        # typo
+        del data["sockets"][0]["cores"]
+        with pytest.raises(ConfigError) as error:
+            system_from_dict(data)
+        assert "coers" in str(error.value)
+
+    def test_unknown_nested_key_rejected(self):
+        data = system_to_dict(single_socket_testbed())
+        data["cxl_devices"][0]["dram"]["chanels"] = 2
+        with pytest.raises(ConfigError):
+            system_from_dict(data)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_system(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError):
+            load_system(path)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            system_from_dict({"name": "x", "sockets": ["not-an-object"]})

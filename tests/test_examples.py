@@ -1,0 +1,30 @@
+"""Every shipped example must run clean against the public API."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3         # quickstart + domain scenarios
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} produced no output"
+
+
+def test_quickstart_mentions_all_schemes(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    for label in ("DDR5-L8", "DDR5-R1", "CXL"):
+        assert label in out

@@ -1,0 +1,97 @@
+"""Unit conversions: the paper's headline numbers must round-trip exactly."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestTime:
+    def test_ns_to_us(self):
+        assert units.ns_to_us(1500.0) == 1.5
+
+    def test_ns_to_ms(self):
+        assert units.ns_to_ms(2_500_000.0) == 2.5
+
+    def test_ns_to_sec(self):
+        assert units.ns_to_sec(1e9) == 1.0
+
+    def test_sec_roundtrip(self):
+        assert units.ns_to_sec(units.sec_to_ns(3.25)) == 3.25
+
+
+class TestSizes:
+    def test_binary_prefixes(self):
+        assert units.kib(1) == 1024
+        assert units.mib(2) == 2 * 1024 * 1024
+        assert units.gib(1) == 1024 ** 3
+
+    def test_cacheline_matches_avx512_width(self):
+        # One AVX-512 register is 512 bits = 64 B = one cacheline (§4.1).
+        assert units.CACHELINE == 64
+
+    def test_cxl_flit_is_68_bytes(self):
+        # 64 B CXL data + 2 B CRC + 2 B protocol ID (§2.1).
+        assert units.CXL_FLIT_BYTES == 68
+        assert units.CXL_FLIT_PAYLOAD == 64
+
+
+class TestBandwidth:
+    def test_gb_per_s_roundtrip(self):
+        assert units.to_gb_per_s(units.gb_per_s(221.0)) == pytest.approx(221.0)
+
+    def test_transfer_time(self):
+        # 64 GB/s moves 64 B in 1 ns.
+        assert units.transfer_ns(64, units.gb_per_s(64)) == pytest.approx(1.0)
+
+    def test_transfer_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.transfer_ns(64, 0.0)
+
+    def test_bandwidth_from_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            units.bandwidth_from(64, 0.0)
+
+    def test_ddr4_2666_single_channel_theoretical_peak(self):
+        # The grey dashed line in Fig. 3b: DDR4-2666 x1 ~ 21.3 GB/s.
+        peak = units.ddr_peak_bandwidth(2666, channels=1)
+        assert units.to_gb_per_s(peak) == pytest.approx(21.33, abs=0.01)
+
+    def test_ddr5_4800_eight_channels(self):
+        peak = units.ddr_peak_bandwidth(4800, channels=8)
+        assert units.to_gb_per_s(peak) == pytest.approx(307.2, abs=0.1)
+
+    def test_peak_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            units.ddr_peak_bandwidth(0, channels=1)
+        with pytest.raises(ValueError):
+            units.ddr_peak_bandwidth(4800, channels=0)
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert units.format_bytes(512) == "512B"
+        assert units.format_bytes(2048) == "2.0KiB"
+        assert units.format_bytes(units.gib(16)) == "16.0GiB"
+
+    def test_format_ns(self):
+        assert units.format_ns(450.0) == "450.0ns"
+        assert units.format_ns(1500.0) == "1.5us"
+        assert units.format_ns(2_000_000.0) == "2.00ms"
+        assert units.format_ns(3e9) == "3.000s"
+
+
+class TestProperties:
+    @given(st.floats(min_value=1.0, max_value=1e12),
+           st.floats(min_value=1e6, max_value=1e12))
+    def test_transfer_bandwidth_inverse(self, nbytes, bw):
+        """bandwidth_from(transfer_ns(n, bw)) recovers bw."""
+        elapsed = units.transfer_ns(nbytes, bw)
+        assert math.isclose(units.bandwidth_from(nbytes, elapsed), bw,
+                            rel_tol=1e-9)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_kib_mib_consistency(self, n):
+        assert units.mib(n) == units.kib(n) * 1024

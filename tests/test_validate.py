@@ -1,0 +1,49 @@
+"""The cross-model validation suite itself must pass."""
+
+import pytest
+
+from repro import build_system, combined_testbed
+from repro.validate import (
+    cross_validate,
+    validate_chase_bounds,
+    validate_link_ceiling,
+    validate_redis_capacity,
+    validate_traffic_factors,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system(combined_testbed())
+
+
+class TestIndividualChecks:
+    def test_link_ceiling(self):
+        check = validate_link_ceiling()
+        assert check.passed, check
+
+    def test_traffic_factors(self):
+        check = validate_traffic_factors()
+        assert check.passed, check
+
+    def test_redis_capacity(self, system):
+        check = validate_redis_capacity(system)
+        assert check.passed, check
+
+    def test_chase_bounds(self):
+        check = validate_chase_bounds()
+        assert check.passed, check
+
+
+class TestSuite:
+    def test_all_checks_pass(self, system):
+        checks = cross_validate(system)
+        assert len(checks) == 4
+        failing = [c for c in checks if not c.passed]
+        assert not failing, "\n".join(str(c) for c in failing)
+
+    def test_cli_validate_flag(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out

@@ -1,0 +1,128 @@
+"""Tiering policies and the migration cost model."""
+
+import numpy as np
+import pytest
+
+from repro import build_system, combined_testbed
+from repro.errors import WorkloadError
+from repro.tiering import (
+    HotnessTracker,
+    MigrationEngine,
+    NoMigration,
+    PageMigrator,
+    TppLikePolicy,
+)
+from repro.tiering.policy import MigrationPlan
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system(combined_testbed())
+
+
+def warm_tracker(hot_pages, num_pages=16, heat=10):
+    tracker = HotnessTracker(num_pages)
+    accesses = np.repeat(np.array(hot_pages), heat)
+    tracker.record_accesses(accesses)
+    tracker.end_epoch()
+    return tracker
+
+
+class TestNoMigration:
+    def test_never_moves_anything(self):
+        tracker = warm_tracker([0, 1, 2])
+        on_dram = np.zeros(16, dtype=bool)
+        plan = NoMigration().plan(tracker, on_dram, 8)
+        assert plan.total_pages == 0
+
+
+class TestTppLikePolicy:
+    def test_promotes_hot_cxl_pages(self):
+        tracker = warm_tracker([5, 6])
+        on_dram = np.zeros(16, dtype=bool)
+        plan = TppLikePolicy().plan(tracker, on_dram, 8)
+        assert set(plan.promote) == {5, 6}
+        assert plan.demote.size == 0       # DRAM has room
+
+    def test_ignores_hot_pages_already_on_dram(self):
+        tracker = warm_tracker([5])
+        on_dram = np.zeros(16, dtype=bool)
+        on_dram[5] = True
+        plan = TppLikePolicy().plan(tracker, on_dram, 8)
+        assert 5 not in plan.promote
+
+    def test_cold_pages_not_promoted(self):
+        tracker = warm_tracker([5], heat=1)    # heat 1 < threshold 2
+        on_dram = np.zeros(16, dtype=bool)
+        plan = TppLikePolicy(promotion_threshold=2.0).plan(
+            tracker, on_dram, 8)
+        assert plan.promote.size == 0
+
+    def test_demotes_coldest_when_dram_full(self):
+        tracker = warm_tracker([5, 6], num_pages=16)
+        on_dram = np.zeros(16, dtype=bool)
+        on_dram[[0, 1]] = True                  # cold DRAM residents
+        plan = TppLikePolicy().plan(tracker, on_dram,
+                                    dram_capacity_pages=2)
+        assert set(plan.promote) == {5, 6}
+        assert plan.demote.size == 2
+        assert set(plan.demote) <= {0, 1}
+
+    def test_migration_cap_respected(self):
+        tracker = warm_tracker(list(range(10)))
+        on_dram = np.zeros(16, dtype=bool)
+        plan = TppLikePolicy(max_migrations_per_epoch=3).plan(
+            tracker, on_dram, 16)
+        assert plan.promote.size == 3
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            TppLikePolicy(promotion_threshold=0.0)
+        with pytest.raises(WorkloadError):
+            TppLikePolicy(max_migrations_per_epoch=0)
+
+    def test_mask_size_mismatch_rejected(self):
+        tracker = warm_tracker([0])
+        with pytest.raises(WorkloadError):
+            TppLikePolicy().plan(tracker, np.zeros(4, dtype=bool), 2)
+
+
+class TestPageMigrator:
+    def make_plan(self, promote=0, demote=0) -> MigrationPlan:
+        return MigrationPlan(
+            promote=np.arange(promote, dtype=np.int64),
+            demote=np.arange(demote, dtype=np.int64))
+
+    def test_empty_plan_is_free(self, system):
+        migrator = PageMigrator(system)
+        assert migrator.migration_time_ns(self.make_plan()) == 0.0
+
+    def test_time_scales_with_pages(self, system):
+        migrator = PageMigrator(system)
+        few = migrator.migration_time_ns(self.make_plan(promote=10))
+        many = migrator.migration_time_ns(self.make_plan(promote=100))
+        assert many == pytest.approx(10 * few, rel=0.01)
+
+    def test_dsa_beats_cpu_memcpy(self, system):
+        """§6: DSA is the recommended bulk mover."""
+        plan = self.make_plan(promote=256, demote=256)
+        dsa = PageMigrator(system, engine=MigrationEngine.DSA_ASYNC)
+        cpu = PageMigrator(system, engine=MigrationEngine.CPU_MEMCPY)
+        assert dsa.migration_time_ns(plan) < cpu.migration_time_ns(plan)
+
+    def test_dsa_frees_the_cpu(self, system):
+        dsa = PageMigrator(system, engine=MigrationEngine.DSA_ASYNC)
+        cpu = PageMigrator(system, engine=MigrationEngine.CPU_MOVDIR)
+        assert dsa.cpu_busy_fraction() < cpu.cpu_busy_fraction()
+
+    def test_demotions_charged_too(self, system):
+        migrator = PageMigrator(system)
+        promote_only = migrator.migration_time_ns(
+            self.make_plan(promote=64))
+        both = migrator.migration_time_ns(
+            self.make_plan(promote=64, demote=64))
+        assert both > promote_only
+
+    def test_bad_page_size_rejected(self, system):
+        with pytest.raises(WorkloadError):
+            PageMigrator(system, page_bytes=0)

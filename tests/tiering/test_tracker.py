@@ -1,0 +1,109 @@
+"""Hotness tracker: counting, decay, ranking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.tiering import HotnessTracker
+
+
+class TestRecording:
+    def test_counts_fold_in_at_epoch_end(self):
+        tracker = HotnessTracker(10)
+        tracker.record_accesses(np.array([3, 3, 3, 7]))
+        assert tracker.heat(3) == 0.0      # not folded yet
+        tracker.end_epoch()
+        assert tracker.heat(3) == 3.0
+        assert tracker.heat(7) == 1.0
+
+    def test_out_of_range_rejected(self):
+        tracker = HotnessTracker(10)
+        with pytest.raises(WorkloadError):
+            tracker.record_accesses(np.array([10]))
+        with pytest.raises(WorkloadError):
+            tracker.record_accesses(np.array([-1]))
+
+    def test_empty_batch_is_noop(self):
+        tracker = HotnessTracker(10)
+        tracker.record_accesses(np.array([], dtype=np.int64))
+        tracker.end_epoch()
+        assert tracker.heat(0) == 0.0
+
+
+class TestDecay:
+    def test_heat_decays_geometrically(self):
+        tracker = HotnessTracker(4, decay=0.5)
+        tracker.record_accesses(np.array([0, 0, 0, 0]))
+        tracker.end_epoch()
+        tracker.end_epoch()      # nothing this epoch
+        assert tracker.heat(0) == pytest.approx(2.0)
+        tracker.end_epoch()
+        assert tracker.heat(0) == pytest.approx(1.0)
+
+    def test_zero_decay_forgets_instantly(self):
+        tracker = HotnessTracker(4, decay=0.0)
+        tracker.record_accesses(np.array([0]))
+        tracker.end_epoch()
+        tracker.end_epoch()
+        assert tracker.heat(0) == 0.0
+
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(WorkloadError):
+            HotnessTracker(4, decay=1.0)
+        with pytest.raises(WorkloadError):
+            HotnessTracker(4, decay=-0.1)
+
+
+class TestRanking:
+    def make_warm_tracker(self) -> HotnessTracker:
+        tracker = HotnessTracker(5)
+        tracker.record_accesses(np.array([0] * 5 + [1] * 3 + [2] * 1))
+        tracker.end_epoch()
+        return tracker
+
+    def test_hottest_order(self):
+        tracker = self.make_warm_tracker()
+        assert list(tracker.hottest(3)) == [0, 1, 2]
+
+    def test_hottest_clamped_to_page_count(self):
+        tracker = self.make_warm_tracker()
+        assert len(tracker.hottest(100)) == 5
+
+    def test_coldest_within_subset(self):
+        tracker = self.make_warm_tracker()
+        candidates = np.array([0, 1, 4])
+        coldest = tracker.coldest_within(candidates, 2)
+        assert list(coldest) == [4, 1]
+
+    def test_is_hot_threshold(self):
+        tracker = self.make_warm_tracker()
+        assert tracker.is_hot(0, threshold=4.0)
+        assert not tracker.is_hot(2, threshold=4.0)
+
+    def test_heats_vectorized(self):
+        tracker = self.make_warm_tracker()
+        assert list(tracker.heats(np.array([0, 2]))) == [5.0, 1.0]
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                    max_size=200))
+    def test_total_heat_equals_total_accesses_first_epoch(self, accesses):
+        tracker = HotnessTracker(16)
+        tracker.record_accesses(np.array(accesses))
+        tracker.end_epoch()
+        total = sum(tracker.heat(p) for p in range(16))
+        assert total == pytest.approx(len(accesses))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=5,
+                    max_size=100))
+    def test_hottest_is_sorted_by_heat(self, accesses):
+        tracker = HotnessTracker(16)
+        tracker.record_accesses(np.array(accesses))
+        tracker.end_epoch()
+        ranked = tracker.hottest(16)
+        heats = [tracker.heat(int(p)) for p in ranked]
+        assert heats == sorted(heats, reverse=True)

@@ -1,0 +1,166 @@
+"""Page allocator: occupancy accounting, spill behavior, strict binds."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.errors import AllocationError
+from repro.topology import (
+    Interleaved,
+    Membind,
+    MemoryKind,
+    NumaNode,
+    NumaTopology,
+    PageAllocator,
+    Preferred,
+    WeightedInterleave,
+)
+
+DRAM, REMOTE, CXL = 0, 1, 2
+
+
+def small_topology() -> NumaTopology:
+    """Small capacities so exhaustion paths are testable."""
+    return NumaTopology(nodes=[
+        NumaNode(DRAM, MemoryKind.DRAM_LOCAL, units.mib(8), cpus=4),
+        NumaNode(REMOTE, MemoryKind.DRAM_REMOTE, units.mib(8), cpus=4),
+        NumaNode(CXL, MemoryKind.CXL, units.mib(1)),
+    ])
+
+
+class TestBasicAllocation:
+    def setup_method(self):
+        self.alloc = PageAllocator(small_topology())
+
+    def test_on_node_places_everything_there(self):
+        allocation = self.alloc.on_node(units.kib(64), CXL)
+        assert allocation.node_histogram() == {CXL: 16}
+
+    def test_occupancy_tracked(self):
+        self.alloc.on_node(units.kib(64), CXL)
+        assert self.alloc.used_bytes(CXL) == units.kib(64)
+
+    def test_free_returns_pages(self):
+        allocation = self.alloc.on_node(units.kib(64), CXL)
+        self.alloc.free(allocation)
+        assert self.alloc.used_bytes(CXL) == 0
+
+    def test_double_free_detected(self):
+        allocation = self.alloc.on_node(units.kib(64), CXL)
+        self.alloc.free(allocation)
+        with pytest.raises(AllocationError):
+            self.alloc.free(allocation)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AllocationError):
+            self.alloc.allocate(0, Membind(DRAM))
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(AllocationError):
+            self.alloc.allocate(units.kib(4), Membind(42))
+
+    def test_size_rounds_up_to_pages(self):
+        allocation = self.alloc.allocate(100, Membind(DRAM))
+        assert allocation.num_pages == 1
+
+    def test_membind_overflow_raises(self):
+        # CXL node has 1 MiB; ask for 2 MiB.
+        with pytest.raises(AllocationError):
+            self.alloc.on_node(units.mib(2), CXL)
+
+
+class TestPreferredSpill:
+    def setup_method(self):
+        self.alloc = PageAllocator(small_topology())
+
+    def test_spills_to_fallback_when_full(self):
+        policy = Preferred(CXL, fallback_node_id=DRAM)
+        allocation = self.alloc.allocate(units.mib(2), policy)
+        histogram = allocation.node_histogram()
+        assert histogram[CXL] == self.alloc.capacity_pages(CXL)
+        assert histogram[DRAM] == allocation.num_pages - histogram[CXL]
+
+    def test_no_spill_when_fits(self):
+        policy = Preferred(CXL, fallback_node_id=DRAM)
+        allocation = self.alloc.allocate(units.kib(512), policy)
+        assert allocation.node_histogram() == {CXL: 128}
+
+    def test_both_full_raises(self):
+        policy = Preferred(CXL, fallback_node_id=DRAM)
+        with pytest.raises(AllocationError):
+            self.alloc.allocate(units.mib(64), policy)
+
+
+class TestInterleavedAllocation:
+    def setup_method(self):
+        self.alloc = PageAllocator(small_topology())
+
+    def test_even_split(self):
+        allocation = self.alloc.allocate(
+            units.kib(512), Interleaved((DRAM, REMOTE)))
+        histogram = allocation.node_histogram()
+        assert histogram[DRAM] == histogram[REMOTE] == 64
+
+    def test_weighted_ratio_is_exact(self):
+        policy = WeightedInterleave.from_ratio(DRAM, CXL, 4, 1)
+        allocation = self.alloc.allocate(units.kib(400), policy)  # 100 pages
+        histogram = allocation.node_histogram()
+        assert histogram[DRAM] == 80
+        assert histogram[CXL] == 20
+
+    def test_interleave_participant_exhaustion_raises(self):
+        # CXL only has 256 pages; a 50:50 split of 4 MiB needs 512 there.
+        with pytest.raises(AllocationError):
+            self.alloc.allocate(units.mib(4), Interleaved((DRAM, CXL)))
+
+
+class TestAllocationObject:
+    def setup_method(self):
+        self.alloc = PageAllocator(small_topology())
+
+    def test_node_of_respects_page_boundaries(self):
+        allocation = self.alloc.allocate(
+            units.kib(8), Interleaved((DRAM, CXL)))
+        assert allocation.node_of(0) == DRAM
+        assert allocation.node_of(units.kib(4) - 1) == DRAM
+        assert allocation.node_of(units.kib(4)) == CXL
+
+    def test_node_of_out_of_range(self):
+        allocation = self.alloc.on_node(units.kib(4), DRAM)
+        with pytest.raises(AllocationError):
+            allocation.node_of(units.kib(4))
+        with pytest.raises(AllocationError):
+            allocation.node_of(-1)
+
+    def test_nodes_of_vectorized(self):
+        import numpy as np
+        allocation = self.alloc.allocate(
+            units.kib(8), Interleaved((DRAM, CXL)))
+        offsets = np.array([0, units.kib(4), 100, units.kib(4) + 100])
+        nodes = allocation.nodes_of(offsets)
+        assert list(nodes) == [DRAM, CXL, DRAM, CXL]
+
+    def test_bytes_on_node(self):
+        allocation = self.alloc.allocate(
+            units.kib(8), Interleaved((DRAM, CXL)))
+        assert allocation.bytes_on_node(DRAM) == units.kib(4)
+        assert allocation.bytes_on_node(CXL) == units.kib(4)
+
+    def test_fractions_sum_to_one(self):
+        policy = WeightedInterleave.from_ratio(DRAM, CXL, 9, 1)
+        allocation = self.alloc.allocate(units.kib(40), policy)
+        assert sum(allocation.node_fractions().values()) == pytest.approx(1.0)
+
+
+class TestVectorizedFastPath:
+    """The tiled fast path must agree with direct policy evaluation."""
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=30),
+           st.integers(min_value=1, max_value=10),
+           st.integers(min_value=1, max_value=300))
+    def test_tile_matches_policy(self, dram_w, cxl_w, pages):
+        policy = WeightedInterleave(((DRAM, dram_w), (CXL, cxl_w)))
+        layout = PageAllocator._materialize(pages, policy)
+        expected = [policy.node_for_page(i) for i in range(pages)]
+        assert list(layout) == expected

@@ -1,0 +1,100 @@
+"""Property tests: allocator accounting under arbitrary alloc/free traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.errors import AllocationError
+from repro.topology import (
+    Membind,
+    MemoryKind,
+    NumaNode,
+    NumaTopology,
+    PageAllocator,
+    WeightedInterleave,
+)
+
+DRAM, CXL = 0, 1
+
+
+def fresh_allocator() -> PageAllocator:
+    return PageAllocator(NumaTopology(nodes=[
+        NumaNode(DRAM, MemoryKind.DRAM_LOCAL, units.mib(4), cpus=2),
+        NumaNode(CXL, MemoryKind.CXL, units.mib(2)),
+    ]))
+
+
+action = st.one_of(
+    st.tuples(st.just("alloc"),
+              st.integers(min_value=1, max_value=64),      # pages
+              st.sampled_from([DRAM, CXL])),
+    st.tuples(st.just("alloc-weighted"),
+              st.integers(min_value=1, max_value=64),
+              st.integers(min_value=1, max_value=8),        # dram weight
+              st.integers(min_value=1, max_value=8)),       # cxl weight
+    st.tuples(st.just("free"),
+              st.integers(min_value=0, max_value=10)),      # index choice
+)
+
+
+class TestAllocatorAccounting:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(action, max_size=40))
+    def test_used_pages_always_consistent(self, actions):
+        """Invariant: per-node usage equals the sum over live
+        allocations, never negative, never above capacity."""
+        allocator = fresh_allocator()
+        live = []
+        for entry in actions:
+            if entry[0] == "alloc":
+                _, pages, node = entry
+                try:
+                    live.append(allocator.allocate(
+                        pages * units.kib(4), Membind(node)))
+                except AllocationError:
+                    pass                     # node full: acceptable
+            elif entry[0] == "alloc-weighted":
+                _, pages, dram_w, cxl_w = entry
+                policy = WeightedInterleave(((DRAM, dram_w),
+                                             (CXL, cxl_w)))
+                try:
+                    live.append(allocator.allocate(
+                        pages * units.kib(4), policy))
+                except AllocationError:
+                    pass
+            else:
+                _, index = entry
+                if live:
+                    allocator.free(live.pop(index % len(live)))
+
+            for node in (DRAM, CXL):
+                expected = sum(a.node_histogram().get(node, 0)
+                               for a in live)
+                used = allocator.used_bytes(node) // units.kib(4)
+                assert used == expected
+                assert 0 <= used <= allocator.capacity_pages(node)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=200),
+           st.integers(min_value=1, max_value=20),
+           st.integers(min_value=1, max_value=20))
+    def test_allocation_layout_matches_policy_everywhere(self, pages,
+                                                         dram_w, cxl_w):
+        allocator = fresh_allocator()
+        policy = WeightedInterleave(((DRAM, dram_w), (CXL, cxl_w)))
+        allocation = allocator.allocate(pages * units.kib(4), policy)
+        for page in range(allocation.num_pages):
+            assert allocation.page_nodes[page] == \
+                policy.node_for_page(page)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=500))
+    def test_free_restores_exactly(self, pages):
+        allocator = fresh_allocator()
+        before = {n: allocator.free_pages(n) for n in (DRAM, CXL)}
+        allocation = allocator.allocate(pages * units.kib(4),
+                                        Membind(DRAM))
+        allocator.free(allocation)
+        after = {n: allocator.free_pages(n) for n in (DRAM, CXL)}
+        assert before == after

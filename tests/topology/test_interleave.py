@@ -1,0 +1,130 @@
+"""Placement policies: exact ratios over full cycles, paper settings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.topology import (
+    Interleaved,
+    Membind,
+    Preferred,
+    WeightedInterleave,
+)
+
+DRAM, CXL = 0, 2
+
+
+class TestMembind:
+    def test_all_pages_one_node(self):
+        policy = Membind(CXL)
+        assert all(policy.node_for_page(i) == CXL for i in range(100))
+        assert policy.fractions() == {CXL: 1.0}
+
+
+class TestPreferred:
+    def test_prefers_first_node(self):
+        policy = Preferred(CXL, fallback_node_id=DRAM)
+        assert policy.node_for_page(0) == CXL
+        assert policy.nodes() == [CXL, DRAM]
+
+    def test_same_node_rejected(self):
+        with pytest.raises(ConfigError):
+            Preferred(0, fallback_node_id=0)
+
+
+class TestInterleaved:
+    def test_round_robin(self):
+        policy = Interleaved((DRAM, CXL))
+        assert [policy.node_for_page(i) for i in range(4)] == [
+            DRAM, CXL, DRAM, CXL]
+
+    def test_even_fractions(self):
+        policy = Interleaved((0, 1, 2))
+        assert policy.fractions() == {0: pytest.approx(1 / 3),
+                                      1: pytest.approx(1 / 3),
+                                      2: pytest.approx(1 / 3)}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            Interleaved(())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigError):
+            Interleaved((0, 0))
+
+
+class TestWeightedInterleave:
+    def test_paper_4_to_1_gives_20_percent_cxl(self):
+        # §5: "we can allocate 20% of memory to CXL memory if we set the
+        # DRAM:CXL ratio to 4:1"
+        policy = WeightedInterleave.from_ratio(DRAM, CXL, 4, 1)
+        assert policy.cxl_fraction(CXL) == pytest.approx(0.20)
+
+    def test_paper_30_to_1_gives_3_23_percent(self):
+        policy = WeightedInterleave.from_ratio(DRAM, CXL, 30, 1)
+        assert policy.cxl_fraction(CXL) == pytest.approx(1 / 31)
+        assert policy.cxl_fraction(CXL) == pytest.approx(0.0323, abs=1e-4)
+
+    def test_paper_9_to_1_gives_10_percent(self):
+        policy = WeightedInterleave.from_ratio(DRAM, CXL, 9, 1)
+        assert policy.cxl_fraction(CXL) == pytest.approx(0.10)
+
+    def test_cycle_layout(self):
+        policy = WeightedInterleave.from_ratio(DRAM, CXL, 4, 1)
+        cycle = [policy.node_for_page(i) for i in range(5)]
+        assert cycle == [DRAM, DRAM, DRAM, DRAM, CXL]
+
+    def test_ratio_is_reduced(self):
+        policy = WeightedInterleave.from_ratio(DRAM, CXL, 8, 2)
+        assert policy.cycle_length == 5
+
+    def test_exact_count_over_any_cycle_multiple(self):
+        policy = WeightedInterleave.from_ratio(DRAM, CXL, 9, 1)
+        pages = [policy.node_for_page(i) for i in range(1000)]
+        assert pages.count(CXL) == 100
+
+    def test_from_cxl_fraction_half(self):
+        policy = WeightedInterleave.from_cxl_fraction(DRAM, CXL, 0.5)
+        assert policy.cxl_fraction(CXL) == pytest.approx(0.5)
+        assert policy.cycle_length == 2
+
+    def test_from_cxl_fraction_rejects_extremes(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ConfigError):
+                WeightedInterleave.from_cxl_fraction(DRAM, CXL, bad)
+
+    def test_non_integer_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            WeightedInterleave(((0, 1.5),))
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            WeightedInterleave(((0, 0),))
+
+    def test_zero_ratio_term_rejected(self):
+        with pytest.raises(ConfigError):
+            WeightedInterleave.from_ratio(DRAM, CXL, 0, 1)
+
+    @given(st.integers(min_value=1, max_value=50),
+           st.integers(min_value=1, max_value=50))
+    def test_fraction_matches_ratio(self, dram, cxl):
+        policy = WeightedInterleave.from_ratio(DRAM, CXL, dram, cxl)
+        assert policy.cxl_fraction(CXL) == pytest.approx(cxl / (dram + cxl))
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    def test_from_fraction_close_to_target(self, fraction):
+        policy = WeightedInterleave.from_cxl_fraction(DRAM, CXL, fraction)
+        assert policy.cxl_fraction(CXL) == pytest.approx(fraction, abs=0.001)
+
+    @given(st.integers(min_value=1, max_value=20),
+           st.integers(min_value=1, max_value=20),
+           st.integers(min_value=0, max_value=10_000))
+    def test_counts_exact_over_cycles(self, dram, cxl, start_cycle):
+        """Over any whole number of cycles the split is exactly N:M."""
+        policy = WeightedInterleave.from_ratio(DRAM, CXL, dram, cxl)
+        cycle = policy.cycle_length
+        base = start_cycle * cycle
+        pages = [policy.node_for_page(base + i) for i in range(cycle)]
+        fracs = policy.fractions()
+        assert pages.count(DRAM) == round(fracs[DRAM] * cycle)
+        assert pages.count(CXL) == round(fracs[CXL] * cycle)

@@ -1,0 +1,78 @@
+"""NUMA node and topology invariants."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigError
+from repro.topology import MemoryKind, NumaNode, NumaTopology
+
+
+def three_node_topology() -> NumaTopology:
+    """The paper's combined view: local DDR5, remote DDR5, CXL."""
+    return NumaTopology(nodes=[
+        NumaNode(0, MemoryKind.DRAM_LOCAL, units.gib(128), cpus=32,
+                 label="DDR5-L8"),
+        NumaNode(1, MemoryKind.DRAM_REMOTE, units.gib(128), cpus=32,
+                 label="DDR5-R"),
+        NumaNode(2, MemoryKind.CXL, units.gib(16), label="CXL"),
+    ])
+
+
+class TestNumaNode:
+    def test_cxl_node_is_cpuless(self):
+        node = NumaNode(2, MemoryKind.CXL, units.gib(16))
+        assert node.is_cpuless
+
+    def test_cxl_node_with_cpus_rejected(self):
+        with pytest.raises(ConfigError):
+            NumaNode(2, MemoryKind.CXL, units.gib(16), cpus=8)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            NumaNode(0, MemoryKind.DRAM_LOCAL, 0, cpus=1)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ConfigError):
+            NumaNode(-1, MemoryKind.DRAM_LOCAL, units.gib(1), cpus=1)
+
+
+class TestNumaTopology:
+    def setup_method(self):
+        self.topo = three_node_topology()
+
+    def test_lookup(self):
+        assert self.topo.node(2).kind is MemoryKind.CXL
+        assert 2 in self.topo
+        assert 7 not in self.topo
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(ConfigError):
+            self.topo.node(9)
+
+    def test_duplicate_ids_rejected(self):
+        node = NumaNode(0, MemoryKind.DRAM_LOCAL, units.gib(1), cpus=1)
+        with pytest.raises(ConfigError):
+            NumaTopology(nodes=[node, node])
+
+    def test_default_distances_self_is_10(self):
+        for node in self.topo.nodes:
+            assert self.topo.distance(node.node_id, node.node_id) == 10
+
+    def test_cxl_is_farther_than_socket_hop(self):
+        assert (self.topo.distance(0, 2) > self.topo.distance(0, 1) >
+                self.topo.distance(0, 0))
+
+    def test_cpu_and_cxl_node_partition(self):
+        assert [n.node_id for n in self.topo.cpu_nodes] == [0, 1]
+        assert [n.node_id for n in self.topo.cxl_nodes] == [2]
+
+    def test_nearest_dram_from_cxl_prefers_either_socket(self):
+        nearest = self.topo.nearest_dram(2)
+        assert nearest.kind is not MemoryKind.CXL
+
+    def test_nearest_dram_from_dram_is_self(self):
+        assert self.topo.nearest_dram(0).node_id == 0
+
+    def test_missing_distance_raises(self):
+        with pytest.raises(ConfigError):
+            self.topo.distance(0, 99)

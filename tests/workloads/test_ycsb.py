@@ -1,0 +1,87 @@
+"""YCSB workload definitions."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.rng import substream
+from repro.workloads import WORKLOADS, Operation, YcsbWorkload
+from repro.workloads.distributions import LatestKeys, UniformKeys, ZipfianKeys
+
+
+class TestCoreWorkloads:
+    def test_workload_a_is_50_50(self):
+        a = WORKLOADS["A"]
+        assert a.read == 0.5
+        assert a.update == 0.5
+
+    def test_workload_b_is_95_5(self):
+        b = WORKLOADS["B"]
+        assert b.read == 0.95
+        assert b.update == 0.05
+
+    def test_workload_c_is_read_only(self):
+        assert WORKLOADS["C"].read == 1.0
+        assert WORKLOADS["C"].write_fraction == 0.0
+
+    def test_workload_d_defaults_to_latest(self):
+        """Fig 7: 'YCSB workload D defaults to read the most recently
+        inserted elements (lat)'."""
+        assert WORKLOADS["D"].distribution == "latest"
+        assert WORKLOADS["D"].insert == 0.05
+
+    def test_workload_f_has_rmw(self):
+        assert WORKLOADS["F"].rmw == 0.5
+
+    def test_workload_e_is_absent(self):
+        """The paper omits E: 'Workload E is omitted here as it is range
+        query.'"""
+        assert "E" not in WORKLOADS
+
+    def test_non_d_workloads_are_uniform(self):
+        """§5.1: all workloads except D use uniform requests."""
+        for name, workload in WORKLOADS.items():
+            if name != "D":
+                assert workload.distribution == "uniform"
+
+
+class TestVariants:
+    def test_with_distribution_renames(self):
+        d = WORKLOADS["D"]
+        assert d.with_distribution("zipfian").name == "D-zipf"
+        assert d.with_distribution("uniform").name == "D-uni"
+        assert d.with_distribution("latest").name == "D-lat"
+
+    def test_chooser_types(self):
+        assert isinstance(WORKLOADS["A"].make_chooser(100), UniformKeys)
+        assert isinstance(WORKLOADS["D"].make_chooser(100), LatestKeys)
+        zipf = WORKLOADS["D"].with_distribution("zipfian")
+        assert isinstance(zipf.make_chooser(100), ZipfianKeys)
+
+
+class TestValidation:
+    def test_proportions_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            YcsbWorkload("bad", read=0.5, update=0.4)
+
+    def test_scans_rejected(self):
+        with pytest.raises(WorkloadError):
+            YcsbWorkload("E", read=0.95, scan=0.05)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(WorkloadError):
+            YcsbWorkload("X", read=1.0, distribution="pareto")
+
+
+class TestOperationSampling:
+    def test_mix_respected(self):
+        a = WORKLOADS["A"]
+        rng = substream("ops")
+        ops = [a.next_operation(rng) for _ in range(4000)]
+        reads = sum(1 for op in ops if op is Operation.READ)
+        assert reads == pytest.approx(2000, abs=200)
+
+    def test_read_only_never_mutates(self):
+        c = WORKLOADS["C"]
+        rng = substream("ops-c")
+        assert all(c.next_operation(rng) is Operation.READ
+                   for _ in range(500))
