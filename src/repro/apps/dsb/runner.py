@@ -11,6 +11,9 @@ from ...errors import WorkloadError
 from ...sim import Engine, LatencyRecorder
 from ...sim.process import spawn
 from ...sim.rng import substream
+from ...telemetry import NULL_TELEMETRY, Telemetry
+
+DSB_TRACK = "apps.dsb"
 from .service import StageRuntime
 from .socialnet import (
     MIXED_WORKLOAD,
@@ -39,10 +42,13 @@ class DsbRunner:
     """Simulates the service graph under Poisson load."""
 
     def __init__(self, system: System, *, database_node: int,
-                 seed: int = 3) -> None:
+                 seed: int = 3,
+                 telemetry: Telemetry | None = None) -> None:
         self.system = system
         self.network = SocialNetwork(system, database_node=database_node)
         self.seed = seed
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
 
     def run(self, qps: float, *,
             mix: dict[RequestType, float] | None = None,
@@ -56,7 +62,9 @@ class DsbRunner:
         if abs(sum(mix.values()) - 1.0) > 1e-9:
             raise WorkloadError("request mix must sum to 1")
 
-        engine = Engine()
+        engine = Engine(telemetry=self.telemetry)
+        tracer = self.telemetry.tracer
+        traced = tracer.enabled
         rng = substream(f"dsb-{self.seed}", self.seed)
         sojourn = LatencyRecorder("dsb")
         completed = [0]
@@ -91,6 +99,9 @@ class DsbRunner:
             sojourn.record(engine.now - arrival)
             completed[0] += 1
             last_done[0] = engine.now
+            if traced:
+                tracer.complete(DSB_TRACK, request.value, arrival,
+                                engine.now - arrival)
 
         gaps = rng.exponential(1e9 / qps, size=requests)
         arrival = 0.0
@@ -105,6 +116,9 @@ class DsbRunner:
 
         if completed[0] == 0:
             raise WorkloadError("no requests completed")
+        registry = self.telemetry.registry
+        registry.counter("apps.dsb.requests").inc(completed[0])
+        registry.gauge("apps.dsb.p99_sojourn_ns").set(sojourn.p99())
         elapsed_s = last_done[0] / 1e9
         return DsbResult(target_qps=qps,
                          achieved_qps=completed[0] / elapsed_s,

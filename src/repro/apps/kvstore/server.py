@@ -14,8 +14,11 @@ from dataclasses import dataclass
 from ...errors import WorkloadError
 from ...sim import Engine, LatencyRecorder, Server
 from ...sim.rng import substream
+from ...telemetry import NULL_TELEMETRY, Telemetry
 from ...workloads.ycsb import Operation
 from .store import KvStore
+
+KVSTORE_TRACK = "apps.kvstore"
 
 
 @dataclass(frozen=True)
@@ -51,12 +54,15 @@ class KvServer:
     """
 
     def __init__(self, store: KvStore, *, seed: int = 1,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 telemetry: Telemetry | None = None) -> None:
         if workers <= 0:
             raise WorkloadError(f"workers must be positive: {workers}")
         self.store = store
         self.seed = seed
         self.workers = workers
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
 
     def run(self, target_qps: float, *, requests: int = 20_000) -> RunResult:
         """Simulate ``requests`` queries at ``target_qps`` offered load."""
@@ -64,7 +70,9 @@ class KvServer:
             raise WorkloadError(f"QPS must be positive: {target_qps}")
         if requests <= 0:
             raise WorkloadError(f"requests must be positive: {requests}")
-        engine = Engine()
+        engine = Engine(telemetry=self.telemetry)
+        tracer = self.telemetry.tracer
+        traced = tracer.enabled
         name = ("redis-event-loop" if self.workers == 1
                 else f"memcached-{self.workers}w")
         server = Server(self.workers, name=name)
@@ -92,6 +100,11 @@ class KvServer:
                     sojourn.record(engine.now - arrival_time)
                     completed[0] += 1
                     last_completion[0] = engine.now
+                    if traced:
+                        tracer.complete(KVSTORE_TRACK, op.value,
+                                        arrival_time,
+                                        engine.now - arrival_time,
+                                        request=index)
 
                 engine.schedule(service, finish)
 
@@ -109,6 +122,11 @@ class KvServer:
         elapsed = last_completion[0]
         if elapsed <= 0:
             raise WorkloadError("no requests completed")
+        registry = self.telemetry.registry
+        registry.counter("apps.kvstore.requests").inc(completed[0])
+        registry.gauge("apps.kvstore.p99_sojourn_ns").set(sojourn.p99())
+        registry.gauge("apps.kvstore.achieved_qps").set(
+            completed[0] / (elapsed / 1e9))
         return RunResult(target_qps=target_qps,
                          achieved_qps=completed[0] / (elapsed / 1e9),
                          p50_ns=sojourn.p50(),

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from ..config import CacheConfig
 from ..errors import CacheError
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .cache import SetAssociativeCache
 from .cacheline import MesiState, line_address
 
@@ -36,8 +37,12 @@ class AccessResult:
 class CacheHierarchy:
     """L1d + L2 + inclusive LLC of one core's view of one socket."""
 
-    def __init__(self, config: CacheConfig) -> None:
+    def __init__(self, config: CacheConfig, *,
+                 telemetry: Telemetry | None = None) -> None:
         self.config = config
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
+        self._registry = self.telemetry.registry
         self.l1 = SetAssociativeCache(config.l1)
         self.l2 = SetAssociativeCache(config.l2)
         self.llc = SetAssociativeCache(config.llc)
@@ -58,6 +63,20 @@ class CacheHierarchy:
     def _count_memory_writeback(self, address: int) -> None:
         del address
         self.memory_writebacks += 1
+        self._registry.counter("cache.memory_writebacks").inc()
+
+    def _count(self, result: AccessResult) -> AccessResult:
+        """Mirror one functional access into the telemetry registry."""
+        registry = self._registry
+        level = result.level.lower()
+        registry.counter(f"cache.{level}.serviced").inc()
+        if result.memory_reads:
+            registry.counter("cache.memory_reads").inc(
+                result.memory_reads)
+        if result.memory_writes:
+            registry.counter("cache.memory_writes").inc(
+                result.memory_writes)
+        return result
 
     # -- functional interface ---------------------------------------------
 
@@ -70,10 +89,11 @@ class CacheHierarchy:
             if cache.contains(aligned):
                 cache.access(aligned, write=False)
                 self._fill_above(cache, aligned, MesiState.EXCLUSIVE)
-                return AccessResult(cache.name, True, latency)
+                return self._count(AccessResult(cache.name, True, latency))
         for cache in self.levels:
             cache.install(aligned, MesiState.EXCLUSIVE)
-        return AccessResult("memory", False, latency, memory_reads=1)
+        return self._count(
+            AccessResult("memory", False, latency, memory_reads=1))
 
     def store(self, address: int) -> AccessResult:
         """A temporal store: write-allocate with RFO on miss.
@@ -93,7 +113,7 @@ class CacheHierarchy:
                 break
         if hit_cache is self.l1:
             self.l1.access(aligned, write=True)
-            return AccessResult(self.l1.name, True, latency)
+            return self._count(AccessResult(self.l1.name, True, latency))
         for cache in self.levels:
             if cache is hit_cache:
                 break
@@ -101,9 +121,11 @@ class CacheHierarchy:
                 else MesiState.EXCLUSIVE
             cache.install(aligned, state)
         if hit_cache is not None:
-            return AccessResult(hit_cache.name, True, latency)
+            return self._count(
+                AccessResult(hit_cache.name, True, latency))
         # Miss everywhere: the RFO reads the line from memory.
-        return AccessResult("memory", False, latency, memory_reads=1)
+        return self._count(
+            AccessResult("memory", False, latency, memory_reads=1))
 
     def nt_store(self, address: int) -> AccessResult:
         """A non-temporal store: bypasses the hierarchy entirely.
@@ -115,8 +137,9 @@ class CacheHierarchy:
         aligned = line_address(address)
         extra_writebacks = sum(
             1 for cache in self.levels if cache.flush(aligned))
-        return AccessResult("memory", False, 0.0,
-                            memory_writes=1 + extra_writebacks)
+        return self._count(
+            AccessResult("memory", False, 0.0,
+                         memory_writes=1 + extra_writebacks))
 
     def clflush(self, address: int) -> int:
         """Flush a line from every level; returns writebacks performed."""

@@ -27,9 +27,9 @@ class Socket:
     def name(self) -> str:
         return self.config.name
 
-    def new_hierarchy(self) -> CacheHierarchy:
+    def new_hierarchy(self, *, telemetry=None) -> CacheHierarchy:
         """A fresh (cold) cache hierarchy for a functional experiment."""
-        return CacheHierarchy(self.config.cache)
+        return CacheHierarchy(self.config.cache, telemetry=telemetry)
 
     def hierarchy_traversal_ns(self) -> float:
         """Core to LLC-miss detection: the on-chip part of every miss."""

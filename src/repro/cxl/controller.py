@@ -17,14 +17,19 @@ from __future__ import annotations
 
 from ..config import CxlDeviceConfig
 from ..mem.controller import MemoryController
+from ..telemetry import NULL_TELEMETRY, Telemetry
 
 
 class CxlDeviceController:
     """Latency and derating model of the on-device controller."""
 
-    def __init__(self, config: CxlDeviceConfig) -> None:
+    def __init__(self, config: CxlDeviceConfig, *,
+                 telemetry: Telemetry | None = None) -> None:
         self.config = config
-        self.backend_controller = MemoryController(config.dram)
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
+        self.backend_controller = MemoryController(
+            config.dram, telemetry=self.telemetry)
 
     # -- latency ---------------------------------------------------------
 
@@ -48,15 +53,20 @@ class CxlDeviceController:
         """
         if reader_threads <= 0:
             raise ValueError(f"non-positive thread count: {reader_threads}")
+        registry = self.telemetry.registry
+        registry.counter("cxl.device.derate_queries").inc()
         knee = self.config.load_thread_knee
         if reader_threads <= knee:
+            registry.gauge("cxl.device.load_derate").set(1.0)
             return 1.0
         # Each thread past the knee costs locality; calibrated to Fig 3b's
         # drop from ~21 GB/s to 16.8 GB/s past 12 threads (derate ~0.81).
         excess = reader_threads - knee
         sensitivity = self.config.thread_mixing_sensitivity
         floor = 1.0 - 0.19 * sensitivity / 0.55
-        return max(floor, 1.0 - 0.04 * sensitivity / 0.55 * excess)
+        derate = max(floor, 1.0 - 0.04 * sensitivity / 0.55 * excess)
+        registry.gauge("cxl.device.load_derate").set(derate)
+        return derate
 
     def write_buffer_derate(self, nt_writer_threads: int,
                             lines_in_flight_per_thread: float = 96.0) -> float:
@@ -74,11 +84,16 @@ class CxlDeviceController:
             return 1.0
         in_flight = nt_writer_threads * lines_in_flight_per_thread
         capacity = self.config.write_buffer_entries * 1.6
+        registry = self.telemetry.registry
+        registry.gauge("cxl.device.wbuf.in_flight_lines").set(in_flight)
         if in_flight <= capacity:
+            registry.gauge("cxl.device.write_derate").set(1.0)
             return 1.0
         # Overflow: extra in-flight lines serialize on buffer drains.
         overflow = in_flight / capacity
-        return max(0.45, 1.0 / (0.55 + 0.45 * overflow))
+        derate = max(0.45, 1.0 / (0.55 + 0.45 * overflow))
+        registry.gauge("cxl.device.write_derate").set(derate)
+        return derate
 
     def store_interference_derate(self, writer_threads: int) -> float:
         """Mixing penalty for temporal-store (RFO) writer streams."""

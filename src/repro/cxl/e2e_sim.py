@@ -26,8 +26,15 @@ from dataclasses import dataclass
 from ..errors import SimulationError
 from ..mem.banks import Bank, DdrTimings, ddr4_2666_timings
 from ..sim.engine import Engine
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..units import SEC
 from .port import CxlPort
+
+# Component track names (one Perfetto row each; docs/TELEMETRY.md).
+TRACK_CORE = "core"
+TRACK_PORT = "cxl.port"
+TRACK_WBUF = "cxl.device.wbuf"
+TRACK_DRAM = "dram.channel"
 
 REQUEST_FLITS = 1      # MemRd header fits one flit (unpacked worst case)
 RESPONSE_FLITS = 2     # DRS: header + 64 B = 5 slots = 2 flits
@@ -67,11 +74,14 @@ class CxlEndToEndSim:
                  controller_ns: float = 140.0,
                  mlp_per_thread: int = 15,
                  region_lines: int = 1 << 18,
-                 closed_page: bool = False) -> None:
+                 closed_page: bool = False,
+                 telemetry: Telemetry | None = None) -> None:
         if mlp_per_thread <= 0:
             raise SimulationError("mlp must be positive")
         if controller_ns < 0:
             raise SimulationError("negative controller latency")
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
         self.port = port if port is not None else CxlPort()
         self.timings = timings if timings is not None \
             else ddr4_2666_timings()
@@ -97,7 +107,11 @@ class CxlEndToEndSim:
         if threads <= 0 or lines_per_thread <= 0:
             raise SimulationError(
                 "threads and lines_per_thread must be positive")
-        engine = Engine()
+        engine = Engine(telemetry=self.telemetry)
+        tracer = self.telemetry.tracer
+        traced = tracer.enabled
+        latency_hist = self.telemetry.registry.histogram(
+            "cxl.e2e.read.latency_ns")
         flit_ns = 68 / self.port.raw_bandwidth * SEC
         hop_ns = self.port.phy.config.hop_latency_ns
         pack_ns = self.port.pack_ns
@@ -124,13 +138,18 @@ class CxlEndToEndSim:
             index = next_line[thread]
             next_line[thread] += 1
             line = (thread * (self.region_lines + row_lines)) + index
+            issued_at = engine.now
             start = max(engine.now + pack_ns, state["m2s_free_at"])
             state["m2s_free_at"] = start + REQUEST_FLITS * flit_ns
+            if traced:
+                tracer.complete(TRACK_PORT, "m2s.memrd", start,
+                                REQUEST_FLITS * flit_ns, thread=thread)
             arrive = state["m2s_free_at"] + hop_ns
             engine.schedule(arrive - engine.now,
-                            lambda: device_handle(thread, line))
+                            lambda: device_handle(thread, line, issued_at))
 
-        def device_handle(thread: int, line: int) -> None:
+        def device_handle(thread: int, line: int,
+                          issued_at: float) -> None:
             bank_index, row = self._map(line)
             bank = banks[bank_index]
             if self.closed_page:
@@ -138,23 +157,34 @@ class CxlEndToEndSim:
             issue_at = engine.now + self.controller_ns
             if bank.open_row != row:
                 issue_at = respect_tfaw(issue_at)
-            data_at, _ = bank.access(row, issue_at)
+            data_at, hit = bank.access(row, issue_at)
             # The device data bus serializes bursts.
             burst_start = max(data_at, state["dram_bus_free_at"])
             state["dram_bus_free_at"] = burst_start + self.timings.burst_ns
+            if traced:
+                tracer.complete(TRACK_DRAM, "burst", burst_start,
+                                self.timings.burst_ns, bank=bank_index,
+                                hit=hit)
             engine.schedule(state["dram_bus_free_at"] - engine.now,
-                            lambda: respond(thread))
+                            lambda: respond(thread, issued_at))
 
-        def respond(thread: int) -> None:
+        def respond(thread: int, issued_at: float) -> None:
             start = max(engine.now, state["s2m_free_at"])
             state["s2m_free_at"] = start + RESPONSE_FLITS * flit_ns
+            if traced:
+                tracer.complete(TRACK_PORT, "s2m.drs", start,
+                                RESPONSE_FLITS * flit_ns, thread=thread)
             done_at = state["s2m_free_at"] + hop_ns + pack_ns
             engine.schedule(done_at - engine.now,
-                            lambda: complete(thread))
+                            lambda: complete(thread, issued_at))
 
-        def complete(thread: int) -> None:
+        def complete(thread: int, issued_at: float) -> None:
             state["completed"] += 1
             state["last_done"] = engine.now
+            latency_hist.record(engine.now - issued_at)
+            if traced:
+                tracer.complete(TRACK_CORE, "read", issued_at,
+                                engine.now - issued_at, thread=thread)
             launch(thread)      # the freed fill buffer refills
 
         for thread in range(threads):
@@ -165,6 +195,12 @@ class CxlEndToEndSim:
         if state["completed"] != expected:
             raise SimulationError(
                 f"only {state['completed']} of {expected} completed")
+        registry = self.telemetry.registry
+        registry.counter("cxl.e2e.read.completed").inc(state["completed"])
+        registry.counter("cxl.e2e.read.row_hits").inc(
+            sum(b.row_hits for b in banks))
+        registry.counter("cxl.e2e.read.row_misses").inc(
+            sum(b.row_misses for b in banks))
         return E2eResult(threads=threads, completed=state["completed"],
                          elapsed_ns=state["last_done"],
                          row_hits=sum(b.row_hits for b in banks),
@@ -199,11 +235,14 @@ class CxlWriteEndToEndSim:
                  controller_ns: float = 140.0,
                  buffer_entries: int = 128,
                  issue_gap_ns: float = 6.0,
-                 region_lines: int = 1 << 18) -> None:
+                 region_lines: int = 1 << 18,
+                 telemetry: Telemetry | None = None) -> None:
         if buffer_entries <= 0:
             raise SimulationError("buffer must have entries")
         if issue_gap_ns <= 0:
             raise SimulationError("issue gap must be positive")
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
         self.port = port if port is not None else CxlPort()
         self.timings = timings if timings is not None \
             else ddr4_2666_timings()
@@ -217,7 +256,9 @@ class CxlWriteEndToEndSim:
         if threads <= 0 or lines_per_thread <= 0:
             raise SimulationError(
                 "threads and lines_per_thread must be positive")
-        engine = Engine()
+        engine = Engine(telemetry=self.telemetry)
+        tracer = self.telemetry.tracer
+        traced = tracer.enabled
         flit_ns = 68 / self.port.raw_bandwidth * SEC
         hop_ns = self.port.phy.config.hop_latency_ns
         lines_per_row = self.timings.lines_per_row
@@ -226,9 +267,13 @@ class CxlWriteEndToEndSim:
 
         state = {"m2s_free_at": 0.0, "dram_bus_free_at": 0.0,
                  "credits": self.buffer_entries, "completed": 0,
-                 "last_done": 0.0}
+                 "last_done": 0.0, "stalls": 0}
         next_line = [0] * threads
         waiting_for_credit: deque[tuple[int, int]] = deque()
+
+        def occupancy_sample() -> None:
+            tracer.count(TRACK_WBUF, "occupancy", engine.now,
+                         self.buffer_entries - state["credits"])
 
         def thread_tick(thread: int) -> None:
             """A writer produces one line per issue gap, credits allowing."""
@@ -239,8 +284,14 @@ class CxlWriteEndToEndSim:
             line = thread * (self.region_lines + lines_per_row) + index
             if state["credits"] > 0:
                 state["credits"] -= 1
+                if traced:
+                    occupancy_sample()
                 send(thread, line)
             else:
+                state["stalls"] += 1
+                if traced:
+                    tracer.instant(TRACK_WBUF, "credit-stall", engine.now,
+                                   thread=thread)
                 waiting_for_credit.append((thread, line))
             # Pace the next store; a full WC pipeline stalls naturally
             # because the credit queue backs up.
@@ -256,6 +307,10 @@ class CxlWriteEndToEndSim:
             start = max(engine.now, state["m2s_free_at"])
             state["m2s_free_at"] = start \
                 + self.WRITE_REQUEST_FLITS * flit_ns
+            if traced:
+                tracer.complete(TRACK_PORT, "m2s.rwd", start,
+                                self.WRITE_REQUEST_FLITS * flit_ns,
+                                thread=thread)
             arrive = state["m2s_free_at"] + hop_ns
             engine.schedule(arrive - engine.now,
                             lambda: buffer_arrival(line))
@@ -265,10 +320,14 @@ class CxlWriteEndToEndSim:
             # occupancy); banks and the shared data bus serialize.
             row_index = line // lines_per_row
             bank = banks[row_index % self.timings.banks]
-            data_at, _ = bank.access(row_index // self.timings.banks,
-                                     engine.now + self.controller_ns)
+            data_at, hit = bank.access(row_index // self.timings.banks,
+                                       engine.now + self.controller_ns)
             burst_start = max(data_at, state["dram_bus_free_at"])
             state["dram_bus_free_at"] = burst_start + self.timings.burst_ns
+            if traced:
+                tracer.complete(TRACK_DRAM, "drain-burst", burst_start,
+                                self.timings.burst_ns,
+                                bank=bank.index, hit=hit)
             engine.schedule(state["dram_bus_free_at"] - engine.now,
                             drained)
 
@@ -284,6 +343,8 @@ class CxlWriteEndToEndSim:
                                     lambda: thread_tick(resume))
             else:
                 state["credits"] += 1
+                if traced:
+                    occupancy_sample()
 
         for thread in range(threads):
             engine.schedule(thread * 0.5, lambda t=thread: thread_tick(t))
@@ -292,6 +353,14 @@ class CxlWriteEndToEndSim:
         if state["completed"] != expected:
             raise SimulationError(
                 f"only {state['completed']} of {expected} drained")
+        registry = self.telemetry.registry
+        registry.counter("cxl.e2e.write.completed").inc(state["completed"])
+        registry.counter("cxl.e2e.write.credit_stalls").inc(
+            state["stalls"])
+        registry.counter("cxl.e2e.write.row_hits").inc(
+            sum(b.row_hits for b in banks))
+        registry.counter("cxl.e2e.write.row_misses").inc(
+            sum(b.row_misses for b in banks))
         return E2eResult(threads=threads, completed=state["completed"],
                          elapsed_ns=state["last_done"],
                          row_hits=sum(b.row_hits for b in banks),

@@ -42,3 +42,7 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness failed to produce a result."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry metric or trace was used or serialized incorrectly."""

@@ -7,7 +7,7 @@ from ..analysis.compare import ShapeCheck, check_ratio
 from ..analysis.tables import format_table, series_table
 from ..apps.dsb import DsbRunner, RequestType, memory_breakdown
 from ..apps.dsb.socialnet import MIXED_WORKLOAD, SocialNetwork
-from .registry import ExperimentResult, register
+from .registry import ExperimentResult, register, series_payload
 
 
 @register("fig10", "DeathStarBench p99 latency and memory breakdown",
@@ -66,4 +66,8 @@ def run(fast: bool) -> ExperimentResult:
                    f"{(breakdown['storage'] + breakdown['cache']) * 100:.0f}%"),
     ]
     return ExperimentResult("fig10", "DeathStarBench p99 latency",
-                            "\n\n".join(panels), checks)
+                            "\n\n".join(panels), checks,
+                            series=series_payload(
+                                {f"fig10-{name}": curves
+                                 for name, curves in
+                                 per_type_curves.items()}))

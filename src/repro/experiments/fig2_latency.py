@@ -8,7 +8,7 @@ from ..cpu.system import MemoryScheme
 from ..memo.latency_bench import LatencyBench
 from ..memo.pointer_chase import PointerChaseBench
 from ..units import KIB, MIB
-from .registry import ExperimentResult, register
+from .registry import ExperimentResult, register, series_payload
 
 L8, R1, CXL = MemoryScheme.DDR5_L8, MemoryScheme.DDR5_R1, MemoryScheme.CXL
 
@@ -50,4 +50,4 @@ def run(fast: bool) -> ExperimentResult:
         checks.append(check_monotone(
             f"{series.name} chase latency rises with WSS", series))
     return ExperimentResult("fig2", "Access latency", report.render(),
-                            checks)
+                            checks, series=series_payload(report))

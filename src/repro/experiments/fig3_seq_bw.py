@@ -6,7 +6,7 @@ from .. import build_system, combined_testbed
 from ..analysis.compare import ShapeCheck, check_peak_near, check_ratio
 from ..cpu.system import MemoryScheme
 from ..memo.bandwidth_bench import SequentialBandwidthBench
-from .registry import ExperimentResult, register
+from .registry import ExperimentResult, register, series_payload
 
 L8, R1, CXL = MemoryScheme.DDR5_L8, MemoryScheme.DDR5_R1, MemoryScheme.CXL
 
@@ -51,4 +51,5 @@ def run(fast: bool) -> ExperimentResult:
                     r1_st.max_y, cxl_st.max_y, 1.2, 0.4),
     ]
     return ExperimentResult("fig3", "Sequential access bandwidth",
-                            report.render(), checks)
+                            report.render(), checks,
+                            series=series_payload(report))

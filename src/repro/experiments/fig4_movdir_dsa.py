@@ -7,7 +7,7 @@ from ..analysis.compare import ShapeCheck, check_ratio
 from ..memo.dsa_bench import DsaBench
 from ..memo.movdir_bench import MovdirBench
 from ..cpu.system import MemoryScheme
-from .registry import ExperimentResult, register
+from .registry import ExperimentResult, register, series_payload
 
 L8, CXL = MemoryScheme.DDR5_L8, MemoryScheme.CXL
 
@@ -55,4 +55,5 @@ def run(fast: bool) -> ExperimentResult:
                    f"C2C={dsa_c2c:.1f} GB/s"),
     ]
     return ExperimentResult("fig4", "Data movement bandwidth",
-                            report.render(), checks)
+                            report.render(), checks,
+                            series=series_payload(report))

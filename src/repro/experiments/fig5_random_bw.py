@@ -8,7 +8,7 @@ from ..cpu.isa import AccessKind
 from ..cpu.system import MemoryScheme
 from ..memo.random_bench import RandomBlockBench
 from ..units import KIB
-from .registry import ExperimentResult, register
+from .registry import ExperimentResult, register, series_payload
 
 L8, R1, CXL = MemoryScheme.DDR5_L8, MemoryScheme.DDR5_R1, MemoryScheme.CXL
 
@@ -59,4 +59,5 @@ def run(fast: bool) -> ExperimentResult:
                         expected_x=16, slack=8),
     ]
     return ExperimentResult("fig5", "Random block access bandwidth",
-                            report.render(), checks)
+                            report.render(), checks,
+                            series=series_payload(report))

@@ -6,7 +6,7 @@ from .. import combined_testbed
 from ..analysis.compare import ShapeCheck, check_monotone
 from ..analysis.tables import format_table, series_table
 from ..apps.dlrm import DlrmInferenceStudy
-from .registry import ExperimentResult, register
+from .registry import ExperimentResult, register, series_payload
 
 PLACEMENTS = ["local", "cxl", "remote", 0.0323, 0.5]
 
@@ -51,4 +51,5 @@ def run(fast: bool) -> ExperimentResult:
         checks.append(check_monotone(
             f"{series.name} throughput monotone in threads", series))
     return ExperimentResult("fig8", "DLRM embedding-reduction throughput",
-                            left + "\n\n" + right, checks)
+                            left + "\n\n" + right, checks,
+                            series=series_payload({"fig8-left": curves}))

@@ -17,6 +17,9 @@ class ExperimentResult:
     title: str
     rendered: str                        # the figure, as text tables
     checks: list[ShapeCheck] = field(default_factory=list)
+    series: dict = field(default_factory=dict)
+    # {panel: {series: {"x": [...], "y": [...], ...}}} — numeric payload
+    # mirroring the rendered tables, for machine diffing.
 
     @property
     def passed(self) -> bool:
@@ -27,6 +30,39 @@ class ExperimentResult:
                  self.rendered, ""]
         lines += [str(check) for check in self.checks]
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form: id, pass/fail, checks, series data."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "passed": self.passed,
+            "checks": [{"claim": check.claim,
+                        "passed": check.passed,
+                        "measured": check.measured}
+                       for check in self.checks],
+            "series": self.series,
+        }
+
+
+def series_payload(report) -> dict:
+    """Numeric panel/series payload of a :class:`BenchReport`.
+
+    The text render is for humans; this is the same data in a shape
+    ``json.dumps`` accepts, so experiment runs can be diffed
+    mechanically (``results/<id>.json`` next to ``results/<id>.txt``).
+    Accepts a report (anything with ``.panels``) or a plain
+    ``{panel: [Series, ...]}`` mapping.
+    """
+    panels = report if isinstance(report, dict) else report.panels
+    return {
+        panel: {series.name: {"x": list(series.x),
+                              "y": list(series.y),
+                              "x_label": series.x_label,
+                              "y_label": series.y_label}
+                for series in series_list}
+        for panel, series_list in panels.items()
+    }
 
 
 @dataclass(frozen=True)

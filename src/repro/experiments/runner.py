@@ -30,7 +30,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--validate", action="store_true",
                         help="run the cross-model validation suite")
     parser.add_argument("--save", metavar="DIR", default=None,
-                        help="also write each result to DIR/<id>.txt")
+                        help="also write each result to DIR/<id>.txt "
+                             "plus a machine-readable DIR/<id>.json")
     return parser
 
 
@@ -63,7 +64,12 @@ def main(argv: list[str] | None = None) -> int:
         print(result.render())
         print()
         if save_dir is not None:
+            import json
+
             (save_dir / f"{eid}.txt").write_text(result.render() + "\n")
+            (save_dir / f"{eid}.json").write_text(
+                json.dumps(result.to_dict(), indent=2, sort_keys=True)
+                + "\n")
         if not result.passed:
             failed += 1
     if failed:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ..config import DramConfig
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .bandwidth import loaded_latency_ns
 from .channel import Channel
 from .dram import AccessPattern, DramDevice
@@ -17,8 +18,11 @@ class MemoryController:
     calculation used by the end-to-end perfmodel.
     """
 
-    def __init__(self, config: DramConfig) -> None:
+    def __init__(self, config: DramConfig, *,
+                 telemetry: Telemetry | None = None) -> None:
         self.config = config
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
         self.device = DramDevice(config)
         self.channels = [Channel(config, i) for i in range(config.channels)]
 
@@ -48,4 +52,9 @@ class MemoryController:
         """Device access latency inflated by controller-level queueing."""
         rho = self.utilization(offered_bytes_per_s, pattern, block_bytes,
                                streams)
-        return loaded_latency_ns(self.config.access_ns, rho)
+        loaded = loaded_latency_ns(self.config.access_ns, rho)
+        registry = self.telemetry.registry
+        registry.counter("mem.controller.loaded_queries").inc()
+        registry.gauge("mem.controller.utilization").set(rho)
+        registry.histogram("mem.controller.loaded_ns").record(loaded)
+        return loaded

@@ -9,6 +9,10 @@ to be executed by MEMO."  Example invocations::
     memo random --blocks 1024 16384 65536
     memo movdir
     memo dsa --batches 1 16 128
+
+Every bench accepts ``--trace out.json`` (dump a Perfetto-loadable
+timeline + an ``out.metrics.json`` snapshot) and ``--metrics`` (print
+the metrics table after the report).  See docs/TELEMETRY.md.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import sys
 
 from .. import build_system, combined_testbed
 from ..cpu.system import MemoryScheme
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .bandwidth_bench import SequentialBandwidthBench
 from .dsa_bench import DsaBench
 from .latency_bench import LatencyBench
@@ -48,38 +53,48 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="NAME",
                         help="memory schemes (DDR5-L8, DDR5-R1, CXL)")
 
-    latency = sub.add_parser("latency", parents=[common],
+    telemetry = argparse.ArgumentParser(add_help=False)
+    telemetry.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome/Perfetto trace JSON (plus a "
+             "PATH-adjacent .metrics.json snapshot)")
+    telemetry.add_argument(
+        "--metrics", action="store_true",
+        help="print the telemetry metrics table after the report")
+
+    latency = sub.add_parser("latency", parents=[common, telemetry],
                              help="Fig 2 left: flushed-line probes")
     latency.set_defaults(runner=_run_latency)
 
-    chase = sub.add_parser("chase", parents=[common],
+    chase = sub.add_parser("chase", parents=[common, telemetry],
                            help="Fig 2 right: pointer chase vs WSS")
     chase.set_defaults(runner=_run_chase)
 
-    bandwidth = sub.add_parser("bw", parents=[common],
+    bandwidth = sub.add_parser("bw", parents=[common, telemetry],
                                help="Fig 3: sequential bandwidth sweep")
     bandwidth.add_argument("--threads", nargs="*", type=int, default=None)
     bandwidth.set_defaults(runner=_run_bw)
 
-    random_ = sub.add_parser("random", parents=[common],
+    random_ = sub.add_parser("random", parents=[common, telemetry],
                              help="Fig 5: random block bandwidth")
     random_.add_argument("--blocks", nargs="*", type=int, default=None,
                          help="block sizes in bytes")
     random_.add_argument("--threads", nargs="*", type=int, default=None)
     random_.set_defaults(runner=_run_random)
 
-    movdir = sub.add_parser("movdir",
+    movdir = sub.add_parser("movdir", parents=[telemetry],
                             help="Fig 4a: movdir64B route bandwidth")
     movdir.add_argument("--threads", nargs="*", type=int, default=None)
     movdir.set_defaults(runner=_run_movdir)
 
-    dsa = sub.add_parser("dsa", help="Fig 4b: bulk movement methods")
+    dsa = sub.add_parser("dsa", parents=[telemetry],
+                         help="Fig 4b: bulk movement methods")
     dsa.add_argument("--batches", nargs="*", type=int, default=None)
     dsa.set_defaults(runner=_run_dsa)
 
     replay = sub.add_parser(
-        "replay", help="replay a generated trace through the "
-                       "functional caches")
+        "replay", parents=[telemetry],
+        help="replay a generated trace through the functional caches")
     replay.add_argument("--kind", choices=["ld", "st+wb", "nt-st"],
                         default="ld")
     replay.add_argument("--pattern", choices=["sequential", "random"],
@@ -91,51 +106,81 @@ def build_parser() -> argparse.ArgumentParser:
                         help="memory scheme to charge misses against")
     replay.set_defaults(runner=_run_replay)
 
-    loaded = sub.add_parser("loaded", parents=[common],
+    loaded = sub.add_parser("loaded", parents=[common, telemetry],
                             help="loaded-latency curves (MLC-style)")
     loaded.add_argument("--points", type=int, default=12)
     loaded.set_defaults(runner=_run_loaded)
     return parser
 
 
-def _run_latency(system, args):
+def _trace_mechanism_companions(telemetry, *, threads: int) -> None:
+    """Run the mechanism-level DES twins of the analytic Fig-3 sweep.
+
+    The analytic bench has no timeline — its numbers come from closed
+    forms — so a ``--trace`` run derives one from the end-to-end flit
+    simulators instead: a read sweep (core / cxl.port / dram.channel
+    tracks) plus an nt-store run (cxl.device.wbuf occupancy).
+    """
+    from ..cxl.e2e_sim import CxlEndToEndSim, CxlWriteEndToEndSim
+
+    CxlEndToEndSim(telemetry=telemetry).run(
+        threads=min(threads, 8), lines_per_thread=256)
+    CxlWriteEndToEndSim(telemetry=telemetry).run(
+        threads=min(threads, 4), lines_per_thread=192)
+
+
+def _run_latency(system, args, telemetry):
     return LatencyBench(system,
                         schemes=_parse_schemes(args.scheme)).run()
 
 
-def _run_chase(system, args):
+def _run_chase(system, args, telemetry):
     return PointerChaseBench(system,
                              schemes=_parse_schemes(args.scheme)).run()
 
 
-def _run_bw(system, args):
-    return SequentialBandwidthBench(
+def _run_bw(system, args, telemetry):
+    report = SequentialBandwidthBench(
         system, thread_counts=args.threads,
         schemes=_parse_schemes(args.scheme)).run()
+    if telemetry.enabled:
+        _trace_mechanism_companions(
+            telemetry, threads=max(args.threads or [8]))
+        report.notes.append(
+            "telemetry: timeline traced from the mechanism-level "
+            "e2e read/nt-store simulators")
+    return report
 
 
-def _run_random(system, args):
-    return RandomBlockBench(system, block_sizes=args.blocks,
-                            thread_counts=args.threads,
-                            schemes=_parse_schemes(args.scheme)).run()
+def _run_random(system, args, telemetry):
+    report = RandomBlockBench(system, block_sizes=args.blocks,
+                              thread_counts=args.threads,
+                              schemes=_parse_schemes(args.scheme)).run()
+    if telemetry.enabled:
+        _trace_mechanism_companions(
+            telemetry, threads=max(args.threads or [8]))
+        report.notes.append(
+            "telemetry: timeline traced from the mechanism-level "
+            "e2e read/nt-store simulators")
+    return report
 
 
-def _run_movdir(system, args):
+def _run_movdir(system, args, telemetry):
     return MovdirBench(system, thread_counts=args.threads).run()
 
 
-def _run_dsa(system, args):
+def _run_dsa(system, args, telemetry):
     return DsaBench(system, batch_sizes=args.batches).run()
 
 
-def _run_loaded(system, args):
+def _run_loaded(system, args, telemetry):
     from .loaded_latency import LoadedLatencyBench
 
     return LoadedLatencyBench(system, schemes=_parse_schemes(args.scheme),
                               points=args.points).run()
 
 
-def _run_replay(system, args):
+def _run_replay(system, args, telemetry):
     from ..analysis.series import Series
     from ..cpu.isa import AccessKind
     from ..units import MIB
@@ -152,7 +197,8 @@ def _run_replay(system, args):
         trace = AccessTrace.random_block(
             kind, num_blocks=max(1, args.lines // lines_per_block),
             block_bytes=args.block, region_bytes=256 * MIB)
-    result = replay(trace, system, scheme)
+    hierarchy = system.socket.new_hierarchy(telemetry=telemetry)
+    result = replay(trace, system, scheme, hierarchy=hierarchy)
     report = BenchReport(title=f"trace replay: {args.pattern} "
                                f"{kind.value} on {scheme.label}")
     summary = Series("replay", x_label="metric", y_label="value")
@@ -171,9 +217,31 @@ def _run_replay(system, args):
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    tracing = bool(getattr(args, "trace", None))
+    wants_metrics = bool(getattr(args, "metrics", False))
+    telemetry = (Telemetry.on(process_name=f"memo-{args.bench}")
+                 if tracing or wants_metrics else NULL_TELEMETRY)
     system = build_system(combined_testbed())
-    report = args.runner(system, args)
+    report = args.runner(system, args, telemetry)
     print(report.render())
+    if tracing:
+        from pathlib import Path
+
+        from ..telemetry.report import write_metrics, write_trace
+
+        trace_path = write_trace(telemetry.tracer, args.trace)
+        metrics_path = write_metrics(
+            telemetry.registry,
+            trace_path.with_suffix(trace_path.suffix + ".metrics.json")
+            if trace_path.suffix != ".json"
+            else Path(str(trace_path)[: -len(".json")] + ".metrics.json"))
+        print(f"\ntrace written to {trace_path} "
+              f"(metrics: {metrics_path})")
+    if wants_metrics:
+        from ..telemetry.report import render_metrics
+
+        print()
+        print(render_metrics(telemetry.registry))
     return 0
 
 

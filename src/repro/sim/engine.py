@@ -18,6 +18,7 @@ import itertools
 from typing import Any, Callable
 
 from ..errors import SimulationError
+from ..telemetry import NULL_TELEMETRY, Telemetry
 
 
 class _Scheduled:
@@ -49,12 +50,14 @@ class Engine:
     [10.0]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, telemetry: Telemetry | None = None) -> None:
         self._now = 0.0
         self._heap: list[_Scheduled] = []
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
 
     @property
     def now(self) -> float:
@@ -116,6 +119,7 @@ class Engine:
         if self._running:
             raise SimulationError("Engine.run() is not reentrant")
         self._running = True
+        run_start = self._now
         try:
             executed = 0
             while True:
@@ -135,3 +139,11 @@ class Engine:
                 self._now = until
         finally:
             self._running = False
+            if self.telemetry.enabled:
+                self.telemetry.tracer.complete(
+                    "sim.engine", "run", run_start,
+                    self._now - run_start, events=self._processed)
+            registry = self.telemetry.registry
+            registry.gauge("sim.engine.events_processed").set(
+                self._processed)
+            registry.gauge("sim.engine.now_ns").set(self._now)

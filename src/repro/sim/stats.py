@@ -7,62 +7,65 @@ bandwidth for a fixed interval").  Both measurement styles live here.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+from ..telemetry.metrics import Histogram, interpolate_percentile
 
 
 def percentile(samples: list[float], pct: float) -> float:
     """Linear-interpolated percentile, ``pct`` in [0, 100].
 
-    Matches ``numpy.percentile(..., method='linear')`` without requiring a
-    numpy array; implemented locally because it is called on small hot
-    lists inside the DES loop.
+    Matches ``numpy.percentile(..., method='linear')`` without requiring
+    a numpy array.  One-shot convenience over an unsorted list; code
+    that takes repeated percentiles of a growing sample set should use
+    :class:`LatencyRecorder` (or :class:`repro.telemetry.Histogram`
+    directly), whose sorted cache avoids the re-sort per call.
     """
     if not samples:
         raise ValueError("percentile of an empty sample set")
-    if not 0.0 <= pct <= 100.0:
-        raise ValueError(f"pct must be in [0, 100], got {pct}")
-    ordered = sorted(samples)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (pct / 100.0) * (len(ordered) - 1)
-    low = math.floor(rank)
-    high = math.ceil(rank)
-    if low == high:
-        return ordered[low]
-    frac = rank - low
-    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+    return interpolate_percentile(sorted(samples), pct)
 
 
 class LatencyRecorder:
-    """Accumulates latency samples and reports summary statistics."""
+    """Accumulates latency samples and reports summary statistics.
 
-    def __init__(self, name: str = "latency") -> None:
+    A thin guard over :class:`repro.telemetry.Histogram` — one shared
+    percentile implementation (with its record-invalidated sorted
+    cache), so the DES stat path and the telemetry snapshot path cannot
+    drift.
+    """
+
+    def __init__(self, name: str = "latency", *,
+                 histogram: Histogram | None = None) -> None:
         self.name = name
-        self._samples: list[float] = []
+        self._hist = histogram if histogram is not None \
+            else Histogram(name)
 
     def record(self, latency_ns: float) -> None:
         """Add one sample; negative latencies indicate a model bug."""
         if latency_ns < 0:
             raise ValueError(f"negative latency recorded: {latency_ns}")
-        self._samples.append(latency_ns)
+        self._hist.record(latency_ns)
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return len(self._hist)
+
+    @property
+    def histogram(self) -> Histogram:
+        """The backing telemetry histogram (bucket counts + percentiles)."""
+        return self._hist
 
     @property
     def samples(self) -> list[float]:
         """A copy of the raw samples (ns)."""
-        return list(self._samples)
+        return self._hist.samples
 
     def mean(self) -> float:
-        if not self._samples:
-            raise ValueError(f"{self.name}: no samples recorded")
-        return sum(self._samples) / len(self._samples)
+        return self._hist.mean()
 
     def p(self, pct: float) -> float:
-        """Percentile of the recorded samples."""
-        return percentile(self._samples, pct)
+        """Percentile of the recorded samples (cached-sort path)."""
+        return self._hist.percentile(pct)
 
     def p50(self) -> float:
         return self.p(50.0)
@@ -72,14 +75,12 @@ class LatencyRecorder:
         return self.p(99.0)
 
     def max(self) -> float:
-        if not self._samples:
-            raise ValueError(f"{self.name}: no samples recorded")
-        return max(self._samples)
+        return self._hist.max()
 
     def summary(self) -> dict[str, float]:
         """Mean / p50 / p99 / max in one dict, for table rendering."""
         return {
-            "count": float(len(self._samples)),
+            "count": float(len(self._hist)),
             "mean_ns": self.mean(),
             "p50_ns": self.p50(),
             "p99_ns": self.p99(),

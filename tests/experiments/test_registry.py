@@ -110,3 +110,41 @@ class TestFastExperimentsPass:
         first = get(eid).run(fast=True).render()
         second = get(eid).run(fast=True).render()
         assert first == second
+
+
+class TestJsonExport:
+    def test_to_dict_shape(self):
+        from repro.analysis.compare import ShapeCheck
+        result = ExperimentResult(
+            "x", "t", "body", [ShapeCheck("claim", True, "1.0")],
+            series={"panel": {"s": {"x": [1.0], "y": [2.0]}}})
+        obj = result.to_dict()
+        assert obj["experiment_id"] == "x"
+        assert obj["passed"] is True
+        assert obj["checks"] == [{"claim": "claim", "passed": True,
+                                  "measured": "1.0"}]
+        assert obj["series"]["panel"]["s"]["y"] == [2.0]
+
+    def test_series_payload_from_report(self):
+        from repro.analysis.series import Series
+        from repro.experiments.registry import series_payload
+        from repro.memo.report import BenchReport
+        report = BenchReport(title="t")
+        report.add_series("p", Series("a", [1.0, 2.0], [3.0, 4.0],
+                                      x_label="threads",
+                                      y_label="GB/s"))
+        payload = series_payload(report)
+        assert payload == {"p": {"a": {"x": [1.0, 2.0], "y": [3.0, 4.0],
+                                       "x_label": "threads",
+                                       "y_label": "GB/s"}}}
+
+    def test_save_writes_json_next_to_txt(self, tmp_path, capsys):
+        import json
+        assert main(["table1", "--save", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "table1.txt").exists()
+        obj = json.loads((tmp_path / "table1.json").read_text())
+        assert obj["experiment_id"] == "table1"
+        assert isinstance(obj["passed"], bool)
+        assert all({"claim", "passed", "measured"} <= set(check)
+                   for check in obj["checks"])

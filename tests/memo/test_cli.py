@@ -55,3 +55,38 @@ class TestEndToEnd:
         assert main(["replay", "--lines", "256"]) == 0
         out = capsys.readouterr().out
         assert "sequential" in out
+
+
+class TestTelemetryFlags:
+    def test_bw_trace_writes_valid_files(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry.report import (
+            trace_track_names,
+            validate_chrome_trace,
+        )
+
+        trace = tmp_path / "out.json"
+        assert main(["bw", "--threads", "1", "2", "--scheme", "CXL",
+                     "--trace", str(trace), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry metrics" in out
+        obj = validate_chrome_trace(json.loads(trace.read_text()))
+        # The acceptance bar: events from >= 4 distinct component tracks.
+        assert len(trace_track_names(obj)) >= 4
+        metrics = json.loads(
+            (tmp_path / "out.metrics.json").read_text())
+        assert "cxl.e2e.read.latency_ns" in metrics
+
+    def test_replay_trace(self, tmp_path, capsys):
+        trace = tmp_path / "replay.json"
+        assert main(["replay", "--lines", "256",
+                     "--trace", str(trace)]) == 0
+        assert trace.exists()
+
+    def test_metrics_only_no_files(self, tmp_path, capsys):
+        # The latency bench is purely analytic: enabling metrics is
+        # valid but yields an empty table, and no files are written.
+        assert main(["latency", "--metrics"]) == 0
+        assert "no metrics recorded" in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
