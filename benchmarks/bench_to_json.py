@@ -1,0 +1,136 @@
+"""Record wall-clock timings for the experiment suite as BENCH_<label>.json.
+
+Gives perf PRs a written trajectory: each run captures per-figure serial
+seconds, the whole-suite serial vs ``--jobs N`` wall clock, and the DES
+engine microbenchmarks the hot-path optimizations target.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_to_json.py --label local --jobs 4
+    PYTHONPATH=src python benchmarks/bench_to_json.py --label ci \
+        --jobs 2 --ids fig3 fig5 --repeats 1
+
+The output lands next to the repo's other ``BENCH_*.json`` files (repo
+root by default); compare fields across commits to see the trend.  See
+docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+
+def _time_once(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best-of-N wall clock (minimum is the least noisy estimator)."""
+    return min(_time_once(fn) for _ in range(max(1, repeats)))
+
+
+def engine_microbench(repeats: int) -> dict:
+    """The DES hot paths: e2e read sweep + nt-store drain."""
+    from repro.cxl.e2e_sim import CxlEndToEndSim, CxlWriteEndToEndSim
+
+    read_sweep_s = _best_of(
+        lambda: CxlEndToEndSim().sweep([1, 2, 4, 8, 12, 16, 32],
+                                       lines_per_thread=1000),
+        repeats)
+    write_run_s = _best_of(
+        lambda: CxlWriteEndToEndSim().run(threads=8,
+                                          lines_per_thread=1000),
+        repeats)
+    return {"e2e_read_sweep_s": round(read_sweep_s, 4),
+            "e2e_write_run_s": round(write_run_s, 4)}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the experiment suite, write BENCH_<label>.json")
+    parser.add_argument("--label", required=True,
+                        help="suffix for BENCH_<label>.json")
+    parser.add_argument("--jobs", type=int, default=4, metavar="N",
+                        help="worker count for the parallel pass "
+                             "(default: 4)")
+    parser.add_argument("--ids", nargs="*", default=None,
+                        help="experiment ids (default: all)")
+    parser.add_argument("--full", action="store_true",
+                        help="time full-resolution sweeps")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="repetitions per measurement, best-of "
+                             "(default: 2)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: "
+                             "<repo>/BENCH_<label>.json)")
+    args = parser.parse_args(argv)
+
+    import repro
+    from repro.experiments import REGISTRY
+    from repro.experiments.runner import _run_ids
+
+    ids = args.ids or sorted(REGISTRY)
+    unknown = [eid for eid in ids if eid not in REGISTRY]
+    if unknown:
+        print(f"error: unknown experiment id(s): {unknown}",
+              file=sys.stderr)
+        return 2
+    fast = not args.full
+
+    figures = {}
+    for eid in ids:
+        seconds = _best_of(lambda: REGISTRY[eid].run(fast=fast),
+                           args.repeats)
+        figures[eid] = {"serial_s": round(seconds, 4)}
+        print(f"{eid:20s} serial {seconds:7.3f}s", flush=True)
+
+    serial_total = sum(entry["serial_s"] for entry in figures.values())
+    # Same scheduling as `repro-experiments --jobs N --no-cache`:
+    # internally-sharded heavies + one-experiment-per-worker rest.
+    parallel_total = _best_of(
+        lambda: _run_ids(ids, fast=fast, jobs=args.jobs,
+                         use_cache=False),
+        args.repeats)
+    speedup = serial_total / parallel_total if parallel_total else 0.0
+    print(f"{'suite':20s} serial {serial_total:7.3f}s  "
+          f"--jobs {args.jobs} {parallel_total:7.3f}s  "
+          f"(x{speedup:.2f})", flush=True)
+
+    engine = engine_microbench(args.repeats)
+    print(f"{'engine':20s} read-sweep {engine['e2e_read_sweep_s']}s  "
+          f"write-run {engine['e2e_write_run_s']}s")
+
+    payload = {
+        "label": args.label,
+        "recorded_at": datetime.now(timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "version": repro.__version__,
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "mode": "full" if args.full else "fast",
+        "jobs": args.jobs,
+        "figures": figures,
+        "suite": {
+            "serial_s": round(serial_total, 4),
+            "parallel_s": round(parallel_total, 4),
+            "speedup": round(speedup, 3),
+        },
+        "engine": engine,
+    }
+    out = Path(args.out) if args.out \
+        else Path(__file__).resolve().parent.parent \
+        / f"BENCH_{args.label}.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

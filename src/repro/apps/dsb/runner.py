@@ -136,10 +136,22 @@ class DsbRunner:
 
     # -- convenience -----------------------------------------------------------
 
+    def _init_kwargs(self) -> dict:
+        """Constructor state minus telemetry — the picklable spec a
+        worker process needs to rebuild an equivalent runner."""
+        return {"system": self.system,
+                "database_node": self.network.database_node,
+                "seed": self.seed}
+
     def p99_curve(self, qps_points: list[float], *,
                   request_type: RequestType | None = None,
-                  requests: int = 4000):
-        """p99 (ms) vs QPS for one request type (or the mixed workload)."""
+                  requests: int = 4000, jobs: int = 1):
+        """p99 (ms) vs QPS for one request type (or the mixed workload).
+
+        Points are independent runs, so ``jobs > 1`` shards them across
+        worker processes; results and telemetry merge back in QPS order,
+        identical to the serial loop.
+        """
         from ...analysis.series import Series
         mix = (MIXED_WORKLOAD if request_type is None
                else {request_type: 1.0})
@@ -148,7 +160,24 @@ class DsbRunner:
         kind = self.system.topology.node(node).kind.value
         series = Series(f"{label}@{kind}", x_label="QPS",
                         y_label="p99 (ms)")
-        for qps in qps_points:
-            series.append(qps, self.run(qps, mix=mix,
-                                        requests=requests).p99_ms)
+        if jobs > 1 and len(qps_points) > 1:
+            from ...parallel import (
+                ParallelRunner,
+                merge_telemetry,
+                telemetry_spec,
+            )
+            from ...parallel.sweeps import run_sim_point
+            spec = telemetry_spec(self.telemetry)
+            units = [(DsbRunner, self._init_kwargs(),
+                      {"qps": qps, "mix": mix, "requests": requests},
+                      spec)
+                     for qps in qps_points]
+            outputs = ParallelRunner(jobs).map(run_sim_point, units)
+            for qps, (result, export) in zip(qps_points, outputs):
+                merge_telemetry(self.telemetry, export)
+                series.append(qps, result.p99_ms)
+        else:
+            for qps in qps_points:
+                series.append(qps, self.run(qps, mix=mix,
+                                            requests=requests).p99_ms)
         return series

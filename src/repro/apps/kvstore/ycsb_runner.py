@@ -68,14 +68,28 @@ class RedisYcsbStudy:
             store.free()
 
     def p99_curve(self, workload: YcsbWorkload, cxl_fraction: float,
-                  qps_points: list[float], *,
-                  requests: int = 15_000) -> Series:
-        """One Fig-6 curve: p99 sojourn (µs) versus offered QPS."""
+                  qps_points: list[float], *, requests: int = 15_000,
+                  jobs: int = 1) -> Series:
+        """One Fig-6 curve: p99 sojourn (µs) versus offered QPS.
+
+        Each point builds its own store from the same seed, so points
+        are independent: ``jobs > 1`` fans them across worker processes
+        and reassembles the series in QPS order, bit-identical to the
+        serial loop.
+        """
         label = f"{int(cxl_fraction * 100)}%-CXL"
         series = Series(label, x_label="QPS", y_label="p99 (us)")
-        for qps in qps_points:
-            result = self.p99_point(workload, cxl_fraction, qps,
-                                    requests=requests)
+        if jobs > 1 and len(qps_points) > 1:
+            from ...parallel import ParallelRunner
+            from ...parallel.sweeps import run_kv_p99_point
+            specs = [(self.system, self.num_keys, self.seed, workload,
+                      cxl_fraction, qps, requests) for qps in qps_points]
+            results = ParallelRunner(jobs).map(run_kv_p99_point, specs)
+        else:
+            results = [self.p99_point(workload, cxl_fraction, qps,
+                                      requests=requests)
+                       for qps in qps_points]
+        for qps, result in zip(qps_points, results):
             series.append(qps, result.p99_us)
         return series
 

@@ -132,6 +132,9 @@ class CxlEndToEndSim:
             activate_times.append(at)
             return at
 
+        # Hot path: per-request arguments ride through the event
+        # (engine.schedule(delay, fn, *args)) instead of a fresh
+        # closure per request — see docs/PERFORMANCE.md.
         def launch(thread: int) -> None:
             if next_line[thread] >= lines_per_thread:
                 return
@@ -146,7 +149,7 @@ class CxlEndToEndSim:
                                 REQUEST_FLITS * flit_ns, thread=thread)
             arrive = state["m2s_free_at"] + hop_ns
             engine.schedule(arrive - engine.now,
-                            lambda: device_handle(thread, line, issued_at))
+                            device_handle, thread, line, issued_at)
 
         def device_handle(thread: int, line: int,
                           issued_at: float) -> None:
@@ -166,7 +169,7 @@ class CxlEndToEndSim:
                                 self.timings.burst_ns, bank=bank_index,
                                 hit=hit)
             engine.schedule(state["dram_bus_free_at"] - engine.now,
-                            lambda: respond(thread, issued_at))
+                            respond, thread, issued_at)
 
         def respond(thread: int, issued_at: float) -> None:
             start = max(engine.now, state["s2m_free_at"])
@@ -176,7 +179,7 @@ class CxlEndToEndSim:
                                 RESPONSE_FLITS * flit_ns, thread=thread)
             done_at = state["s2m_free_at"] + hop_ns + pack_ns
             engine.schedule(done_at - engine.now,
-                            lambda: complete(thread, issued_at))
+                            complete, thread, issued_at)
 
         def complete(thread: int, issued_at: float) -> None:
             state["completed"] += 1
@@ -195,20 +198,37 @@ class CxlEndToEndSim:
         if state["completed"] != expected:
             raise SimulationError(
                 f"only {state['completed']} of {expected} completed")
+        row_hits = sum(b.row_hits for b in banks)
+        row_misses = sum(b.row_misses for b in banks)
         registry = self.telemetry.registry
         registry.counter("cxl.e2e.read.completed").inc(state["completed"])
-        registry.counter("cxl.e2e.read.row_hits").inc(
-            sum(b.row_hits for b in banks))
-        registry.counter("cxl.e2e.read.row_misses").inc(
-            sum(b.row_misses for b in banks))
+        registry.counter("cxl.e2e.read.row_hits").inc(row_hits)
+        registry.counter("cxl.e2e.read.row_misses").inc(row_misses)
         return E2eResult(threads=threads, completed=state["completed"],
                          elapsed_ns=state["last_done"],
-                         row_hits=sum(b.row_hits for b in banks),
-                         row_misses=sum(b.row_misses for b in banks))
+                         row_hits=row_hits, row_misses=row_misses)
+
+    def _init_kwargs(self) -> dict:
+        """Constructor state (minus telemetry) for worker re-creation."""
+        return {"port": self.port, "timings": self.timings,
+                "controller_ns": self.controller_ns,
+                "mlp_per_thread": self.mlp_per_thread,
+                "region_lines": self.region_lines,
+                "closed_page": self.closed_page}
 
     def sweep(self, thread_counts: list[int], *,
-              lines_per_thread: int = 1500) -> dict[int, E2eResult]:
-        """Fig-3b-style thread sweep."""
+              lines_per_thread: int = 1500,
+              jobs: int = 1) -> dict[int, E2eResult]:
+        """Fig-3b-style thread sweep.
+
+        ``jobs > 1`` fans the independent points out across processes
+        (results and telemetry merge back in thread-count order, so the
+        outcome is identical to a serial sweep).
+        """
+        if jobs > 1:
+            return _parallel_sweep(self, thread_counts,
+                                   lines_per_thread=lines_per_thread,
+                                   jobs=jobs)
         return {threads: self.run(threads=threads,
                                   lines_per_thread=lines_per_thread)
                 for threads in thread_counts}
@@ -296,8 +316,7 @@ class CxlWriteEndToEndSim:
             # Pace the next store; a full WC pipeline stalls naturally
             # because the credit queue backs up.
             if len(waiting_for_credit) < threads * 12:
-                engine.schedule(self.issue_gap_ns,
-                                lambda: thread_tick(thread))
+                engine.schedule(self.issue_gap_ns, thread_tick, thread)
             else:
                 stalled_threads.append(thread)
 
@@ -312,8 +331,7 @@ class CxlWriteEndToEndSim:
                                 self.WRITE_REQUEST_FLITS * flit_ns,
                                 thread=thread)
             arrive = state["m2s_free_at"] + hop_ns
-            engine.schedule(arrive - engine.now,
-                            lambda: buffer_arrival(line))
+            engine.schedule(arrive - engine.now, buffer_arrival, line)
 
         def buffer_arrival(line: int) -> None:
             # The controller is a pipeline stage (latency, not
@@ -340,28 +358,74 @@ class CxlWriteEndToEndSim:
                 if stalled_threads:
                     resume = stalled_threads.pop()
                     engine.schedule(self.issue_gap_ns,
-                                    lambda: thread_tick(resume))
+                                    thread_tick, resume)
             else:
                 state["credits"] += 1
                 if traced:
                     occupancy_sample()
 
         for thread in range(threads):
-            engine.schedule(thread * 0.5, lambda t=thread: thread_tick(t))
+            engine.schedule(thread * 0.5, thread_tick, thread)
         engine.run()
         expected = threads * lines_per_thread
         if state["completed"] != expected:
             raise SimulationError(
                 f"only {state['completed']} of {expected} drained")
+        row_hits = sum(b.row_hits for b in banks)
+        row_misses = sum(b.row_misses for b in banks)
         registry = self.telemetry.registry
         registry.counter("cxl.e2e.write.completed").inc(state["completed"])
         registry.counter("cxl.e2e.write.credit_stalls").inc(
             state["stalls"])
-        registry.counter("cxl.e2e.write.row_hits").inc(
-            sum(b.row_hits for b in banks))
-        registry.counter("cxl.e2e.write.row_misses").inc(
-            sum(b.row_misses for b in banks))
+        registry.counter("cxl.e2e.write.row_hits").inc(row_hits)
+        registry.counter("cxl.e2e.write.row_misses").inc(row_misses)
         return E2eResult(threads=threads, completed=state["completed"],
                          elapsed_ns=state["last_done"],
-                         row_hits=sum(b.row_hits for b in banks),
-                         row_misses=sum(b.row_misses for b in banks))
+                         row_hits=row_hits, row_misses=row_misses)
+
+    def _init_kwargs(self) -> dict:
+        """Constructor state (minus telemetry) for worker re-creation."""
+        return {"port": self.port, "timings": self.timings,
+                "controller_ns": self.controller_ns,
+                "buffer_entries": self.buffer_entries,
+                "issue_gap_ns": self.issue_gap_ns,
+                "region_lines": self.region_lines}
+
+    def sweep(self, thread_counts: list[int], *,
+              lines_per_thread: int = 1200,
+              jobs: int = 1) -> dict[int, E2eResult]:
+        """nt-store thread sweep, optionally process-parallel."""
+        if jobs > 1:
+            return _parallel_sweep(self, thread_counts,
+                                   lines_per_thread=lines_per_thread,
+                                   jobs=jobs)
+        return {threads: self.run(threads=threads,
+                                  lines_per_thread=lines_per_thread)
+                for threads in thread_counts}
+
+
+def _parallel_sweep(sim, thread_counts: list[int], *,
+                    lines_per_thread: int,
+                    jobs: int) -> dict[int, E2eResult]:
+    """Fan sweep points across processes, merge in thread-count order.
+
+    Each point runs against a fresh worker-side telemetry session
+    shaped like ``sim.telemetry``; exports fold back into the parent in
+    submission order, so event sequences, track creation order, and
+    metric values are identical to a serial sweep's.
+    """
+    from ..parallel import ParallelRunner, merge_telemetry, telemetry_spec
+    from ..parallel.sweeps import run_sim_point
+
+    spec = telemetry_spec(sim.telemetry)
+    init_kwargs = sim._init_kwargs()
+    units = [(type(sim), init_kwargs,
+              {"threads": threads, "lines_per_thread": lines_per_thread},
+              spec)
+             for threads in thread_counts]
+    outputs = ParallelRunner(jobs).map(run_sim_point, units)
+    results: dict[int, E2eResult] = {}
+    for threads, (result, export) in zip(thread_counts, outputs):
+        merge_telemetry(sim.telemetry, export)
+        results[threads] = result
+    return results

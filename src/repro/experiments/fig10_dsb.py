@@ -12,7 +12,7 @@ from .registry import ExperimentResult, register, series_payload
 
 @register("fig10", "DeathStarBench p99 latency and memory breakdown",
           "Fig. 10, §5.3")
-def run(fast: bool) -> ExperimentResult:
+def run(fast: bool, jobs: int = 1) -> ExperimentResult:
     system = build_system(combined_testbed())
     dram = DsbRunner(system, database_node=system.LOCAL_NODE)
     cxl = DsbRunner(system, database_node=system.cxl_node_id)
@@ -27,7 +27,7 @@ def run(fast: bool) -> ExperimentResult:
                          RequestType.READ_USER_TIMELINE, None):
         name = request_type.value if request_type else "mixed"
         curves = [runner.p99_curve(qps_points, request_type=request_type,
-                                   requests=requests)
+                                   requests=requests, jobs=jobs)
                   for runner in (dram, cxl)]
         per_type_curves[name] = curves
         panels.append(series_table(curves, y_format="{:.2f}",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -44,6 +45,31 @@ class ExperimentResult:
             "series": self.series,
         }
 
+    def payload(self) -> dict:
+        """Full JSON round-trip form (everything :meth:`from_payload`
+        needs to rebuild an identical result — the result-cache
+        format)."""
+        data = self.to_dict()
+        data["rendered"] = self.rendered
+        return data
+
+    @classmethod
+    def from_payload(cls, data: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`payload` output.
+
+        Round-trip exact: ``from_payload(r.payload())`` renders, saves,
+        and serializes identically to ``r`` (the cache-hit determinism
+        tests pin this down).
+        """
+        checks = [ShapeCheck(check["claim"], check["passed"],
+                             check["measured"])
+                  for check in data["checks"]]
+        return cls(experiment_id=data["experiment_id"],
+                   title=data["title"],
+                   rendered=data["rendered"],
+                   checks=checks,
+                   series=data["series"])
+
 
 def series_payload(report) -> dict:
     """Numeric panel/series payload of a :class:`BenchReport`.
@@ -72,10 +98,21 @@ class Experiment:
     experiment_id: str
     title: str
     paper_ref: str                       # e.g. "Fig. 3, §4.3.1"
-    runner: Callable[[bool], ExperimentResult]
+    runner: Callable[..., ExperimentResult]
+    accepts_jobs: bool = False
+    # True when the runner takes a ``jobs`` keyword — its sweep points
+    # shard across worker processes (the DES-heavy figures).
 
-    def run(self, *, fast: bool = True) -> ExperimentResult:
-        """Execute; ``fast`` trims sweep sizes for CI-speed runs."""
+    def run(self, *, fast: bool = True,
+            jobs: int = 1) -> ExperimentResult:
+        """Execute; ``fast`` trims sweep sizes for CI-speed runs.
+
+        ``jobs > 1`` shards the experiment's own sweep points when the
+        runner supports it; otherwise it is ignored (the result is
+        identical either way).
+        """
+        if self.accepts_jobs:
+            return self.runner(fast, jobs=jobs)
         return self.runner(fast)
 
 
@@ -85,12 +122,14 @@ REGISTRY: dict[str, Experiment] = {}
 def register(experiment_id: str, title: str, paper_ref: str):
     """Decorator registering ``runner(fast) -> ExperimentResult``."""
 
-    def wrap(runner: Callable[[bool], ExperimentResult]) -> Callable:
+    def wrap(runner: Callable[..., ExperimentResult]) -> Callable:
         if experiment_id in REGISTRY:
             raise ExperimentError(
                 f"duplicate experiment id {experiment_id!r}")
+        accepts_jobs = "jobs" in inspect.signature(runner).parameters
         REGISTRY[experiment_id] = Experiment(experiment_id, title,
-                                             paper_ref, runner)
+                                             paper_ref, runner,
+                                             accepts_jobs)
         return runner
 
     return wrap

@@ -5,7 +5,16 @@ Examples::
     repro-experiments                 # run everything (fast parameters)
     repro-experiments fig3 fig5       # selected figures
     repro-experiments --full fig6     # full-resolution sweep
+    repro-experiments --jobs 4        # fan experiments across processes
+    repro-experiments --no-cache fig3 # force re-simulation
     repro-experiments --list
+
+Repeated runs are served from the content-addressed result cache under
+``results/.cache/`` (key: experiment id + parameters + a source-tree
+fingerprint, so any code edit invalidates automatically).  ``--jobs N``
+shards cache-miss experiments across ``N`` worker processes; results
+merge back in id order, so output and ``--save`` files are identical to
+a serial run's.  See docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -13,7 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .registry import REGISTRY, get
+from .registry import REGISTRY, ExperimentResult
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,11 +41,73 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--save", metavar="DIR", default=None,
                         help="also write each result to DIR/<id>.txt "
                              "plus a machine-readable DIR/<id>.json")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run experiments across N worker processes "
+                             "(default: 1, serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the results/.cache result cache "
+                             "(neither read nor write)")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="delete every cached result, then proceed")
     return parser
+
+
+def _run_ids(ids: list[str], *, fast: bool, jobs: int,
+             use_cache: bool) -> list[tuple[str, ExperimentResult]]:
+    """Run (or cache-load) ``ids`` in order; parallel across misses.
+
+    Two-wave scheduling: experiments whose runners shard internally
+    (``accepts_jobs`` — the DES-heavy figures whose single-experiment
+    wall clock would otherwise bound the whole suite) run one at a time
+    in this process with all ``jobs`` workers on their sweep points;
+    everything else fans out one-experiment-per-worker.  Either way the
+    result list comes back in id order and matches a serial run
+    byte-for-byte.
+    """
+    from ..parallel import ParallelRunner, ResultCache, result_key
+    from ..parallel.sweeps import run_experiment
+
+    cache = ResultCache() if use_cache else None
+    keys = {eid: result_key(eid, {"fast": fast}) for eid in ids} \
+        if cache is not None else {}
+    cached: dict[str, ExperimentResult] = {}
+    if cache is not None:
+        for eid in ids:
+            payload = cache.get(keys[eid])
+            if payload is not None:
+                cached[eid] = ExperimentResult.from_payload(payload)
+
+    misses = [eid for eid in ids if eid not in cached]
+    sharded = [eid for eid in misses
+               if jobs > 1 and REGISTRY[eid].accepts_jobs]
+    pooled = [eid for eid in misses if eid not in sharded]
+
+    def record(eid: str, result: ExperimentResult) -> None:
+        cached[eid] = result
+        if cache is not None:
+            cache.put(keys[eid], result.payload(),
+                      key_material={"experiment": eid,
+                                    "config": {"fast": fast}})
+
+    fresh = ParallelRunner(jobs).map(
+        run_experiment, [(eid, fast) for eid in pooled])
+    for eid, result in zip(pooled, fresh):
+        record(eid, result)
+    for eid in sharded:
+        record(eid, REGISTRY[eid].run(fast=fast, jobs=jobs))
+    return [(eid, cached[eid]) for eid in ids]
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.clear_cache:
+        from ..parallel import ResultCache
+
+        removed = ResultCache().clear()
+        print(f"cleared {removed} cached result(s)")
     if args.list:
         for eid in sorted(REGISTRY):
             experiment = REGISTRY[eid]
@@ -52,6 +123,13 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if all(c.passed for c in checks) else 1
 
     ids = args.ids or sorted(REGISTRY)
+    unknown = [eid for eid in ids if eid not in REGISTRY]
+    if unknown:
+        print("error: unknown experiment id(s): "
+              + " ".join(sorted(unknown))
+              + f"\navailable: {' '.join(sorted(REGISTRY))}",
+              file=sys.stderr)
+        return 2
     save_dir = None
     if args.save:
         from pathlib import Path
@@ -59,8 +137,8 @@ def main(argv: list[str] | None = None) -> int:
         save_dir = Path(args.save)
         save_dir.mkdir(parents=True, exist_ok=True)
     failed = 0
-    for eid in ids:
-        result = get(eid).run(fast=not args.full)
+    for eid, result in _run_ids(ids, fast=not args.full, jobs=args.jobs,
+                                use_cache=not args.no_cache):
         print(result.render())
         print()
         if save_dir is not None:

@@ -62,6 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print the telemetry metrics table after the report")
 
+    parallel = argparse.ArgumentParser(add_help=False)
+    parallel.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard sweep points across N worker processes "
+             "(default: 1, serial; results are identical either way)")
+
     latency = sub.add_parser("latency", parents=[common, telemetry],
                              help="Fig 2 left: flushed-line probes")
     latency.set_defaults(runner=_run_latency)
@@ -70,12 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="Fig 2 right: pointer chase vs WSS")
     chase.set_defaults(runner=_run_chase)
 
-    bandwidth = sub.add_parser("bw", parents=[common, telemetry],
+    bandwidth = sub.add_parser("bw",
+                               parents=[common, telemetry, parallel],
                                help="Fig 3: sequential bandwidth sweep")
     bandwidth.add_argument("--threads", nargs="*", type=int, default=None)
     bandwidth.set_defaults(runner=_run_bw)
 
-    random_ = sub.add_parser("random", parents=[common, telemetry],
+    random_ = sub.add_parser("random",
+                             parents=[common, telemetry, parallel],
                              help="Fig 5: random block bandwidth")
     random_.add_argument("--blocks", nargs="*", type=int, default=None,
                          help="block sizes in bytes")
@@ -142,7 +150,8 @@ def _run_chase(system, args, telemetry):
 def _run_bw(system, args, telemetry):
     report = SequentialBandwidthBench(
         system, thread_counts=args.threads,
-        schemes=_parse_schemes(args.scheme)).run()
+        schemes=_parse_schemes(args.scheme),
+        jobs=getattr(args, "jobs", 1)).run()
     if telemetry.enabled:
         _trace_mechanism_companions(
             telemetry, threads=max(args.threads or [8]))
@@ -155,7 +164,8 @@ def _run_bw(system, args, telemetry):
 def _run_random(system, args, telemetry):
     report = RandomBlockBench(system, block_sizes=args.blocks,
                               thread_counts=args.threads,
-                              schemes=_parse_schemes(args.scheme)).run()
+                              schemes=_parse_schemes(args.scheme),
+                              jobs=getattr(args, "jobs", 1)).run()
     if telemetry.enabled:
         _trace_mechanism_companions(
             telemetry, threads=max(args.threads or [8]))

@@ -32,7 +32,8 @@ class RandomBlockBench:
     def __init__(self, system: System, *,
                  block_sizes: list[int] | None = None,
                  thread_counts: list[int] | None = None,
-                 schemes: list[MemoryScheme] | None = None) -> None:
+                 schemes: list[MemoryScheme] | None = None,
+                 jobs: int = 1) -> None:
         self.system = system
         self.block_sizes = block_sizes or DEFAULT_BLOCKS
         if any(b < 64 for b in self.block_sizes):
@@ -41,21 +42,40 @@ class RandomBlockBench:
             n for n in DEFAULT_THREADS if n <= system.socket.config.cores]
         self.schemes = schemes or system.available_schemes()
         self.model = ThroughputModel(system)
+        self.jobs = jobs
 
     def run(self) -> BenchReport:
         report = BenchReport(title="MEMO random block bandwidth")
-        for scheme in self.schemes:
-            for kind in GRID_KINDS:
-                panel = f"fig5-{scheme.label}-{kind.value}"
-                for threads in self.thread_counts:
-                    series = Series(f"{threads}T", x_label="block (KiB)",
-                                    y_label="GB/s")
-                    for block in self.block_sizes:
-                        result = self.model.bandwidth(
-                            scheme, kind, AccessPattern.RANDOM_BLOCK,
-                            threads=threads, block_bytes=block)
-                        series.append(block / KIB, result.gb_per_s)
-                    report.add_series(panel, series)
+        units = [(scheme, kind, threads)
+                 for scheme in self.schemes
+                 for kind in GRID_KINDS
+                 for threads in self.thread_counts]
+        if self.jobs > 1:
+            # One worker unit per thread-count curve of the 3x3 grid;
+            # merged in sweep order — identical to a serial run.
+            from ..parallel import ParallelRunner
+            from ..parallel.sweeps import run_model_series
+
+            specs = [(self.system, scheme, kind,
+                      AccessPattern.RANDOM_BLOCK,
+                      [{"threads": threads, "block_bytes": block}
+                       for block in self.block_sizes])
+                     for scheme, kind, threads in units]
+            curves = ParallelRunner(self.jobs).map(run_model_series,
+                                                   specs)
+        else:
+            curves = [[self.model.bandwidth(
+                           scheme, kind, AccessPattern.RANDOM_BLOCK,
+                           threads=threads, block_bytes=block).gb_per_s
+                       for block in self.block_sizes]
+                      for scheme, kind, threads in units]
+        for (scheme, kind, threads), values in zip(units, curves):
+            series = Series(f"{threads}T", x_label="block (KiB)",
+                            y_label="GB/s")
+            for block, gb_per_s in zip(self.block_sizes, values):
+                series.append(block / KIB, gb_per_s)
+            report.add_series(f"fig5-{scheme.label}-{kind.value}",
+                              series)
         return report
 
     def point(self, scheme: MemoryScheme, kind: AccessKind, *,

@@ -1,0 +1,51 @@
+"""Process-parallel execution for sweeps and experiments.
+
+The paper's figures are built from sweeps — thread counts, block sizes,
+QPS points, DLRM configs — whose points are independent of each other.
+This package fans those units out across worker processes and folds the
+results (and their telemetry) back together so a parallel run is
+byte-identical to a serial one:
+
+* :class:`ParallelRunner` (:mod:`repro.parallel.runner`) — an ordered
+  ``map`` over a :class:`~concurrent.futures.ProcessPoolExecutor`;
+  ``jobs <= 1`` degenerates to an in-process loop so the serial path
+  stays exactly what it was.
+* :class:`ResultCache` (:mod:`repro.parallel.cache`) — a
+  content-addressed store under ``results/.cache/`` keyed on
+  ``(experiment id, config dict, package fingerprint)``; re-running an
+  unchanged figure becomes a file read.
+* :mod:`repro.parallel.merge` — serialize a worker's
+  :class:`~repro.telemetry.Telemetry` and replay it into the parent
+  session in unit order, preserving track creation order and event
+  sequence.
+* :mod:`repro.parallel.sweeps` — the picklable module-level unit
+  functions shipped to workers (simulator sweep points, whole
+  experiments, analytic bench series).
+
+See docs/PERFORMANCE.md for the sharding and cache-key contract.
+"""
+
+from __future__ import annotations
+
+from .cache import ResultCache, package_fingerprint, result_key
+from .merge import (
+    TelemetrySpec,
+    export_telemetry,
+    fresh_telemetry,
+    merge_telemetry,
+    telemetry_spec,
+)
+from .runner import ParallelRunner, unit_seed
+
+__all__ = [
+    "ParallelRunner",
+    "ResultCache",
+    "TelemetrySpec",
+    "export_telemetry",
+    "fresh_telemetry",
+    "merge_telemetry",
+    "package_fingerprint",
+    "result_key",
+    "telemetry_spec",
+    "unit_seed",
+]

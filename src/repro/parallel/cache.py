@@ -1,0 +1,139 @@
+"""A content-addressed result cache under ``results/.cache/``.
+
+Keys
+----
+A cache key is the SHA-256 of the canonical JSON of::
+
+    {"experiment": <id>, "config": <config dict>, "version": <fingerprint>}
+
+``config`` is whatever parameter dict fully determines the result
+(``{"fast": true}`` for the experiment runner).  The fingerprint
+defaults to :func:`package_fingerprint` — the package version *plus* a
+digest of every ``repro`` source file — so editing any simulator module
+invalidates every cached result automatically; there is no staleness
+window between code changes and version bumps.
+
+Entries are single JSON files named ``<key>.json`` holding both the key
+material (for ``repro-experiments --cache-info`` style inspection and
+debugging) and the payload.  Writes are atomic (temp file + rename), so
+a parallel run racing on the same key leaves one valid entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..errors import ExperimentError
+
+DEFAULT_CACHE_DIR = Path("results") / ".cache"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_fingerprint_cache: str | None = None
+
+
+def package_fingerprint() -> str:
+    """``<version>+src.<digest12>`` over every ``repro`` source file.
+
+    The digest covers file *contents* (sorted by package-relative path,
+    so it is checkout-location independent).  Computed once per
+    process.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _fingerprint_cache = (
+            f"{repro.__version__}+src.{digest.hexdigest()[:12]}")
+    return _fingerprint_cache
+
+
+def result_key(experiment_id: str, config: dict,
+               version: str | None = None) -> str:
+    """The content address for one (experiment, config, version) triple."""
+    if not experiment_id:
+        raise ExperimentError("cache key needs an experiment id")
+    material = {
+        "experiment": experiment_id,
+        "config": config,
+        "version": version if version is not None
+        else package_fingerprint(),
+    }
+    canonical = json.dumps(material, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """Get/put JSON payloads by content address.
+
+    The directory defaults to ``results/.cache`` under the current
+    working directory; the ``REPRO_CACHE_DIR`` environment variable
+    overrides it (used by tests and CI to isolate runs).
+    """
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The cached payload, or ``None`` on miss/corruption.
+
+        A corrupt or truncated entry (e.g. from an interrupted run
+        predating atomic writes) reads as a miss and is removed.
+        """
+        path = self.path(key)
+        try:
+            entry = json.loads(path.read_text())
+            return entry["payload"]
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, payload: dict, *,
+            key_material: dict | None = None) -> Path:
+        """Store ``payload`` under ``key`` atomically; returns the path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(key)
+        entry = {"key": key, "key_material": key_material or {},
+                 "payload": payload}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).is_file()
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob("*.json"))) \
+            if self.root.is_dir() else 0
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

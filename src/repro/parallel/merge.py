@@ -1,0 +1,147 @@
+"""Serialize worker telemetry and replay it into the parent session.
+
+A worker process cannot record into the parent's
+:class:`~repro.telemetry.Telemetry` — it gets a *fresh* session shaped
+like the parent's (:func:`fresh_telemetry`), runs its unit, and ships
+the session back as plain picklable data (:func:`export_telemetry`).
+The parent replays exports **in unit order** (:func:`merge_telemetry`),
+which reproduces exactly what a serial run would have recorded:
+
+* trace events re-enter through the parent tracer's normal recording
+  methods, so track ids are assigned in first-use order and worker
+  track names land on the parent's existing tracks ("corrected" to the
+  parent's tid numbering rather than the worker's);
+* counters fold by summing, gauges by last-write-wins (unit order),
+  histograms by replaying raw samples — the same sequence of mutations
+  the serial loop performs.
+
+The determinism tests pin this down by comparing merged parallel
+sessions against serial ones event-by-event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TelemetryError
+from ..telemetry import (
+    NULL_TELEMETRY,
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    Registry,
+    Telemetry,
+    Tracer,
+)
+
+
+@dataclass(frozen=True)
+class TelemetrySpec:
+    """The shape of a telemetry session, minus its contents.
+
+    Enough for a worker to build a session that records the same
+    categories of data the parent would have recorded inline.
+    """
+
+    traced: bool
+    metered: bool
+    process_name: str = "repro-sim"
+
+
+def telemetry_spec(telemetry: Telemetry) -> TelemetrySpec:
+    """Describe ``telemetry`` so a worker can mirror it."""
+    tracer = telemetry.tracer
+    return TelemetrySpec(
+        traced=tracer.enabled,
+        metered=not isinstance(telemetry.registry, NullRegistry),
+        process_name=getattr(tracer, "process_name", "repro-sim"))
+
+
+def fresh_telemetry(spec: TelemetrySpec) -> Telemetry:
+    """A new, empty session matching ``spec`` (worker side)."""
+    if not spec.traced and not spec.metered:
+        return NULL_TELEMETRY
+    return Telemetry(
+        registry=Registry() if spec.metered else NullRegistry(),
+        tracer=Tracer(process_name=spec.process_name)
+        if spec.traced else None)
+
+
+def export_telemetry(telemetry: Telemetry) -> dict | None:
+    """One unit's telemetry as plain data (``None`` if nothing recorded).
+
+    Format (all JSON-compatible, trivially picklable)::
+
+        {"tracks": [name, ...],                  # creation order
+         "events": [(track, name, phase, ts_ns, dur_ns, args), ...],
+         "metrics": {name: {"type": ..., ...}, ...}}
+    """
+    export: dict = {}
+    tracer = telemetry.tracer
+    if tracer.enabled:
+        export["tracks"] = tracer.tracks
+        export["events"] = [
+            (e.track, e.name, e.phase, e.ts_ns, e.dur_ns, dict(e.args))
+            for e in tracer.events]
+    registry = telemetry.registry
+    if not isinstance(registry, NullRegistry) and len(registry):
+        metrics: dict = {}
+        for name in registry.names():
+            metric = registry.get(name)
+            if isinstance(metric, Counter):
+                metrics[name] = {"type": "counter",
+                                 "value": metric.value}
+            elif isinstance(metric, Gauge):
+                metrics[name] = {"type": "gauge", "value": metric.value}
+            elif isinstance(metric, Histogram):
+                metrics[name] = {"type": "histogram",
+                                 "buckets": list(metric.buckets),
+                                 "samples": metric.samples}
+            else:                                    # pragma: no cover
+                raise TelemetryError(
+                    f"cannot export metric type {type(metric).__name__}")
+        export["metrics"] = metrics
+    return export or None
+
+
+def merge_telemetry(parent: Telemetry, export: dict | None) -> None:
+    """Replay one worker export into ``parent`` (parent side).
+
+    Call once per unit, **in unit order** — ordering is what makes the
+    merged session identical to a serial run's.
+    """
+    if not export:
+        return
+    tracer = parent.tracer
+    if tracer.enabled:
+        # Touch tracks first so creation order survives even if a track
+        # recorded no events of its own (counter-only tracks).
+        for track in export.get("tracks", ()):
+            tracer.track_id(track)
+        for track, name, phase, ts_ns, dur_ns, args in \
+                export.get("events", ()):
+            if phase == "X":
+                tracer.complete(track, name, ts_ns, dur_ns, **args)
+            elif phase == "i":
+                tracer.instant(track, name, ts_ns, **args)
+            elif phase == "C":
+                tracer.count(track, name, ts_ns,
+                             value=args.get("value", 0.0))
+            else:
+                raise TelemetryError(
+                    f"cannot merge trace phase {phase!r}")
+    registry = parent.registry
+    for name, snap in export.get("metrics", {}).items():
+        kind = snap.get("type")
+        if kind == "counter":
+            registry.counter(name).inc(snap["value"])
+        elif kind == "gauge":
+            registry.gauge(name).set(snap["value"])
+        elif kind == "histogram":
+            histogram = registry.histogram(
+                name, buckets=tuple(snap["buckets"]))
+            for sample in snap["samples"]:
+                histogram.record(sample)
+        else:
+            raise TelemetryError(f"cannot merge metric type {kind!r}")

@@ -1,0 +1,97 @@
+"""Picklable work-unit functions shipped to worker processes.
+
+Everything here is a module-level function taking one picklable spec —
+the form :class:`~repro.parallel.runner.ParallelRunner` requires.
+Three unit shapes cover the repo's sweeps:
+
+* :func:`run_sim_point` — one DES configuration (a
+  :class:`~repro.cxl.e2e_sim.CxlEndToEndSim` /
+  :class:`~repro.cxl.e2e_sim.CxlWriteEndToEndSim` sweep point), with
+  the worker's telemetry exported for in-order merging;
+* :func:`run_experiment` — one whole registered experiment (the
+  ``repro-experiments --jobs`` unit);
+* :func:`run_kv_p99_point` — one (workload, placement, QPS) point of a
+  Redis-YCSB p99 curve (Fig 6's inner shard);
+* :func:`run_model_series` — one analytic series of the MEMO
+  bandwidth/random benches (a batch of closed-form model evaluations).
+
+The DSB p99 curves (Fig 10) shard through :func:`run_sim_point`
+directly — :class:`~repro.apps.dsb.runner.DsbRunner` has the same
+``(telemetry=..., **init_kwargs)`` / ``run(**run_kwargs)`` shape as the
+e2e simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .merge import TelemetrySpec, export_telemetry, fresh_telemetry
+
+
+def run_sim_point(spec: tuple) -> tuple[Any, dict | None]:
+    """Run one simulator configuration in this process.
+
+    ``spec`` is ``(sim_class, init_kwargs, run_kwargs, telemetry_spec)``
+    where ``init_kwargs`` excludes ``telemetry`` (the worker builds its
+    own session from the spec).  Returns ``(result, telemetry_export)``.
+    """
+    sim_class, init_kwargs, run_kwargs, tspec = spec
+    telemetry = fresh_telemetry(tspec) if isinstance(
+        tspec, TelemetrySpec) else None
+    sim = sim_class(telemetry=telemetry, **init_kwargs)
+    result = sim.run(**run_kwargs)
+    export = export_telemetry(telemetry) \
+        if telemetry is not None else None
+    return result, export
+
+
+def run_experiment(spec: tuple) -> Any:
+    """Run one registered experiment: ``spec = (experiment_id, fast)``
+    or ``(experiment_id, fast, jobs)`` to shard the experiment's own
+    sweep points (experiments that don't accept ``jobs`` ignore it).
+
+    Importing :mod:`repro.experiments` populates the registry in the
+    worker (fresh interpreters under spawn; a no-op under fork).
+    """
+    experiment_id, fast, *rest = spec
+    jobs = rest[0] if rest else 1
+    from ..experiments import get
+
+    return get(experiment_id).run(fast=fast, jobs=jobs)
+
+
+def run_kv_p99_point(spec: tuple) -> Any:
+    """One Redis-YCSB p99 point: build the store, drive the server.
+
+    ``spec = (system, num_keys, seed, workload, cxl_fraction, qps,
+    requests)``; returns the :class:`~repro.apps.kvstore.server.RunResult`.
+    Each point builds (and frees) its own store exactly as the serial
+    loop does, so results match bit-for-bit.
+    """
+    system, num_keys, seed, workload, cxl_fraction, qps, requests = spec
+    from ..apps.kvstore.ycsb_runner import RedisYcsbStudy
+
+    study = RedisYcsbStudy(system, num_keys=num_keys, seed=seed)
+    return study.p99_point(workload, cxl_fraction, qps,
+                           requests=requests)
+
+
+def run_model_series(spec: tuple) -> list[float]:
+    """Evaluate one analytic bandwidth series: a list of GB/s values.
+
+    ``spec = (system, scheme, kind, pattern, points)`` with ``pattern``
+    ``None`` for the sequential model and each point either
+    ``{"threads": n}`` or ``{"threads": n, "block_bytes": b}``.
+    """
+    system, scheme, kind, pattern, points = spec
+    from ..perfmodel.throughput import ThroughputModel
+
+    model = ThroughputModel(system)
+    values = []
+    for point in points:
+        if pattern is None:
+            result = model.bandwidth(scheme, kind, **point)
+        else:
+            result = model.bandwidth(scheme, kind, pattern, **point)
+        values.append(result.gb_per_s)
+    return values

@@ -9,6 +9,24 @@ Design notes
 * The engine knows nothing about processes or resources; those layers
   (:mod:`repro.sim.process`, :mod:`repro.sim.resources`) are built on the
   two primitives here: :meth:`Engine.schedule` and :meth:`Engine.cancel`.
+
+Hot-path layout
+---------------
+The heap holds ``(time, seq, handle)`` tuples rather than the handles
+themselves, so ``heapq`` orders entries with C-level tuple comparison
+(``time`` then ``seq``) instead of calling back into a Python
+``__lt__`` — on engine-bound models this removes millions of
+interpreter round-trips per run.  Cancellation stays a tombstone flag
+on the handle; tombstones are skipped exactly once, at the heap top,
+by :meth:`step`.  :meth:`run` drives :meth:`step` with its ``until``
+bound pushed down, so each event costs a single bounded heap
+inspection (the historical ``peek()`` + ``step()`` pair scanned the
+tombstoned heap top twice per event).
+
+Callbacks can carry positional arguments through the event
+(``schedule(delay, fn, a, b)``), which lets hot models pass a bound
+method plus its arguments instead of allocating a fresh closure per
+request.
 """
 
 from __future__ import annotations
@@ -24,13 +42,15 @@ from ..telemetry import NULL_TELEMETRY, Telemetry
 class _Scheduled:
     """A handle for one scheduled callback; cancellation is a tombstone."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[[], Any]) -> None:
+                 callback: Callable[..., Any],
+                 args: tuple = ()) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
+        self.args = args
         self.cancelled = False
 
     def __lt__(self, other: "_Scheduled") -> bool:
@@ -52,7 +72,7 @@ class Engine:
 
     def __init__(self, *, telemetry: Telemetry | None = None) -> None:
         self._now = 0.0
-        self._heap: list[_Scheduled] = []
+        self._heap: list[tuple[float, int, _Scheduled]] = []
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
@@ -69,18 +89,22 @@ class Engine:
         """Number of callbacks executed so far (for diagnostics)."""
         return self._processed
 
-    def schedule(self, delay: float, callback: Callable[[], Any]) -> _Scheduled:
-        """Run ``callback`` at ``now + delay``; returns a cancellable handle."""
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> _Scheduled:
+        """Run ``callback(*args)`` at ``now + delay``; returns a
+        cancellable handle."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: delay={delay}")
-        handle = _Scheduled(self._now + delay, next(self._seq), callback)
-        heapq.heappush(self._heap, handle)
+        time = self._now + delay
+        seq = next(self._seq)
+        handle = _Scheduled(time, seq, callback, args)
+        heapq.heappush(self._heap, (time, seq, handle))
         return handle
 
-    def schedule_at(self, time: float,
-                    callback: Callable[[], Any]) -> _Scheduled:
-        """Run ``callback`` at absolute time ``time``."""
-        return self.schedule(time - self._now, callback)
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> _Scheduled:
+        """Run ``callback(*args)`` at absolute time ``time``."""
+        return self.schedule(time - self._now, callback, *args)
 
     def cancel(self, handle: _Scheduled) -> None:
         """Cancel a previously scheduled callback (idempotent)."""
@@ -88,22 +112,35 @@ class Engine:
 
     def peek(self) -> float | None:
         """Time of the next pending event, or ``None`` if the heap is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
-    def step(self) -> bool:
-        """Execute the next event.  Returns False if nothing is pending."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
+    def step(self, until: float | None = None) -> bool:
+        """Execute the next event in one bounded heap scan.
+
+        Returns ``False`` when nothing is pending — or, with ``until``
+        given, when the next live event lies strictly after ``until``
+        (the event stays queued; the clock is not advanced).
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            handle = head[2]
             if handle.cancelled:
+                heapq.heappop(heap)
                 continue
-            if handle.time < self._now:
+            time = head[0]
+            if until is not None and time > until:
+                return False
+            heapq.heappop(heap)
+            if time < self._now:
                 raise SimulationError(
-                    f"event at t={handle.time} before now={self._now}")
-            self._now = handle.time
+                    f"event at t={time} before now={self._now}")
+            self._now = time
             self._processed += 1
-            handle.callback()
+            handle.callback(*handle.args)
             return True
         return False
 
@@ -120,21 +157,21 @@ class Engine:
             raise SimulationError("Engine.run() is not reentrant")
         self._running = True
         run_start = self._now
+        step = self.step
         try:
-            executed = 0
-            while True:
-                if max_events is not None and executed >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; "
-                        "model may not terminate")
-                next_time = self.peek()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                self.step()
-                executed += 1
+            if max_events is None:
+                while step(until):
+                    pass
+            else:
+                executed = 0
+                while True:
+                    if executed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "model may not terminate")
+                    if not step(until):
+                        break
+                    executed += 1
             if until is not None and self._now < until:
                 self._now = until
         finally:

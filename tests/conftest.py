@@ -1,0 +1,17 @@
+"""Suite-wide fixtures.
+
+The result cache defaults to ``results/.cache`` under the working
+directory; tests must never read from or write into the checkout's real
+cache (a stale entry could mask a regression, and a test run should not
+dirty the repo).  Point it at a throwaway directory for the whole
+session unless a test overrides it explicitly.
+"""
+
+import os
+import tempfile
+
+
+def pytest_configure(config):
+    os.environ.setdefault(
+        "REPRO_CACHE_DIR",
+        tempfile.mkdtemp(prefix="repro-test-cache-"))

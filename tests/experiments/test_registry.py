@@ -73,6 +73,36 @@ class TestCli:
         assert saved.exists()
         assert "[PASS]" in saved.read_text()
 
+    def test_unknown_id_exits_with_clear_message(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment id" in err
+        assert "fig99" in err
+        assert "fig3" in err            # lists what IS available
+
+    def test_unknown_id_mixed_with_known_still_rejected(self, capsys):
+        assert main(["table1", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_bad_jobs_rejected(self, capsys):
+        assert main(["--jobs", "0", "table1"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_parser_parallel_flags(self):
+        args = build_parser().parse_args(
+            ["--jobs", "4", "--no-cache", "fig3"])
+        assert args.jobs == 4
+        assert args.no_cache
+
+    def test_clear_cache(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["table1"]) == 0            # populates one entry
+        capsys.readouterr()
+        assert main(["--clear-cache", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared 1 cached result(s)" in out
+        assert list(tmp_path.glob("*.json")) == []
+
 
 class TestFastExperimentsPass:
     """Each paper artifact regenerates with all shape checks green.

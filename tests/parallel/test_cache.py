@@ -1,0 +1,95 @@
+"""The content-addressed result cache: keys, round-trips, invalidation."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.parallel import ResultCache, package_fingerprint, result_key
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestKeys:
+    def test_stable_across_calls(self):
+        assert result_key("fig3", {"fast": True}) \
+            == result_key("fig3", {"fast": True})
+
+    def test_insensitive_to_config_dict_order(self):
+        assert result_key("x", {"a": 1, "b": 2}, version="v") \
+            == result_key("x", {"b": 2, "a": 1}, version="v")
+
+    def test_changes_with_experiment_id(self):
+        assert result_key("fig3", {"fast": True}) \
+            != result_key("fig5", {"fast": True})
+
+    def test_changes_with_config(self):
+        assert result_key("fig3", {"fast": True}) \
+            != result_key("fig3", {"fast": False})
+
+    def test_changes_with_version(self):
+        assert result_key("fig3", {}, version="1.0.0") \
+            != result_key("fig3", {}, version="1.0.1")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ExperimentError):
+            result_key("", {})
+
+    def test_fingerprint_includes_version_and_source_digest(self):
+        import repro
+
+        fingerprint = package_fingerprint()
+        assert fingerprint.startswith(repro.__version__ + "+src.")
+        assert fingerprint == package_fingerprint()  # cached, stable
+
+
+class TestStore:
+    def test_miss_returns_none(self, cache):
+        assert cache.get(result_key("nope", {})) is None
+
+    def test_put_get_roundtrip(self, cache):
+        key = result_key("fig3", {"fast": True}, version="v")
+        payload = {"rendered": "### fig3", "series": {"a": [1.0, 2.5]}}
+        cache.put(key, payload)
+        assert key in cache
+        assert cache.get(key) == payload
+
+    def test_roundtrip_preserves_float_bits(self, cache):
+        value = 16.837162615276434
+        key = result_key("x", {}, version="v")
+        cache.put(key, {"y": value})
+        assert cache.get(key)["y"] == value
+
+    def test_corrupt_entry_reads_as_miss_and_is_removed(self, cache):
+        key = result_key("x", {}, version="v")
+        cache.put(key, {"ok": 1})
+        cache.path(key).write_text("{not json")
+        assert cache.get(key) is None
+        assert key not in cache
+
+    def test_clear(self, cache):
+        for name in ("a", "b"):
+            cache.put(result_key(name, {}, version="v"), {"n": name})
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_clear_missing_dir_is_noop(self, tmp_path):
+        assert ResultCache(tmp_path / "never-created").clear() == 0
+
+    def test_entry_records_key_material(self, cache):
+        key = result_key("fig3", {"fast": True}, version="v")
+        cache.put(key, {"x": 1},
+                  key_material={"experiment": "fig3",
+                                "config": {"fast": True}})
+        entry = json.loads(cache.path(key).read_text())
+        assert entry["key"] == key
+        assert entry["key_material"]["experiment"] == "fig3"
+
+    def test_env_var_overrides_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        cache = ResultCache()
+        assert cache.root == tmp_path / "env-cache"

@@ -1,0 +1,117 @@
+"""Worker-telemetry export/merge: merged sessions match serial ones."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.parallel import (
+    TelemetrySpec,
+    export_telemetry,
+    fresh_telemetry,
+    merge_telemetry,
+    telemetry_spec,
+)
+from repro.telemetry import NULL_TELEMETRY, NullRegistry, Telemetry
+
+
+def _record_unit(telemetry, offset_ns):
+    """A miniature workload recorded into ``telemetry``."""
+    tracer = telemetry.tracer
+    tracer.complete("cxl.port", "m2s", offset_ns, 8.0, thread=1)
+    tracer.instant("cxl.device.wbuf", "stall", offset_ns + 2.0)
+    tracer.count("cxl.device.wbuf", "occupancy", offset_ns + 3.0, 5.0)
+    registry = telemetry.registry
+    registry.counter("unit.completed").inc(3)
+    registry.gauge("unit.last_ns").set(offset_ns)
+    registry.histogram("unit.latency_ns").record(offset_ns + 1.0)
+
+
+class TestSpec:
+    def test_spec_of_full_session(self):
+        spec = telemetry_spec(Telemetry.on(process_name="memo-bw"))
+        assert spec == TelemetrySpec(traced=True, metered=True,
+                                     process_name="memo-bw")
+
+    def test_spec_of_null_session(self):
+        spec = telemetry_spec(NULL_TELEMETRY)
+        assert not spec.traced and not spec.metered
+        assert fresh_telemetry(spec) is NULL_TELEMETRY
+
+    def test_fresh_metered_only(self):
+        spec = TelemetrySpec(traced=False, metered=True)
+        telemetry = fresh_telemetry(spec)
+        assert not telemetry.tracer.enabled
+        assert not isinstance(telemetry.registry, NullRegistry)
+
+
+class TestExport:
+    def test_null_session_exports_none(self):
+        assert export_telemetry(NULL_TELEMETRY) is None
+
+    def test_empty_enabled_session_exports_track_list(self):
+        export = export_telemetry(Telemetry.on())
+        assert export == {"tracks": [], "events": []}
+
+    def test_export_is_plain_data(self):
+        telemetry = Telemetry.on()
+        _record_unit(telemetry, 100.0)
+        export = export_telemetry(telemetry)
+        import json
+
+        json.dumps(export)      # JSON-compatible, hence picklable
+        assert export["tracks"] == ["cxl.port", "cxl.device.wbuf"]
+        assert len(export["events"]) == 3
+        assert export["metrics"]["unit.completed"]["value"] == 3
+
+
+class TestMergeEqualsSerial:
+    def test_two_units_merge_to_serial_session(self):
+        serial = Telemetry.on()
+        _record_unit(serial, 100.0)
+        _record_unit(serial, 200.0)
+
+        parent = Telemetry.on()
+        spec = telemetry_spec(parent)
+        for offset in (100.0, 200.0):
+            worker = fresh_telemetry(spec)
+            _record_unit(worker, offset)
+            merge_telemetry(parent, export_telemetry(worker))
+
+        assert [e.key() for e in parent.tracer.events] \
+            == [e.key() for e in serial.tracer.events]
+        assert parent.tracer.tracks == serial.tracer.tracks
+        assert parent.registry.snapshot() == serial.registry.snapshot()
+
+    def test_gauge_last_unit_wins(self):
+        parent = Telemetry.on()
+        spec = telemetry_spec(parent)
+        for offset in (10.0, 30.0, 20.0):
+            worker = fresh_telemetry(spec)
+            worker.registry.gauge("g").set(offset)
+            merge_telemetry(parent, export_telemetry(worker))
+        assert parent.registry.gauge("g").value == 20.0
+
+    def test_merge_none_is_noop(self):
+        parent = Telemetry.on()
+        merge_telemetry(parent, None)
+        assert len(parent.tracer) == 0
+
+    def test_histogram_buckets_survive(self):
+        parent = Telemetry.on()
+        worker = fresh_telemetry(telemetry_spec(parent))
+        worker.registry.histogram("h", buckets=(1.0, 2.0)).record(1.5)
+        merge_telemetry(parent, export_telemetry(worker))
+        histogram = parent.registry.get("h")
+        assert histogram.buckets == (1.0, 2.0)
+        assert histogram.samples == [1.5]
+
+    def test_unknown_metric_type_rejected(self):
+        with pytest.raises(TelemetryError):
+            merge_telemetry(Telemetry.on(),
+                            {"metrics": {"m": {"type": "exotic"}}})
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(TelemetryError):
+            merge_telemetry(
+                Telemetry.on(),
+                {"tracks": ["t"],
+                 "events": [("t", "e", "Z", 0.0, 0.0, {})]})

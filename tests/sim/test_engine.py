@@ -126,3 +126,99 @@ class TestRunBounds:
 
     def test_step_returns_false_when_empty(self):
         assert Engine().step() is False
+
+
+class TestBoundedStep:
+    """The single-scan ``step(until=...)`` hot path (the historical
+    ``peek()`` + ``step()`` pair scanned the heap top twice per
+    event)."""
+
+    def test_step_respects_until(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(10.0, lambda: fired.append("early"))
+        eng.schedule(100.0, lambda: fired.append("late"))
+        assert eng.step(until=50.0) is True
+        assert eng.step(until=50.0) is False
+        assert fired == ["early"]
+        assert eng.now == 10.0          # clock not advanced past events
+        assert eng.step() is True       # the late event is still queued
+        assert fired == ["early", "late"]
+
+    def test_step_until_skips_tombstones_before_deciding(self):
+        eng = Engine()
+        fired = []
+        doomed = eng.schedule(5.0, lambda: fired.append("doomed"))
+        eng.schedule(60.0, lambda: fired.append("late"))
+        eng.cancel(doomed)
+        # The earliest *live* event is past the bound, even though a
+        # cancelled one sits in front of it.
+        assert eng.step(until=50.0) is False
+        assert fired == []
+
+    def test_callback_args_ride_through_the_event(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(5.0, seen.append, "a")
+        eng.schedule(10.0, lambda x, y: seen.append((x, y)), 1, 2)
+        eng.run()
+        assert seen == ["a", (1, 2)]
+
+    def test_schedule_at_forwards_args(self):
+        eng = Engine()
+        seen = []
+        eng.schedule_at(7.0, seen.append, "abs")
+        eng.run()
+        assert seen == ["abs"]
+
+
+class TestHotPathSemanticsUnchanged:
+    """Pinned behavior the heap-layout optimization must not move:
+    ``events_processed`` counts only executed callbacks, and cancelled
+    events neither fire nor count."""
+
+    def test_events_processed_excludes_cancelled(self):
+        eng = Engine()
+        fired = []
+        handles = [eng.schedule(float(i), fired.append, i)
+                   for i in range(10)]
+        for handle in handles[::2]:
+            eng.cancel(handle)
+        eng.run()
+        assert fired == [1, 3, 5, 7, 9]
+        assert eng.events_processed == 5
+
+    def test_events_processed_counts_across_runs(self):
+        eng = Engine()
+        eng.schedule(10.0, lambda: None)
+        eng.schedule(100.0, lambda: None)
+        eng.run(until=50.0)
+        assert eng.events_processed == 1
+        eng.run()
+        assert eng.events_processed == 2
+
+    def test_cancel_from_within_callback(self):
+        eng = Engine()
+        fired = []
+        later = eng.schedule(20.0, lambda: fired.append("later"))
+        eng.schedule(10.0, lambda: eng.cancel(later))
+        eng.run()
+        assert fired == []
+        assert eng.events_processed == 1
+
+    def test_cancelled_then_rescheduled_same_time_order(self):
+        eng = Engine()
+        order = []
+        eng.schedule(5.0, order.append, "first")
+        doomed = eng.schedule(5.0, order.append, "doomed")
+        eng.schedule(5.0, order.append, "third")
+        eng.cancel(doomed)
+        eng.run()
+        assert order == ["first", "third"]
+
+    def test_peek_unchanged_by_step_until(self):
+        eng = Engine()
+        eng.schedule(10.0, lambda: None)
+        assert eng.peek() == 10.0
+        assert eng.step(until=5.0) is False
+        assert eng.peek() == 10.0
