@@ -16,6 +16,7 @@ Owns the two behaviors the paper attributes specifically to the device:
 from __future__ import annotations
 
 from ..config import CxlDeviceConfig
+from ..faults import FaultPlan
 from ..mem.controller import MemoryController
 from ..telemetry import NULL_TELEMETRY, Telemetry
 
@@ -24,10 +25,13 @@ class CxlDeviceController:
     """Latency and derating model of the on-device controller."""
 
     def __init__(self, config: CxlDeviceConfig, *,
-                 telemetry: Telemetry | None = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 fault_plan: FaultPlan | None = None) -> None:
         self.config = config
         self.telemetry = telemetry if telemetry is not None \
             else NULL_TELEMETRY
+        self.fault_plan = fault_plan \
+            if fault_plan is not None and fault_plan.active else None
         self.backend_controller = MemoryController(
             config.dram, telemetry=self.telemetry)
 
@@ -40,6 +44,45 @@ class CxlDeviceController:
     def device_service_ns(self) -> float:
         """Controller + backing DRAM for one unloaded request."""
         return self.processing_ns() + self.config.dram.access_ns
+
+    # -- degraded mode ---------------------------------------------------
+
+    def expected_fault_latency_ns(self) -> float:
+        """Expected *added* latency per request under the fault plan.
+
+        The analytic counterpart of what the DES injects per request:
+        scheduler stalls, transient timeouts (host re-issues after
+        ``timeout_ns``), and poisoned reads (one re-read after the
+        backoff).  Zero without an active plan.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return 0.0
+        extra = (plan.stall_rate * plan.stall_ns
+                 + plan.timeout_rate * plan.timeout_ns
+                 + plan.poison_rate * plan.retry_backoff_ns)
+        registry = self.telemetry.registry
+        registry.gauge("faults.expected_latency_ns").set(extra)
+        return extra
+
+    def fault_bandwidth_derate(self) -> float:
+        """Throughput multiplier (<= 1) under the fault plan.
+
+        CRC retransmissions inflate wire traffic by ``1/(1-p)`` per
+        flit; poisoned reads and timeouts re-ship whole requests; a
+        degraded link scales the ceiling directly.  Multiplied into the
+        link ceiling by :class:`~repro.cxl.device.CxlMemoryBackend`.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return 1.0
+        derate = (1.0 - plan.crc_rate) \
+            * (1.0 - plan.poison_rate) \
+            * (1.0 - plan.timeout_rate) \
+            / plan.link_slowdown
+        registry = self.telemetry.registry
+        registry.gauge("faults.bandwidth_derate").set(derate)
+        return derate
 
     # -- derates -----------------------------------------------------------
 

@@ -10,6 +10,7 @@ uniformly.
 from __future__ import annotations
 
 from ..config import CxlDeviceConfig
+from ..faults import FaultPlan
 from ..interconnect.pcie import PciePhy
 from ..mem.device import MemoryBackend
 from ..mem.dram import AccessPattern
@@ -19,24 +20,36 @@ from .port import CxlPort
 
 
 class CxlMemoryBackend(MemoryBackend):
-    """Device-side model of the Agilex-I CXL memory expander."""
+    """Device-side model of the Agilex-I CXL memory expander.
 
-    def __init__(self, config: CxlDeviceConfig, port: CxlPort) -> None:
+    An active ``fault_plan`` degrades the analytic model the same way
+    the DES layer injects faults mechanically: expected stall/retry
+    latency joins the protocol path, and CRC retransmissions plus
+    degraded link width/speed derate the link ceiling (docs/FAULTS.md).
+    """
+
+    def __init__(self, config: CxlDeviceConfig, port: CxlPort, *,
+                 fault_plan: FaultPlan | None = None) -> None:
         self.cxl_config = config
         self.port = port
-        self.device_controller = CxlDeviceController(config)
+        self.device_controller = CxlDeviceController(
+            config, fault_plan=fault_plan)
         read_txn = read_transaction()
         write_txn = write_transaction()
+        fault_ns = self.device_controller.expected_fault_latency_ns()
         # One-way extra latency beyond the socket edge: protocol round
         # trip (both hops + serialization + pack/unpack) plus the device
         # controller; the DRAM access itself is counted by the base class.
         read_path = (port.transaction_round_trip_ns(read_txn)
-                     + self.device_controller.processing_ns())
+                     + self.device_controller.processing_ns()
+                     + fault_ns)
         write_path = (port.transaction_round_trip_ns(write_txn)
-                      + self.device_controller.processing_ns())
+                      + self.device_controller.processing_ns()
+                      + fault_ns)
         # Reads return data (5-slot DRS) so the dominant direction is S2M;
         # the link ceiling accounts for header+framing overhead.
-        link_ceiling = port.data_bandwidth_ceiling(slots_per_line=5)
+        link_ceiling = port.data_bandwidth_ceiling(slots_per_line=5) \
+            * self.device_controller.fault_bandwidth_derate()
         super().__init__(label="CXL",
                          controller=self.device_controller.backend_controller,
                          extra_read_ns=read_path,
@@ -62,11 +75,13 @@ class CxlMemoryBackend(MemoryBackend):
         return derate
 
 
-def build_cxl_backend(config: CxlDeviceConfig) -> CxlMemoryBackend:
+def build_cxl_backend(config: CxlDeviceConfig, *,
+                      fault_plan: FaultPlan | None = None
+                      ) -> CxlMemoryBackend:
     """Backend for a :class:`~repro.config.CxlDeviceConfig` preset.
 
     Constructs the PCIe PHY from the config's link parameters (the preset
-    is Gen5 x16, §3).
+    is Gen5 x16, §3).  ``fault_plan`` builds the degraded-mode twin.
     """
     phy = PciePhy(hop_latency_ns=config.link.hop_latency_ns)
-    return CxlMemoryBackend(config, CxlPort(phy))
+    return CxlMemoryBackend(config, CxlPort(phy), fault_plan=fault_plan)

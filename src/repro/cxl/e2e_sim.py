@@ -16,6 +16,18 @@ This simulator *derives* the same curve shape from mechanism alone:
 Sweeping threads reproduces the three regimes of Fig 3b: a latency-bound
 linear slope, saturation near the DDR4 limit around 8 threads, and
 degradation once thread count exceeds the device's bank parallelism.
+
+Degraded mode
+-------------
+An active :class:`~repro.faults.FaultPlan` perturbs the same mechanism
+instead of crashing it: CRC-failed flits retransmit on the wire,
+transiently timed-out or poisoned reads are re-issued by the host after
+a backoff (the MLP slot stays occupied — retries steal host
+parallelism, which is what inflates the tail), device stalls stretch
+the controller stage, and a degraded link stretches every flit.  Every
+injected fault is recovered and counted; ``completed`` always reaches
+the expected total.  The ``degraded-cxl`` experiment sweeps fault
+severity over this model.
 """
 
 from __future__ import annotations
@@ -24,9 +36,10 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..errors import SimulationError
+from ..faults import FaultPlan, injector_for
 from ..mem.banks import Bank, DdrTimings, ddr4_2666_timings
 from ..sim.engine import Engine
-from ..telemetry import NULL_TELEMETRY, Telemetry
+from ..telemetry import NULL_TELEMETRY, Telemetry, interpolate_percentile
 from ..units import SEC
 from .port import CxlPort
 
@@ -42,13 +55,25 @@ RESPONSE_FLITS = 2     # DRS: header + 64 B = 5 slots = 2 flits
 
 @dataclass(frozen=True)
 class E2eResult:
-    """One simulated configuration's outcome."""
+    """One simulated configuration's outcome.
+
+    ``p50_ns``/``p99_ns`` summarize per-read completion latency (issue
+    to data return, retries included); zero when the run records no
+    per-request latencies (the write sim).  ``faults_injected`` /
+    ``faults_recovered`` count fault-plan events — equal in every
+    completed run, because recovery is what the protocol layer
+    guarantees.
+    """
 
     threads: int
     completed: int
     elapsed_ns: float
     row_hits: int
     row_misses: int
+    p50_ns: float = 0.0
+    p99_ns: float = 0.0
+    faults_injected: int = 0
+    faults_recovered: int = 0
 
     @property
     def app_bandwidth(self) -> float:
@@ -75,6 +100,7 @@ class CxlEndToEndSim:
                  mlp_per_thread: int = 15,
                  region_lines: int = 1 << 18,
                  closed_page: bool = False,
+                 fault_plan: FaultPlan | None = None,
                  telemetry: Telemetry | None = None) -> None:
         if mlp_per_thread <= 0:
             raise SimulationError("mlp must be positive")
@@ -94,6 +120,7 @@ class CxlEndToEndSim:
         # high-thread bandwidth (16.8 GB/s) lies between this sim's
         # open-page (~21.2) and closed-page (~12-14) regimes.
         self.closed_page = closed_page
+        self.fault_plan = fault_plan
 
     def _map(self, line: int) -> tuple[int, int]:
         lines_per_row = self.timings.lines_per_row
@@ -112,7 +139,11 @@ class CxlEndToEndSim:
         traced = tracer.enabled
         latency_hist = self.telemetry.registry.histogram(
             "cxl.e2e.read.latency_ns")
+        injector = injector_for(self.fault_plan, stream="e2e-read",
+                                telemetry=self.telemetry)
         flit_ns = 68 / self.port.raw_bandwidth * SEC
+        if injector is not None:
+            flit_ns *= injector.plan.link_slowdown
         hop_ns = self.port.phy.config.hop_latency_ns
         pack_ns = self.port.pack_ns
         banks = [Bank(self.timings, i)
@@ -124,6 +155,7 @@ class CxlEndToEndSim:
                  "dram_bus_free_at": 0.0, "completed": 0,
                  "last_done": 0.0}
         next_line = [0] * threads       # per-thread progress
+        latencies: list[float] = []
         activate_times: deque[float] = deque(maxlen=4)
 
         def respect_tfaw(at: float) -> float:
@@ -134,30 +166,61 @@ class CxlEndToEndSim:
 
         # Hot path: per-request arguments ride through the event
         # (engine.schedule(delay, fn, *args)) instead of a fresh
-        # closure per request — see docs/PERFORMANCE.md.
+        # closure per request — see docs/PERFORMANCE.md.  ``attempt``
+        # numbers the send for one line (1 = first issue); fault draws
+        # are keyed on (line, attempt) so retries re-roll while replays
+        # of the same decision never do.
         def launch(thread: int) -> None:
             if next_line[thread] >= lines_per_thread:
                 return
             index = next_line[thread]
             next_line[thread] += 1
             line = (thread * (self.region_lines + row_lines)) + index
-            issued_at = engine.now
+            send(thread, line, engine.now, 1)
+
+        def send(thread: int, line: int, issued_at: float,
+                 attempt: int) -> None:
+            sends = REQUEST_FLITS if injector is None \
+                else injector.crc_transmissions(REQUEST_FLITS,
+                                                "m2s", line, attempt)
             start = max(engine.now + pack_ns, state["m2s_free_at"])
-            state["m2s_free_at"] = start + REQUEST_FLITS * flit_ns
+            state["m2s_free_at"] = start + sends * flit_ns
             if traced:
                 tracer.complete(TRACK_PORT, "m2s.memrd", start,
-                                REQUEST_FLITS * flit_ns, thread=thread)
+                                sends * flit_ns, thread=thread)
             arrive = state["m2s_free_at"] + hop_ns
             engine.schedule(arrive - engine.now,
-                            device_handle, thread, line, issued_at)
+                            device_handle, thread, line, issued_at,
+                            attempt)
 
-        def device_handle(thread: int, line: int,
-                          issued_at: float) -> None:
+        def device_handle(thread: int, line: int, issued_at: float,
+                          attempt: int) -> None:
+            if injector is not None \
+                    and attempt <= injector.plan.max_retries \
+                    and injector.timeout(line, attempt):
+                # Transient controller timeout: the request is dropped
+                # on the floor; the host waits it out and re-issues.
+                injector.recovery()
+                injector.retried()
+                if traced:
+                    tracer.instant(TRACK_WBUF, "fault-timeout",
+                                   engine.now, thread=thread)
+                engine.schedule(injector.plan.timeout_ns,
+                                send, thread, line, issued_at,
+                                attempt + 1)
+                return
             bank_index, row = self._map(line)
             bank = banks[bank_index]
             if self.closed_page:
                 bank.open_row = None       # auto-precharged after use
             issue_at = engine.now + self.controller_ns
+            if injector is not None:
+                stall = injector.stall_ns(line, attempt)
+                if stall:
+                    if traced:
+                        tracer.instant(TRACK_WBUF, "fault-stall",
+                                       engine.now, thread=thread)
+                    issue_at += stall
             if bank.open_row != row:
                 issue_at = respect_tfaw(issue_at)
             data_at, hit = bank.access(row, issue_at)
@@ -169,21 +232,42 @@ class CxlEndToEndSim:
                                 self.timings.burst_ns, bank=bank_index,
                                 hit=hit)
             engine.schedule(state["dram_bus_free_at"] - engine.now,
-                            respond, thread, issued_at)
+                            respond, thread, line, issued_at, attempt)
 
-        def respond(thread: int, issued_at: float) -> None:
+        def respond(thread: int, line: int, issued_at: float,
+                    attempt: int) -> None:
+            sends = RESPONSE_FLITS if injector is None \
+                else injector.crc_transmissions(RESPONSE_FLITS,
+                                                "s2m", line, attempt)
             start = max(engine.now, state["s2m_free_at"])
-            state["s2m_free_at"] = start + RESPONSE_FLITS * flit_ns
+            state["s2m_free_at"] = start + sends * flit_ns
             if traced:
                 tracer.complete(TRACK_PORT, "s2m.drs", start,
-                                RESPONSE_FLITS * flit_ns, thread=thread)
+                                sends * flit_ns, thread=thread)
             done_at = state["s2m_free_at"] + hop_ns + pack_ns
             engine.schedule(done_at - engine.now,
-                            complete, thread, issued_at)
+                            complete, thread, line, issued_at, attempt)
 
-        def complete(thread: int, issued_at: float) -> None:
+        def complete(thread: int, line: int, issued_at: float,
+                     attempt: int) -> None:
+            if injector is not None \
+                    and attempt <= injector.plan.max_retries \
+                    and injector.poisoned(line, attempt):
+                # Poisoned DRS: data arrived but is unusable; discard
+                # and re-read after the backoff.  The MLP slot stays
+                # occupied — poison steals host parallelism.
+                injector.recovery()
+                injector.retried()
+                if traced:
+                    tracer.instant(TRACK_PORT, "fault-poison",
+                                   engine.now, thread=thread)
+                engine.schedule(injector.plan.retry_backoff_ns,
+                                send, thread, line, issued_at,
+                                attempt + 1)
+                return
             state["completed"] += 1
             state["last_done"] = engine.now
+            latencies.append(engine.now - issued_at)
             latency_hist.record(engine.now - issued_at)
             if traced:
                 tracer.complete(TRACK_CORE, "read", issued_at,
@@ -204,9 +288,15 @@ class CxlEndToEndSim:
         registry.counter("cxl.e2e.read.completed").inc(state["completed"])
         registry.counter("cxl.e2e.read.row_hits").inc(row_hits)
         registry.counter("cxl.e2e.read.row_misses").inc(row_misses)
-        return E2eResult(threads=threads, completed=state["completed"],
-                         elapsed_ns=state["last_done"],
-                         row_hits=row_hits, row_misses=row_misses)
+        latencies.sort()
+        return E2eResult(
+            threads=threads, completed=state["completed"],
+            elapsed_ns=state["last_done"],
+            row_hits=row_hits, row_misses=row_misses,
+            p50_ns=interpolate_percentile(latencies, 50.0),
+            p99_ns=interpolate_percentile(latencies, 99.0),
+            faults_injected=injector.injected if injector else 0,
+            faults_recovered=injector.recovered if injector else 0)
 
     def _init_kwargs(self) -> dict:
         """Constructor state (minus telemetry) for worker re-creation."""
@@ -214,7 +304,8 @@ class CxlEndToEndSim:
                 "controller_ns": self.controller_ns,
                 "mlp_per_thread": self.mlp_per_thread,
                 "region_lines": self.region_lines,
-                "closed_page": self.closed_page}
+                "closed_page": self.closed_page,
+                "fault_plan": self.fault_plan}
 
     def sweep(self, thread_counts: list[int], *,
               lines_per_thread: int = 1500,
@@ -256,6 +347,7 @@ class CxlWriteEndToEndSim:
                  buffer_entries: int = 128,
                  issue_gap_ns: float = 6.0,
                  region_lines: int = 1 << 18,
+                 fault_plan: FaultPlan | None = None,
                  telemetry: Telemetry | None = None) -> None:
         if buffer_entries <= 0:
             raise SimulationError("buffer must have entries")
@@ -270,6 +362,7 @@ class CxlWriteEndToEndSim:
         self.buffer_entries = buffer_entries
         self.issue_gap_ns = issue_gap_ns
         self.region_lines = region_lines
+        self.fault_plan = fault_plan
 
     def run(self, *, threads: int, lines_per_thread: int = 1200
             ) -> E2eResult:
@@ -279,7 +372,11 @@ class CxlWriteEndToEndSim:
         engine = Engine(telemetry=self.telemetry)
         tracer = self.telemetry.tracer
         traced = tracer.enabled
+        injector = injector_for(self.fault_plan, stream="e2e-write",
+                                telemetry=self.telemetry)
         flit_ns = 68 / self.port.raw_bandwidth * SEC
+        if injector is not None:
+            flit_ns *= injector.plan.link_slowdown
         hop_ns = self.port.phy.config.hop_latency_ns
         lines_per_row = self.timings.lines_per_row
         banks = [Bank(self.timings, i)
@@ -323,12 +420,14 @@ class CxlWriteEndToEndSim:
         stalled_threads: list[int] = []
 
         def send(thread: int, line: int) -> None:
+            sends = self.WRITE_REQUEST_FLITS if injector is None \
+                else injector.crc_transmissions(self.WRITE_REQUEST_FLITS,
+                                                "m2s", line)
             start = max(engine.now, state["m2s_free_at"])
-            state["m2s_free_at"] = start \
-                + self.WRITE_REQUEST_FLITS * flit_ns
+            state["m2s_free_at"] = start + sends * flit_ns
             if traced:
                 tracer.complete(TRACK_PORT, "m2s.rwd", start,
-                                self.WRITE_REQUEST_FLITS * flit_ns,
+                                sends * flit_ns,
                                 thread=thread)
             arrive = state["m2s_free_at"] + hop_ns
             engine.schedule(arrive - engine.now, buffer_arrival, line)
@@ -336,10 +435,18 @@ class CxlWriteEndToEndSim:
         def buffer_arrival(line: int) -> None:
             # The controller is a pipeline stage (latency, not
             # occupancy); banks and the shared data bus serialize.
+            controller_ns = self.controller_ns
+            if injector is not None:
+                stall = injector.stall_ns("drain", line)
+                if stall:
+                    if traced:
+                        tracer.instant(TRACK_WBUF, "fault-stall",
+                                       engine.now)
+                    controller_ns += stall
             row_index = line // lines_per_row
             bank = banks[row_index % self.timings.banks]
             data_at, hit = bank.access(row_index // self.timings.banks,
-                                       engine.now + self.controller_ns)
+                                       engine.now + controller_ns)
             burst_start = max(data_at, state["dram_bus_free_at"])
             state["dram_bus_free_at"] = burst_start + self.timings.burst_ns
             if traced:
@@ -379,9 +486,12 @@ class CxlWriteEndToEndSim:
             state["stalls"])
         registry.counter("cxl.e2e.write.row_hits").inc(row_hits)
         registry.counter("cxl.e2e.write.row_misses").inc(row_misses)
-        return E2eResult(threads=threads, completed=state["completed"],
-                         elapsed_ns=state["last_done"],
-                         row_hits=row_hits, row_misses=row_misses)
+        return E2eResult(
+            threads=threads, completed=state["completed"],
+            elapsed_ns=state["last_done"],
+            row_hits=row_hits, row_misses=row_misses,
+            faults_injected=injector.injected if injector else 0,
+            faults_recovered=injector.recovered if injector else 0)
 
     def _init_kwargs(self) -> dict:
         """Constructor state (minus telemetry) for worker re-creation."""
@@ -389,7 +499,8 @@ class CxlWriteEndToEndSim:
                 "controller_ns": self.controller_ns,
                 "buffer_entries": self.buffer_entries,
                 "issue_gap_ns": self.issue_gap_ns,
-                "region_lines": self.region_lines}
+                "region_lines": self.region_lines,
+                "fault_plan": self.fault_plan}
 
     def sweep(self, thread_counts: list[int], *,
               lines_per_thread: int = 1200,

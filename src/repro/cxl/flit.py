@@ -51,9 +51,17 @@ class Slot:
 
 @dataclass
 class Flit:
-    """A 68 B flit: header slot + three payload slots + CRC/PID."""
+    """A 68 B flit: header slot + three payload slots + CRC/PID.
+
+    ``poisoned`` models CXL data poisoning: the flit arrives intact
+    (CRC passes — poison is *not* a link error) but its data slots are
+    flagged unusable, so the host must discard the message and re-read.
+    Distinct from a CRC failure, which the link layer retransmits
+    transparently (see :mod:`repro.faults`).
+    """
 
     slots: list[Slot] = field(default_factory=list)
+    poisoned: bool = False
 
     MAX_PAYLOAD_SLOTS = SLOTS_PER_FLIT - 1   # slot 0 is the flit header
 
@@ -62,6 +70,9 @@ class Flit:
             raise ProtocolError(
                 f"flit holds at most {self.MAX_PAYLOAD_SLOTS} payload slots, "
                 f"got {len(self.slots)}")
+        if self.poisoned and not any(slot.kind is SlotKind.DATA
+                                     for slot in self.slots):
+            raise ProtocolError("only flits carrying data can be poisoned")
 
     @property
     def is_full(self) -> bool:
@@ -80,6 +91,12 @@ class Flit:
         if self.is_full:
             raise ProtocolError("flit is full")
         self.slots.append(slot)
+
+    def mark_poisoned(self) -> None:
+        """Flag this flit's data as poisoned (must carry data slots)."""
+        if not any(slot.kind is SlotKind.DATA for slot in self.slots):
+            raise ProtocolError("only flits carrying data can be poisoned")
+        self.poisoned = True
 
 
 def pack_slots(slots: list[Slot]) -> list[Flit]:

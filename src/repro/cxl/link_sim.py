@@ -8,8 +8,15 @@ uses (the receiver grants per-message-class credits; a sender stalls
 without one), a fixed number of host-side outstanding requests (MLP),
 and a device service stage.
 
+Faults come from a :class:`~repro.faults.FaultPlan`: per-flit CRC
+errors retransmit through the link-layer retry buffer (the 2 B CRC in
+every 68 B flit, §2.1), device stalls stretch the service stage, and a
+degraded link (retrained width or speed) stretches every flit's
+serialization time.  Faults cost wire time and latency, never data —
+``completed`` always reaches ``transactions``.
+
 Used by tests to cross-validate the analytic layer, and useful on its
-own for studying credit counts and buffer depths.
+own for studying credit counts, buffer depths, and degraded modes.
 """
 
 from __future__ import annotations
@@ -17,8 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import SimulationError
+from ..faults import FaultPlan, injector_for
 from ..sim.engine import Engine
-from ..sim.rng import substream
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..units import SEC
 from .messages import MemTransaction, read_transaction, write_transaction
 from .port import CxlPort
@@ -30,6 +38,8 @@ class LinkSimResult:
 
     completed: int
     elapsed_ns: float
+    faults_injected: int = 0
+    faults_recovered: int = 0
 
     @property
     def payload_bytes(self) -> int:
@@ -56,13 +66,19 @@ class CreditedLinkSim:
        wide);
     3. the response serializes onto the S2M wire, pays the hop back, and
        releases the credit and one MLP slot.
+
+    ``fault_plan`` injects CRC retransmissions, device stalls, and
+    degraded link width/speed (docs/FAULTS.md).  The legacy
+    ``flit_error_rate`` parameter is shorthand for a CRC-only plan.
     """
 
     def __init__(self, port: CxlPort, *, device_service_ns: float,
                  device_parallelism: int = 8,
                  request_credits: int = 32,
                  flit_error_rate: float = 0.0,
-                 seed: int = 5) -> None:
+                 fault_plan: FaultPlan | None = None,
+                 seed: int = 5,
+                 telemetry: Telemetry | None = None) -> None:
         if device_service_ns < 0:
             raise SimulationError("negative device service time")
         if device_parallelism <= 0 or request_credits <= 0:
@@ -71,19 +87,30 @@ class CreditedLinkSim:
         if not 0.0 <= flit_error_rate < 1.0:
             raise SimulationError(
                 f"flit error rate must be in [0, 1): {flit_error_rate}")
+        if flit_error_rate > 0.0 and fault_plan is not None:
+            raise SimulationError(
+                "give either flit_error_rate or fault_plan, not both")
         self.port = port
         self.device_service_ns = device_service_ns
         self.device_parallelism = device_parallelism
         self.request_credits = request_credits
-        # Failure injection: each flit independently fails CRC with this
-        # probability and is retransmitted (the link-layer retry buffer
-        # behind the 2 B CRC in every 68 B flit, §2.1).
+        # Back-compat shorthand: each flit independently fails CRC with
+        # this probability and is retransmitted.
         self.flit_error_rate = flit_error_rate
         self.seed = seed
+        if fault_plan is None and flit_error_rate > 0.0:
+            fault_plan = FaultPlan(crc_rate=flit_error_rate, seed=seed)
+        self.fault_plan = fault_plan
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
 
     def _flit_time_ns(self) -> float:
-        """Serialization time of one 68 B flit at the PHY rate."""
-        return 68 / self.port.raw_bandwidth * SEC
+        """Serialization time of one 68 B flit at the (possibly
+        degraded) PHY rate."""
+        base = 68 / self.port.raw_bandwidth * SEC
+        if self.fault_plan is not None:
+            return base * self.fault_plan.link_slowdown
+        return base
 
     def run(self, txn_template: MemTransaction, *, transactions: int,
             mlp: int) -> LinkSimResult:
@@ -96,14 +123,8 @@ class CreditedLinkSim:
         hop_ns = self.port.phy.config.hop_latency_ns
         request_flits = -(-txn_template.request_slots // 3)
         response_flits = -(-txn_template.response_slots // 3)
-        rng = substream(f"linksim-{self.seed}", self.seed)
-
-        def transmissions(flits: int) -> int:
-            """Flit sends including CRC retries (geometric per flit)."""
-            if self.flit_error_rate == 0.0:
-                return flits
-            return int(rng.geometric(1.0 - self.flit_error_rate,
-                                     size=flits).sum())
+        injector = injector_for(self.fault_plan, stream="linksim",
+                                telemetry=self.telemetry)
 
         state = {
             "launched": 0, "completed": 0, "credits": self.request_credits,
@@ -113,34 +134,42 @@ class CreditedLinkSim:
         def try_launch() -> None:
             while (state["launched"] < transactions
                    and state["mlp_free"] > 0 and state["credits"] > 0):
+                txn = state["launched"]
                 state["launched"] += 1
                 state["mlp_free"] -= 1
                 state["credits"] -= 1
+                sends = request_flits if injector is None \
+                    else injector.crc_transmissions(request_flits,
+                                                    "m2s", txn)
                 start = max(engine.now, state["m2s_free_at"])
-                state["m2s_free_at"] = start \
-                    + transmissions(request_flits) * flit_ns
+                state["m2s_free_at"] = start + sends * flit_ns
                 arrive = state["m2s_free_at"] + hop_ns
-                engine.schedule(arrive - engine.now, device_arrival)
+                engine.schedule(arrive - engine.now, device_arrival, txn)
 
-        def device_arrival() -> None:
+        def device_arrival(txn: int) -> None:
             state["device_queue"] += 1
-            drain_device()
+            drain_device(txn)
 
-        def drain_device() -> None:
+        def drain_device(txn: int) -> None:
             while (state["device_queue"] > 0
                    and state["device_busy"] < self.device_parallelism):
                 state["device_queue"] -= 1
                 state["device_busy"] += 1
-                engine.schedule(self.device_service_ns, device_done)
+                service = self.device_service_ns
+                if injector is not None:
+                    service += injector.stall_ns("service", txn)
+                engine.schedule(service, device_done, txn)
 
-        def device_done() -> None:
+        def device_done(txn: int) -> None:
             state["device_busy"] -= 1
+            sends = response_flits if injector is None \
+                else injector.crc_transmissions(response_flits,
+                                                "s2m", txn)
             start = max(engine.now, state["s2m_free_at"])
-            state["s2m_free_at"] = start \
-                + transmissions(response_flits) * flit_ns
+            state["s2m_free_at"] = start + sends * flit_ns
             engine.schedule(state["s2m_free_at"] + hop_ns - engine.now,
                             response_arrival)
-            drain_device()
+            drain_device(txn)
 
         def response_arrival() -> None:
             state["completed"] += 1
@@ -154,8 +183,11 @@ class CreditedLinkSim:
         if state["completed"] != transactions:
             raise SimulationError(
                 f"only {state['completed']} of {transactions} completed")
-        return LinkSimResult(completed=state["completed"],
-                             elapsed_ns=state["last_done"])
+        return LinkSimResult(
+            completed=state["completed"],
+            elapsed_ns=state["last_done"],
+            faults_injected=injector.injected if injector else 0,
+            faults_recovered=injector.recovered if injector else 0)
 
     # -- convenience -----------------------------------------------------------
 

@@ -46,3 +46,7 @@ class ExperimentError(ReproError):
 
 class TelemetryError(ReproError):
     """A telemetry metric or trace was used or serialized incorrectly."""
+
+
+class FaultError(ReproError):
+    """A fault-injection plan is invalid or was applied inconsistently."""

@@ -102,21 +102,39 @@ class Experiment:
     accepts_jobs: bool = False
     # True when the runner takes a ``jobs`` keyword — its sweep points
     # shard across worker processes (the DES-heavy figures).
+    accepts_faults: bool = False
+    # True when the runner takes a ``fault_plan`` keyword — it can run
+    # its simulations under a degraded-mode FaultPlan (docs/FAULTS.md).
 
-    def run(self, *, fast: bool = True,
-            jobs: int = 1) -> ExperimentResult:
+    def run(self, *, fast: bool = True, jobs: int = 1,
+            fault_plan=None) -> ExperimentResult:
         """Execute; ``fast`` trims sweep sizes for CI-speed runs.
 
         ``jobs > 1`` shards the experiment's own sweep points when the
         runner supports it; otherwise it is ignored (the result is
-        identical either way).
+        identical either way).  ``fault_plan`` overrides the baseline
+        fault configuration for experiments that accept one; passing a
+        plan to one that does not is an error (silently dropping a
+        fault request would misreport healthy numbers as degraded).
         """
+        kwargs: dict = {}
         if self.accepts_jobs:
-            return self.runner(fast, jobs=jobs)
-        return self.runner(fast)
+            kwargs["jobs"] = jobs
+        if fault_plan is not None:
+            if not self.accepts_faults:
+                raise ExperimentError(
+                    f"experiment {self.experiment_id!r} does not accept "
+                    f"a fault plan")
+            kwargs["fault_plan"] = fault_plan
+        return self.runner(fast, **kwargs)
 
 
 REGISTRY: dict[str, Experiment] = {}
+
+# Paper-figure aliases for extension experiments ("figF" is how the
+# roadmap refers to the degraded-mode figure; the registry id is the
+# descriptive name).
+ALIASES: dict[str, str] = {"figF": "degraded-cxl"}
 
 
 def register(experiment_id: str, title: str, paper_ref: str):
@@ -126,16 +144,25 @@ def register(experiment_id: str, title: str, paper_ref: str):
         if experiment_id in REGISTRY:
             raise ExperimentError(
                 f"duplicate experiment id {experiment_id!r}")
-        accepts_jobs = "jobs" in inspect.signature(runner).parameters
+        params = inspect.signature(runner).parameters
+        accepts_jobs = "jobs" in params
+        accepts_faults = "fault_plan" in params
         REGISTRY[experiment_id] = Experiment(experiment_id, title,
                                              paper_ref, runner,
-                                             accepts_jobs)
+                                             accepts_jobs,
+                                             accepts_faults)
         return runner
 
     return wrap
 
 
+def resolve_id(experiment_id: str) -> str:
+    """Map an alias (``figF``) to its canonical registry id."""
+    return ALIASES.get(experiment_id, experiment_id)
+
+
 def get(experiment_id: str) -> Experiment:
+    experiment_id = resolve_id(experiment_id)
     if experiment_id not in REGISTRY:
         raise ExperimentError(
             f"no experiment {experiment_id!r}; available: "

@@ -22,7 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .registry import REGISTRY, ExperimentResult
+from .registry import REGISTRY, ExperimentResult, resolve_id
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run experiments across N worker processes "
                              "(default: 1, serial)")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="run under a degraded-mode fault plan, "
+                             "e.g. 'crc=0.01,poison=0.002,seed=7' "
+                             "(keys: crc poison timeout stall stall-ns "
+                             "timeout-ns backoff-ns retries width speed "
+                             "seed; see docs/FAULTS.md)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the results/.cache result cache "
                              "(neither read nor write)")
@@ -53,7 +59,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_ids(ids: list[str], *, fast: bool, jobs: int,
-             use_cache: bool) -> list[tuple[str, ExperimentResult]]:
+             use_cache: bool,
+             fault_plan=None) -> list[tuple[str, ExperimentResult]]:
     """Run (or cache-load) ``ids`` in order; parallel across misses.
 
     Two-wave scheduling: experiments whose runners shard internally
@@ -63,12 +70,19 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
     everything else fans out one-experiment-per-worker.  Either way the
     result list comes back in id order and matches a serial run
     byte-for-byte.
+
+    The cache key covers every result-shaping input: ``fast`` and, when
+    given, the full fault-plan configuration — so a changed fault plan
+    is a cache miss, never a stale healthy (or degraded) result.
     """
     from ..parallel import ParallelRunner, ResultCache, result_key
     from ..parallel.sweeps import run_experiment
 
+    config: dict = {"fast": fast}
+    if fault_plan is not None:
+        config["faults"] = fault_plan.to_dict()
     cache = ResultCache() if use_cache else None
-    keys = {eid: result_key(eid, {"fast": fast}) for eid in ids} \
+    keys = {eid: result_key(eid, config) for eid in ids} \
         if cache is not None else {}
     cached: dict[str, ExperimentResult] = {}
     if cache is not None:
@@ -87,14 +101,16 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
         if cache is not None:
             cache.put(keys[eid], result.payload(),
                       key_material={"experiment": eid,
-                                    "config": {"fast": fast}})
+                                    "config": config})
 
     fresh = ParallelRunner(jobs).map(
-        run_experiment, [(eid, fast) for eid in pooled])
+        run_experiment,
+        [(eid, fast, 1, fault_plan) for eid in pooled])
     for eid, result in zip(pooled, fresh):
         record(eid, result)
     for eid in sharded:
-        record(eid, REGISTRY[eid].run(fast=fast, jobs=jobs))
+        record(eid, REGISTRY[eid].run(fast=fast, jobs=jobs,
+                                      fault_plan=fault_plan))
     return [(eid, cached[eid]) for eid in ids]
 
 
@@ -122,7 +138,7 @@ def main(argv: list[str] | None = None) -> int:
             print(check)
         return 0 if all(c.passed for c in checks) else 1
 
-    ids = args.ids or sorted(REGISTRY)
+    ids = [resolve_id(eid) for eid in args.ids] or sorted(REGISTRY)
     unknown = [eid for eid in ids if eid not in REGISTRY]
     if unknown:
         print("error: unknown experiment id(s): "
@@ -130,6 +146,22 @@ def main(argv: list[str] | None = None) -> int:
               + f"\navailable: {' '.join(sorted(REGISTRY))}",
               file=sys.stderr)
         return 2
+    fault_plan = None
+    if args.faults is not None:
+        from ..errors import FaultError
+        from ..faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.parse(args.faults)
+        except FaultError as exc:
+            print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+        refusing = [eid for eid in ids
+                    if not REGISTRY[eid].accepts_faults]
+        if refusing:
+            print("error: experiment(s) do not accept a fault plan: "
+                  + " ".join(sorted(refusing)), file=sys.stderr)
+            return 2
     save_dir = None
     if args.save:
         from pathlib import Path
@@ -138,7 +170,8 @@ def main(argv: list[str] | None = None) -> int:
         save_dir.mkdir(parents=True, exist_ok=True)
     failed = 0
     for eid, result in _run_ids(ids, fast=not args.full, jobs=args.jobs,
-                                use_cache=not args.no_cache):
+                                use_cache=not args.no_cache,
+                                fault_plan=fault_plan):
         print(result.render())
         print()
         if save_dir is not None:

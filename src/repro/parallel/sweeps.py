@@ -46,18 +46,22 @@ def run_sim_point(spec: tuple) -> tuple[Any, dict | None]:
 
 
 def run_experiment(spec: tuple) -> Any:
-    """Run one registered experiment: ``spec = (experiment_id, fast)``
-    or ``(experiment_id, fast, jobs)`` to shard the experiment's own
-    sweep points (experiments that don't accept ``jobs`` ignore it).
+    """Run one registered experiment: ``spec = (experiment_id, fast)``,
+    ``(experiment_id, fast, jobs)`` to shard the experiment's own sweep
+    points (experiments that don't accept ``jobs`` ignore it), or
+    ``(experiment_id, fast, jobs, fault_plan)`` to run it under a
+    degraded-mode :class:`~repro.faults.FaultPlan`.
 
     Importing :mod:`repro.experiments` populates the registry in the
     worker (fresh interpreters under spawn; a no-op under fork).
     """
     experiment_id, fast, *rest = spec
     jobs = rest[0] if rest else 1
+    fault_plan = rest[1] if len(rest) > 1 else None
     from ..experiments import get
 
-    return get(experiment_id).run(fast=fast, jobs=jobs)
+    return get(experiment_id).run(fast=fast, jobs=jobs,
+                                  fault_plan=fault_plan)
 
 
 def run_kv_p99_point(spec: tuple) -> Any:

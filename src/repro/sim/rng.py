@@ -30,3 +30,23 @@ def substream(name: str, seed: int = DEFAULT_SEED) -> np.random.Generator:
     digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
     child_seed = int.from_bytes(digest[:8], "little")
     return np.random.Generator(np.random.PCG64(child_seed))
+
+
+def decision_uniform(seed: int, *key: object) -> float:
+    """A uniform draw in ``[0, 1)`` addressed by ``(seed, *key)``.
+
+    Counter-based (stateless) randomness: the value depends only on the
+    key, never on how many draws happened before it.  Two properties
+    follow that sequential generators cannot give:
+
+    * **order independence** — a parallel run that visits decision
+      points in a different order sees exactly the serial run's values
+      (the fault-determinism contract, docs/FAULTS.md);
+    * **coupled thresholds** — comparing the same draw against two
+      rates ``p1 < p2`` makes the ``p1`` event set a subset of the
+      ``p2`` set, so raising a fault rate only ever *adds* faults
+      (monotone degradation, no random crossover).
+    """
+    material = ":".join(str(part) for part in (seed, *key))
+    digest = hashlib.blake2b(material.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "little") / 2.0 ** 64

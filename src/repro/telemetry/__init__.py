@@ -58,6 +58,16 @@ class Telemetry:
                    tracer=Tracer(process_name=process_name))
 
     @classmethod
+    def metrics_only(cls) -> "Telemetry":
+        """Counters/gauges/histograms without timeline events.
+
+        The fault-accounting tests use this: ``faults.*`` counters are
+        recorded while the tracer (whose event list grows with run
+        length) stays off.
+        """
+        return cls(registry=Registry(), tracer=NULL_TRACER)
+
+    @classmethod
     def off(cls) -> "Telemetry":
         """A fresh all-dropping session (rarely needed; components
         default to the shared :data:`NULL_TELEMETRY`)."""

@@ -1,0 +1,85 @@
+"""Property tests: flit packing round-trips and poison marking."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cxl.flit import (
+    Flit,
+    SLOT_BYTES,
+    Slot,
+    SlotKind,
+    pack_slots,
+    packing_efficiency,
+    wire_bytes_for_slots,
+)
+from repro.errors import ProtocolError
+from repro.units import CXL_FLIT_BYTES
+
+payload_slots = st.lists(
+    st.tuples(st.sampled_from([SlotKind.REQUEST, SlotKind.DATA]),
+              st.integers(min_value=0, max_value=50)),
+    min_size=1, max_size=40).map(
+    lambda pairs: [Slot(kind, message_id) for kind, message_id in pairs])
+
+
+class TestPackingRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(payload_slots)
+    def test_packing_preserves_slot_order_exactly(self, slots):
+        flits = pack_slots(slots)
+        unpacked = [slot for flit in flits for slot in flit.slots]
+        assert unpacked == slots
+
+    @settings(max_examples=100, deadline=None)
+    @given(payload_slots)
+    def test_every_flit_but_the_last_is_full(self, slots):
+        flits = pack_slots(slots)
+        assert all(flit.is_full for flit in flits[:-1])
+        assert 1 <= flits[-1].payload_slots <= Flit.MAX_PAYLOAD_SLOTS
+
+    @settings(max_examples=100, deadline=None)
+    @given(payload_slots)
+    def test_wire_bytes_match_flit_count(self, slots):
+        flits = pack_slots(slots)
+        assert wire_bytes_for_slots(len(slots)) \
+            == sum(flit.wire_bytes for flit in flits) \
+            == len(flits) * CXL_FLIT_BYTES
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_efficiency_bounded_by_payload_fraction(self, num_slots):
+        efficiency = packing_efficiency(num_slots)
+        # 3 payload slots of a 68 B flit is the densest encoding.
+        assert 0.0 < efficiency \
+            <= Flit.MAX_PAYLOAD_SLOTS * SLOT_BYTES / CXL_FLIT_BYTES
+
+    @settings(max_examples=50, deadline=None)
+    @given(payload_slots)
+    def test_no_header_or_empty_slots_survive_packing(self, slots):
+        for flit in pack_slots(slots):
+            assert all(slot.kind in (SlotKind.REQUEST, SlotKind.DATA)
+                       for slot in flit.slots)
+
+
+class TestPoisonProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(payload_slots)
+    def test_poison_allowed_iff_flit_carries_data(self, slots):
+        for flit in pack_slots(slots):
+            carries_data = any(slot.kind is SlotKind.DATA
+                               for slot in flit.slots)
+            if carries_data:
+                flit.mark_poisoned()
+                assert flit.poisoned
+            else:
+                with pytest.raises(ProtocolError):
+                    flit.mark_poisoned()
+                assert not flit.poisoned
+
+    def test_constructing_poisoned_header_only_flit_rejected(self):
+        with pytest.raises(ProtocolError):
+            Flit(slots=[Slot(SlotKind.REQUEST, 1)], poisoned=True)
+
+    def test_constructing_poisoned_data_flit_allowed(self):
+        flit = Flit(slots=[Slot(SlotKind.DATA, 1)], poisoned=True)
+        assert flit.poisoned

@@ -1,0 +1,111 @@
+"""Property tests: the credited link conserves transactions and credits.
+
+The sim itself enforces conservation — if a credit or MLP slot leaked,
+the event queue would drain with work outstanding and ``run`` would
+raise.  These properties drive it across arbitrary shapes and fault
+plans and assert it always completes everything, recovers every
+injected fault, and never exceeds the physical wire.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cxl.link_sim import CreditedLinkSim
+from repro.cxl.messages import read_transaction, write_transaction
+from repro.cxl.port import CxlPort
+from repro.faults import FaultPlan
+
+fault_plans = st.one_of(
+    st.none(),
+    st.builds(FaultPlan,
+              crc_rate=st.floats(min_value=0.0, max_value=0.3),
+              poison_rate=st.just(0.0),
+              timeout_rate=st.just(0.0),
+              stall_rate=st.floats(min_value=0.0, max_value=0.3),
+              stall_ns=st.floats(min_value=0.0, max_value=500.0),
+              link_width_fraction=st.sampled_from([1.0, 0.5, 0.25]),
+              seed=st.integers(min_value=0, max_value=2**16)))
+
+shapes = st.tuples(
+    st.integers(min_value=1, max_value=120),    # transactions
+    st.integers(min_value=1, max_value=48),     # mlp
+    st.integers(min_value=1, max_value=48),     # request credits
+    st.integers(min_value=1, max_value=16))     # device parallelism
+
+
+class TestConservationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(shapes, fault_plans)
+    def test_every_transaction_completes(self, shape, plan):
+        transactions, mlp, credits, parallelism = shape
+        sim = CreditedLinkSim(CxlPort(), device_service_ns=50.0,
+                              device_parallelism=parallelism,
+                              request_credits=credits,
+                              fault_plan=plan)
+        result = sim.run(read_transaction(),
+                         transactions=transactions, mlp=mlp)
+        assert result.completed == transactions
+        assert result.elapsed_ns > 0.0
+        assert result.faults_injected == result.faults_recovered
+
+    @settings(max_examples=30, deadline=None)
+    @given(shapes, fault_plans)
+    def test_bandwidth_never_exceeds_the_wire(self, shape, plan):
+        transactions, mlp, credits, parallelism = shape
+        port = CxlPort()
+        sim = CreditedLinkSim(port, device_service_ns=0.0,
+                              device_parallelism=parallelism,
+                              request_credits=credits,
+                              fault_plan=plan)
+        result = sim.run(write_transaction(),
+                         transactions=transactions, mlp=mlp)
+        assert result.app_bandwidth <= port.raw_bandwidth
+
+    @settings(max_examples=25, deadline=None)
+    @given(shapes, st.integers(min_value=0, max_value=2**16))
+    def test_faulty_run_is_reproducible(self, shape, seed):
+        transactions, mlp, credits, parallelism = shape
+        plan = FaultPlan(crc_rate=0.1, stall_rate=0.1, seed=seed)
+
+        def run():
+            sim = CreditedLinkSim(CxlPort(), device_service_ns=50.0,
+                                  device_parallelism=parallelism,
+                                  request_credits=credits,
+                                  fault_plan=plan)
+            return sim.run(read_transaction(),
+                           transactions=transactions, mlp=mlp)
+
+        assert run() == run()
+
+    @settings(max_examples=25, deadline=None)
+    @given(shapes)
+    def test_inactive_plan_matches_no_plan(self, shape):
+        transactions, mlp, credits, parallelism = shape
+
+        def run(plan):
+            sim = CreditedLinkSim(CxlPort(), device_service_ns=50.0,
+                                  device_parallelism=parallelism,
+                                  request_credits=credits,
+                                  fault_plan=plan)
+            return sim.run(read_transaction(),
+                           transactions=transactions, mlp=mlp)
+
+        assert run(None) == run(FaultPlan())
+
+    @settings(max_examples=20, deadline=None)
+    @given(shapes, st.integers(min_value=0, max_value=2**16))
+    def test_faults_only_ever_slow_the_link(self, shape, seed):
+        transactions, mlp, credits, parallelism = shape
+
+        def run(plan):
+            sim = CreditedLinkSim(CxlPort(), device_service_ns=50.0,
+                                  device_parallelism=parallelism,
+                                  request_credits=credits,
+                                  fault_plan=plan)
+            return sim.run(read_transaction(),
+                           transactions=transactions, mlp=mlp)
+
+        healthy = run(None)
+        degraded = run(FaultPlan(crc_rate=0.2, stall_rate=0.2,
+                                 stall_ns=200.0, seed=seed))
+        assert degraded.elapsed_ns >= healthy.elapsed_ns
+        assert degraded.completed == healthy.completed

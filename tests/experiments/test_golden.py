@@ -1,0 +1,80 @@
+"""Golden regression pins: every shape-check verdict, every validation.
+
+EXPERIMENTS.md records the paper-vs-measured story; these tests pin the
+*executable* form of it — the exact claim text, verdict, and measured
+string of every experiment shape check and every ``--validate``
+cross-model check — against ``golden_checks.json``.  Any drift in a
+reproduced number now fails loudly instead of silently shifting the
+story.
+
+After an intentional recalibration, regenerate with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/experiments/test_golden.py -q
+
+and review the diff like any other source change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import build_system, combined_testbed
+from repro.experiments import run_all
+from repro.validate import cross_validate
+
+GOLDEN_PATH = Path(__file__).parent / "golden_checks.json"
+REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+
+def check_payload(checks) -> list[dict]:
+    return [{"claim": check.claim, "passed": check.passed,
+             "measured": check.measured} for check in checks]
+
+
+@pytest.fixture(scope="session")
+def current() -> dict:
+    """One fast pass over everything: all experiments + --validate."""
+    experiments = {result.experiment_id: check_payload(result.checks)
+                   for result in run_all(fast=True)}
+    validate = check_payload(
+        cross_validate(build_system(combined_testbed())))
+    return {"experiments": experiments, "validate": validate}
+
+
+@pytest.fixture(scope="session")
+def golden(current) -> dict:
+    if REGEN:
+        GOLDEN_PATH.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n")
+    if not GOLDEN_PATH.exists():
+        pytest.fail(f"{GOLDEN_PATH} missing; regenerate with "
+                    "REPRO_REGEN_GOLDEN=1")
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenExperiments:
+    def test_same_experiment_set(self, current, golden):
+        assert sorted(current["experiments"]) \
+            == sorted(golden["experiments"])
+
+    def test_every_check_verdict_pinned(self, current, golden):
+        for eid, golden_checks in sorted(golden["experiments"].items()):
+            assert current["experiments"][eid] == golden_checks, \
+                f"{eid} shape checks drifted from golden_checks.json"
+
+    def test_all_golden_checks_pass(self, golden):
+        failing = [check["claim"]
+                   for checks in golden["experiments"].values()
+                   for check in checks if not check["passed"]]
+        assert not failing, f"golden file records failures: {failing}"
+
+
+class TestGoldenValidation:
+    def test_cross_validation_pinned(self, current, golden):
+        assert current["validate"] == golden["validate"]
+
+    def test_all_validations_pass(self, golden):
+        assert all(check["passed"] for check in golden["validate"])

@@ -12,8 +12,9 @@ class TestRegistry:
     def test_every_paper_artifact_is_registered(self):
         paper = {"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
                  "fig7", "fig8", "fig9", "fig10"}
+        named_extensions = {"degraded-cxl"}
         assert paper <= set(REGISTRY)
-        extras = set(REGISTRY) - paper
+        extras = set(REGISTRY) - paper - named_extensions
         assert all(eid.startswith("ext-") for eid in extras)
 
     def test_extension_experiments_registered(self):
@@ -93,6 +94,23 @@ class TestCli:
             ["--jobs", "4", "--no-cache", "fig3"])
         assert args.jobs == 4
         assert args.no_cache
+
+    def test_parser_faults_flag(self):
+        args = build_parser().parse_args(
+            ["--faults", "crc=0.01", "degraded-cxl"])
+        assert args.faults == "crc=0.01"
+
+    def test_figf_alias_runs_degraded_cxl(self, capsys):
+        assert main(["figF", "--no-cache"]) == 0
+        assert "degraded-cxl" in capsys.readouterr().out
+
+    def test_bad_faults_spec_rejected(self, capsys):
+        assert main(["degraded-cxl", "--faults", "bogus=1"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_faults_with_non_fault_experiment_rejected(self, capsys):
+        assert main(["table1", "--faults", "crc=0.01"]) == 2
+        assert "table1" in capsys.readouterr().err
 
     def test_clear_cache(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

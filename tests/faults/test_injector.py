@@ -1,0 +1,129 @@
+"""FaultInjector: deterministic draws, accounting, telemetry counters."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, injector_for
+from repro.faults.injector import (
+    CRC_ERRORS,
+    POISONED,
+    RECOVERIES,
+    STALLS,
+    TIMEOUTS,
+)
+from repro.sim.rng import decision_uniform
+from repro.telemetry import Telemetry
+
+
+class TestInjectorFor:
+    def test_none_plan_gives_none(self):
+        assert injector_for(None, stream="x") is None
+
+    def test_inactive_plan_gives_none(self):
+        assert injector_for(FaultPlan(), stream="x") is None
+
+    def test_active_plan_gives_injector(self):
+        injector = injector_for(FaultPlan(crc_rate=0.1), stream="x")
+        assert isinstance(injector, FaultInjector)
+
+
+class TestDeterminism:
+    def test_same_key_same_draw(self):
+        plan = FaultPlan(poison_rate=0.5, seed=3)
+        a = FaultInjector(plan, stream="s")
+        b = FaultInjector(plan, stream="s")
+        decisions = [a.poisoned(line, 1) for line in range(200)]
+        assert decisions == [b.poisoned(line, 1) for line in range(200)]
+
+    def test_order_independent(self):
+        """Visiting decision points in any order yields the same set."""
+        plan = FaultPlan(timeout_rate=0.3, seed=1)
+        forward = FaultInjector(plan, stream="s")
+        backward = FaultInjector(plan, stream="s")
+        keys = list(range(100))
+        hits_fwd = {k for k in keys if forward.timeout(k)}
+        hits_bwd = {k for k in reversed(keys) if backward.timeout(k)}
+        assert hits_fwd == hits_bwd
+
+    def test_streams_are_independent(self):
+        plan = FaultPlan(poison_rate=0.5, seed=3)
+        a = FaultInjector(plan, stream="alpha")
+        b = FaultInjector(plan, stream="beta")
+        decisions_a = [a.poisoned(k) for k in range(200)]
+        decisions_b = [b.poisoned(k) for k in range(200)]
+        assert decisions_a != decisions_b
+
+    def test_fault_sets_nest_as_rates_grow(self):
+        """A fault at rate p is still a fault at any rate > p — the
+        property that makes degradation monotone in severity."""
+        low = FaultInjector(FaultPlan(poison_rate=0.05, seed=2),
+                            stream="s")
+        high = FaultInjector(FaultPlan(poison_rate=0.2, seed=2),
+                             stream="s")
+        low_hits = {k for k in range(500) if low.poisoned(k)}
+        high_hits = {k for k in range(500) if high.poisoned(k)}
+        assert low_hits <= high_hits
+        assert len(high_hits) > len(low_hits)
+
+    def test_decision_uniform_in_unit_interval(self):
+        values = [decision_uniform(7, "s", k) for k in range(1000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        # Roughly uniform: mean near 0.5.
+        assert 0.45 < sum(values) / len(values) < 0.55
+
+
+class TestCrc:
+    def test_zero_rate_is_identity(self):
+        injector = FaultInjector(FaultPlan(stall_rate=0.5), stream="s")
+        assert injector.crc_transmissions(3, "m2s", 0) == 3
+        assert injector.injected == 0
+
+    def test_expected_overhead_matches_geometric(self):
+        rate = 0.25
+        injector = FaultInjector(FaultPlan(crc_rate=rate, seed=5),
+                                 stream="s")
+        flits = 4000
+        total = sum(injector.crc_transmissions(1, "m2s", k)
+                    for k in range(flits))
+        assert total / flits == pytest.approx(1.0 / (1.0 - rate),
+                                              rel=0.05)
+
+    def test_retries_capped(self):
+        injector = FaultInjector(
+            FaultPlan(crc_rate=0.999, max_retries=3), stream="s")
+        assert injector.crc_transmissions(1, "m2s", 0) <= 4
+
+    def test_every_crc_error_counts_as_recovered(self):
+        injector = FaultInjector(FaultPlan(crc_rate=0.3, seed=1),
+                                 stream="s")
+        for k in range(200):
+            injector.crc_transmissions(2, "s2m", k)
+        assert injector.injected == injector.recovered > 0
+
+
+class TestAccounting:
+    def test_telemetry_counters(self):
+        telemetry = Telemetry.metrics_only()
+        plan = FaultPlan(crc_rate=0.2, poison_rate=0.3,
+                         timeout_rate=0.3, stall_rate=0.3, seed=8)
+        injector = FaultInjector(plan, stream="s",
+                                 telemetry=telemetry)
+        for k in range(100):
+            injector.crc_transmissions(1, "m2s", k)
+            if injector.poisoned(k):
+                injector.recovery()
+            if injector.timeout(k):
+                injector.recovery()
+            injector.stall_ns(k)
+        registry = telemetry.registry
+        assert registry.counter(CRC_ERRORS).value > 0
+        assert registry.counter(POISONED).value > 0
+        assert registry.counter(TIMEOUTS).value > 0
+        assert registry.counter(STALLS).value > 0
+        assert registry.counter(RECOVERIES).value == injector.recovered
+        assert injector.injected == injector.recovered
+
+    def test_stall_returns_plan_duration(self):
+        plan = FaultPlan(stall_rate=0.5, stall_ns=321.0, seed=2)
+        injector = FaultInjector(plan, stream="s")
+        values = {injector.stall_ns(k) for k in range(100)}
+        assert values == {0.0, 321.0}

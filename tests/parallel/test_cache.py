@@ -38,6 +38,28 @@ class TestKeys:
         with pytest.raises(ExperimentError):
             result_key("", {})
 
+    def test_changes_with_fault_plan(self):
+        """A degraded-mode run must never be served a healthy cached
+        result (or vice versa): the fault plan is key material."""
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(crc_rate=0.01, seed=2)
+        healthy = result_key("degraded-cxl", {"fast": True})
+        faulty = result_key("degraded-cxl",
+                            {"fast": True, "faults": plan.to_dict()})
+        assert healthy != faulty
+
+    def test_changes_between_fault_plans(self):
+        from repro.faults import FaultPlan
+
+        one = FaultPlan(crc_rate=0.01, seed=2)
+        two = FaultPlan(crc_rate=0.02, seed=2)
+        reseeded = FaultPlan(crc_rate=0.01, seed=3)
+        keys = {result_key("degraded-cxl",
+                           {"fast": True, "faults": plan.to_dict()})
+                for plan in (one, two, reseeded)}
+        assert len(keys) == 3
+
     def test_fingerprint_includes_version_and_source_digest(self):
         import repro
 
@@ -93,3 +115,31 @@ class TestStore:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
         cache = ResultCache()
         assert cache.root == tmp_path / "env-cache"
+
+
+class TestFaultAwareCliCaching:
+    """End-to-end: the runner's cache keys cover the --faults flag."""
+
+    def _entries(self, root):
+        return len(list(root.glob("*.json")))
+
+    def test_changed_fault_config_is_a_cache_miss(self, tmp_path,
+                                                  monkeypatch, capsys):
+        from repro.experiments.runner import main
+
+        root = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+        assert main(["degraded-cxl"]) == 0            # healthy baseline
+        baseline = self._entries(root)
+        assert main(["degraded-cxl", "--faults",
+                     "crc=0.03,seed=5"]) == 0         # miss: new plan
+        assert self._entries(root) == baseline + 1
+        assert main(["degraded-cxl", "--faults",
+                     "crc=0.03,seed=5"]) == 0         # hit: same plan
+        assert self._entries(root) == baseline + 1
+        assert main(["degraded-cxl", "--faults",
+                     "crc=0.03,seed=6"]) == 0         # miss: new seed
+        assert self._entries(root) == baseline + 2
+        assert main(["degraded-cxl"]) == 0            # hit: healthy key
+        assert self._entries(root) == baseline + 2
+        capsys.readouterr()
