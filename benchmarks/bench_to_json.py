@@ -6,11 +6,19 @@ engine microbenchmarks the hot-path optimizations target.  Usage::
 
     PYTHONPATH=src python benchmarks/bench_to_json.py --label local --jobs 4
     PYTHONPATH=src python benchmarks/bench_to_json.py --label ci \
-        --jobs 2 --ids fig3 fig5 --repeats 1
+        --jobs 2 --ids fig3 fig5 --repeats 1 --append
 
 The output lands next to the repo's other ``BENCH_*.json`` files (repo
 root by default); compare fields across commits to see the trend.  See
 docs/PERFORMANCE.md.
+
+``--append`` keeps a bounded history instead of overwriting: the file
+becomes ``{"label": ..., "history": [entry, ...]}`` with the newest
+entry last and at most ``--history-limit`` entries retained.  An
+existing single-entry file (the pre-history shape) migrates
+transparently — it becomes the first history entry — so
+``repro-report`` gets a real trajectory to plot either way
+(docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -52,6 +60,30 @@ def engine_microbench(repeats: int) -> dict:
             "e2e_write_run_s": round(write_run_s, 4)}
 
 
+def append_history(path: Path, entry: dict, *, limit: int) -> dict:
+    """Fold ``entry`` into ``path``'s bounded history (newest last).
+
+    Reads the existing file if any: a history-shaped file gains one
+    entry; a legacy single-entry file (the pre-``--append`` shape, with
+    its measurements at top level) is migrated in place — it becomes
+    the first history entry; an unreadable file starts a fresh history.
+    Only the last ``limit`` entries are kept.
+    """
+    history: list[dict] = []
+    try:
+        existing = json.loads(path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        existing = None
+    if isinstance(existing, dict):
+        if isinstance(existing.get("history"), list):
+            history = [item for item in existing["history"]
+                       if isinstance(item, dict)]
+        elif "suite" in existing or "figures" in existing:
+            history = [existing]
+    history.append(entry)
+    return {"label": entry["label"], "history": history[-limit:]}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Time the experiment suite, write BENCH_<label>.json")
@@ -70,7 +102,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default=None,
                         help="output path (default: "
                              "<repo>/BENCH_<label>.json)")
+    parser.add_argument("--append", action="store_true",
+                        help="append to a bounded dated history in the "
+                             "output file instead of overwriting "
+                             "(migrates a single-entry file in place)")
+    parser.add_argument("--history-limit", type=int, default=20,
+                        metavar="N",
+                        help="entries retained with --append "
+                             "(default: 20)")
     args = parser.parse_args(argv)
+    if args.history_limit < 1:
+        print("error: --history-limit must be >= 1", file=sys.stderr)
+        return 2
 
     import repro
     from repro.experiments import REGISTRY
@@ -127,6 +170,9 @@ def main(argv: list[str] | None = None) -> int:
     out = Path(args.out) if args.out \
         else Path(__file__).resolve().parent.parent \
         / f"BENCH_{args.label}.json"
+    if args.append:
+        payload = append_history(out, payload,
+                                 limit=args.history_limit)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
     return 0

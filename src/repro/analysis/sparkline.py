@@ -37,6 +37,20 @@ def sparkline(values: list[float], *, lo: float | None = None,
     return "".join(cells)
 
 
+def trend(values: list[float], *, width: int = 24) -> str:
+    """A sparkline of the last ``width`` points, tolerant of thin data.
+
+    The ``repro-report`` trend-cell renderer: an empty history renders
+    as a placeholder dot rather than raising, and a single point (a
+    fresh ledger, a just-migrated ``BENCH_*.json``) renders as one
+    mid-height bar — the table column stays well-formed while history
+    accumulates.
+    """
+    if not values:
+        return "·"
+    return sparkline(values[-width:])
+
+
 def series_sparklines(series_list: list[Series], *,
                       zero_based: bool = True) -> str:
     """One labelled sparkline per series, shared scale across the set."""

@@ -163,7 +163,7 @@ class DsbRunner:
         if jobs > 1 and len(qps_points) > 1:
             from ...parallel import (
                 ParallelRunner,
-                merge_telemetry,
+                merge_all,
                 telemetry_spec,
             )
             from ...parallel.sweeps import run_sim_point
@@ -173,8 +173,9 @@ class DsbRunner:
                       spec)
                      for qps in qps_points]
             outputs = ParallelRunner(jobs).map(run_sim_point, units)
-            for qps, (result, export) in zip(qps_points, outputs):
-                merge_telemetry(self.telemetry, export)
+            merge_all(self.telemetry,
+                      (export for _, export in outputs))
+            for qps, (result, _) in zip(qps_points, outputs):
                 series.append(qps, result.p99_ms)
         else:
             for qps in qps_points:

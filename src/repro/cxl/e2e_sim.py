@@ -525,7 +525,7 @@ def _parallel_sweep(sim, thread_counts: list[int], *,
     submission order, so event sequences, track creation order, and
     metric values are identical to a serial sweep's.
     """
-    from ..parallel import ParallelRunner, merge_telemetry, telemetry_spec
+    from ..parallel import ParallelRunner, merge_all, telemetry_spec
     from ..parallel.sweeps import run_sim_point
 
     spec = telemetry_spec(sim.telemetry)
@@ -535,8 +535,6 @@ def _parallel_sweep(sim, thread_counts: list[int], *,
               spec)
              for threads in thread_counts]
     outputs = ParallelRunner(jobs).map(run_sim_point, units)
-    results: dict[int, E2eResult] = {}
-    for threads, (result, export) in zip(thread_counts, outputs):
-        merge_telemetry(sim.telemetry, export)
-        results[threads] = result
-    return results
+    merge_all(sim.telemetry, (export for _, export in outputs))
+    return {threads: result
+            for threads, (result, _) in zip(thread_counts, outputs)}

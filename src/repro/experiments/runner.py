@@ -7,6 +7,7 @@ Examples::
     repro-experiments --full fig6     # full-resolution sweep
     repro-experiments --jobs 4        # fan experiments across processes
     repro-experiments --no-cache fig3 # force re-simulation
+    repro-experiments --profile prof  # wall-clock profiles under prof/
     repro-experiments --list
 
 Repeated runs are served from the content-addressed result cache under
@@ -15,13 +16,26 @@ fingerprint, so any code edit invalidates automatically).  ``--jobs N``
 shards cache-miss experiments across ``N`` worker processes; results
 merge back in id order, so output and ``--save`` files are identical to
 a serial run's.  See docs/PERFORMANCE.md.
+
+Observability (docs/OBSERVABILITY.md): figures print to **stdout**;
+progress, leveled log events, and errors go to **stderr** only, so
+serial and parallel stdout stay byte-identical.  Every run appends one
+record to the run ledger (``results/runs.jsonl``, ``--no-ledger`` to
+opt out); ``--profile DIR`` writes per-experiment wall-clock profiles
+plus a suite-level phase breakdown, and ``--cprofile N`` adds a
+cProfile top-N table.  Exit codes: 0 = all checks passed, 1 = a shape
+check failed, 2 = bad arguments.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from datetime import datetime, timezone
 
+from ..obs import Profiler, ProgressReporter, RunHooks, RunLog
+from ..obs.runlog import EXIT_FAILED_CHECKS, EXIT_OK
 from .registry import REGISTRY, ExperimentResult, resolve_id
 
 
@@ -55,12 +69,31 @@ def build_parser() -> argparse.ArgumentParser:
                              "(neither read nor write)")
     parser.add_argument("--clear-cache", action="store_true",
                         help="delete every cached result, then proceed")
+    parser.add_argument("--profile", metavar="DIR", nargs="?",
+                        const="results", default=None,
+                        help="write wall-clock profiles: DIR/<id>."
+                             "profile.json per experiment plus "
+                             "DIR/suite.profile.json (DIR defaults "
+                             "to results/)")
+    parser.add_argument("--cprofile", type=int, default=0, metavar="N",
+                        help="add a cProfile top-N table to the suite "
+                             "profile (implies --profile)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="do not append this run to the "
+                             "results/runs.jsonl run ledger")
+    parser.add_argument("--no-progress", action="store_true",
+                        help="suppress live stderr progress")
+    parser.add_argument("--log-level", default=None,
+                        choices=["debug", "info", "warn", "error"],
+                        help="stderr event verbosity (default: info, "
+                             "or $REPRO_LOG_LEVEL)")
     return parser
 
 
 def _run_ids(ids: list[str], *, fast: bool, jobs: int,
-             use_cache: bool,
-             fault_plan=None) -> list[tuple[str, ExperimentResult]]:
+             use_cache: bool, fault_plan=None, hooks: RunHooks = None,
+             profiler: Profiler = None) \
+        -> list[tuple[str, ExperimentResult]]:
     """Run (or cache-load) ``ids`` in order; parallel across misses.
 
     Two-wave scheduling: experiments whose runners shard internally
@@ -74,10 +107,20 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
     The cache key covers every result-shaping input: ``fast`` and, when
     given, the full fault-plan configuration — so a changed fault plan
     is a cache miss, never a stale healthy (or degraded) result.
+
+    ``hooks`` (optional) receives cache hit/miss and unit
+    start/finish notifications — the observability side channel; it
+    never touches the results, so runs with and without it are
+    byte-identical on stdout.  ``profiler`` attributes wall clock to
+    per-experiment phases when profiling is enabled.
     """
     from ..parallel import ParallelRunner, ResultCache, result_key
     from ..parallel.sweeps import run_experiment
 
+    if hooks is None:
+        hooks = RunHooks()
+    if profiler is None:
+        profiler = Profiler(enabled=False)
     config: dict = {"fast": fast}
     if fault_plan is not None:
         config["faults"] = fault_plan.to_dict()
@@ -92,6 +135,11 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
                 cached[eid] = ExperimentResult.from_payload(payload)
 
     misses = [eid for eid in ids if eid not in cached]
+    for eid in ids:
+        if eid in cached:
+            hooks.cache_hit(eid)
+    for eid in misses:
+        hooks.cache_miss(eid)
     sharded = [eid for eid in misses
                if jobs > 1 and REGISTRY[eid].accepts_jobs]
     pooled = [eid for eid in misses if eid not in sharded]
@@ -103,22 +151,63 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
                       key_material={"experiment": eid,
                                     "config": config})
 
-    fresh = ParallelRunner(jobs).map(
-        run_experiment,
-        [(eid, fast, 1, fault_plan) for eid in pooled])
-    for eid, result in zip(pooled, fresh):
-        record(eid, result)
-    for eid in sharded:
-        record(eid, REGISTRY[eid].run(fast=fast, jobs=jobs,
-                                      fault_plan=fault_plan))
+    def on_progress(event: str, index: int, total: int,
+                    wall_s: float | None = None) -> None:
+        eid = pooled[index]
+        if event == "started":
+            hooks.unit_started(eid)
+        elif event == "finished":
+            hooks.unit_finished(eid, wall_s=wall_s)
+
+    with profiler.collecting():
+        with profiler.phase("pooled-experiments"):
+            fresh = ParallelRunner(jobs, progress=on_progress).map(
+                run_experiment,
+                [(eid, fast, 1, fault_plan) for eid in pooled])
+        for eid, result in zip(pooled, fresh):
+            record(eid, result)
+        for eid in sharded:
+            hooks.unit_started(eid)
+            with profiler.phase(f"run:{eid}"):
+                record(eid, REGISTRY[eid].run(fast=fast, jobs=jobs,
+                                              fault_plan=fault_plan))
+            hooks.unit_finished(eid)
     return [(eid, cached[eid]) for eid in ids]
+
+
+def _append_ledger(args, argv, ids, *, started_at: str, wall_s: float,
+                   hooks: RunHooks, results, fault_plan,
+                   exit_code: int, runlog: RunLog) -> None:
+    """Best-effort ledger append (a ledger I/O error never fails a run)."""
+    from ..obs import append_record, run_record
+
+    try:
+        record = run_record(
+            tool="repro-experiments",
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            ids=ids, started_at=started_at, wall_s=wall_s,
+            config={"fast": not args.full, "jobs": args.jobs,
+                    "cache": not args.no_cache},
+            fault_plan_config=fault_plan.to_dict()
+            if fault_plan is not None else None,
+            seed=getattr(fault_plan, "seed", None),
+            cache_hits=hooks.cache_hits,
+            cache_misses=hooks.cache_misses,
+            verdicts=hooks.verdicts(results),
+            exit_code=exit_code)
+        path = append_record(record)
+        runlog.debug("ledger-appended", path=str(path))
+    except OSError as exc:
+        runlog.warn("ledger-append-failed", error=str(exc))
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    runlog = RunLog("repro-experiments", level=args.log_level)
     if args.jobs < 1:
-        print("error: --jobs must be >= 1", file=sys.stderr)
-        return 2
+        return runlog.error("--jobs must be >= 1")
+    if args.cprofile < 0:
+        return runlog.error("--cprofile must be >= 0")
     if args.clear_cache:
         from ..parallel import ResultCache
 
@@ -128,7 +217,7 @@ def main(argv: list[str] | None = None) -> int:
         for eid in sorted(REGISTRY):
             experiment = REGISTRY[eid]
             print(f"{eid:8s} {experiment.title}  [{experiment.paper_ref}]")
-        return 0
+        return EXIT_OK
     if args.validate:
         from .. import build_system, combined_testbed
         from ..validate import cross_validate
@@ -136,16 +225,18 @@ def main(argv: list[str] | None = None) -> int:
         checks = cross_validate(build_system(combined_testbed()))
         for check in checks:
             print(check)
-        return 0 if all(c.passed for c in checks) else 1
+        if all(c.passed for c in checks):
+            return EXIT_OK
+        return runlog.error(
+            f"{sum(1 for c in checks if not c.passed)} validation "
+            f"check(s) failed", code=EXIT_FAILED_CHECKS)
 
     ids = [resolve_id(eid) for eid in args.ids] or sorted(REGISTRY)
     unknown = [eid for eid in ids if eid not in REGISTRY]
     if unknown:
-        print("error: unknown experiment id(s): "
-              + " ".join(sorted(unknown))
-              + f"\navailable: {' '.join(sorted(REGISTRY))}",
-              file=sys.stderr)
-        return 2
+        return runlog.error(
+            "unknown experiment id(s): " + " ".join(sorted(unknown)),
+            available=" ".join(sorted(REGISTRY)))
     fault_plan = None
     if args.faults is not None:
         from ..errors import FaultError
@@ -154,38 +245,90 @@ def main(argv: list[str] | None = None) -> int:
         try:
             fault_plan = FaultPlan.parse(args.faults)
         except FaultError as exc:
-            print(f"error: bad --faults spec: {exc}", file=sys.stderr)
-            return 2
+            return runlog.error(f"bad --faults spec: {exc}")
         refusing = [eid for eid in ids
                     if not REGISTRY[eid].accepts_faults]
         if refusing:
-            print("error: experiment(s) do not accept a fault plan: "
-                  + " ".join(sorted(refusing)), file=sys.stderr)
-            return 2
+            return runlog.error(
+                "experiment(s) do not accept a fault plan: "
+                + " ".join(sorted(refusing)))
     save_dir = None
     if args.save:
         from pathlib import Path
 
         save_dir = Path(args.save)
         save_dir.mkdir(parents=True, exist_ok=True)
-    failed = 0
-    for eid, result in _run_ids(ids, fast=not args.full, jobs=args.jobs,
-                                use_cache=not args.no_cache,
-                                fault_plan=fault_plan):
-        print(result.render())
-        print()
-        if save_dir is not None:
-            import json
+    profile_dir = None
+    if args.profile or args.cprofile:
+        from pathlib import Path
 
-            (save_dir / f"{eid}.txt").write_text(result.render() + "\n")
-            (save_dir / f"{eid}.json").write_text(
-                json.dumps(result.to_dict(), indent=2, sort_keys=True)
-                + "\n")
-        if not result.passed:
-            failed += 1
+        profile_dir = Path(args.profile or "results")
+    profiler = Profiler(enabled=profile_dir is not None,
+                        cprofile_top=args.cprofile)
+
+    started_at = datetime.now(timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%SZ")
+    reporter = None if args.no_progress else ProgressReporter(
+        total=len(ids), runlog=runlog)
+    hooks = RunHooks(reporter=reporter)
+    runlog.info("run-start", ids=" ".join(ids), jobs=args.jobs,
+                full=args.full, cache=not args.no_cache,
+                faults=args.faults)
+    start = time.perf_counter()
+    results = _run_ids(ids, fast=not args.full, jobs=args.jobs,
+                       use_cache=not args.no_cache,
+                       fault_plan=fault_plan, hooks=hooks,
+                       profiler=profiler)
+    hooks.close()
+
+    failed = 0
+    with profiler.phase("render+save"):
+        for eid, result in results:
+            print(result.render())
+            print()
+            if save_dir is not None:
+                import json
+
+                (save_dir / f"{eid}.txt").write_text(
+                    result.render() + "\n")
+                (save_dir / f"{eid}.json").write_text(
+                    json.dumps(result.to_dict(), indent=2,
+                               sort_keys=True) + "\n")
+            if not result.passed:
+                failed += 1
     if failed:
         print(f"{failed} experiment(s) had failing shape checks")
-    return 1 if failed else 0
+    wall_s = time.perf_counter() - start
+    exit_code = EXIT_FAILED_CHECKS if failed else EXIT_OK
+
+    if profile_dir is not None:
+        from ..obs.profiler import write_experiment_profile
+
+        for eid, result in results:
+            write_experiment_profile(
+                profile_dir, eid,
+                wall_s=hooks.unit_wall.get(eid),
+                cached=eid in hooks.cache_hits,
+                passed=result.passed)
+        suite_path = profiler.write(
+            profile_dir / "suite.profile.json",
+            extra={"ids": ids, "jobs": args.jobs,
+                   "wall_s": round(wall_s, 6)})
+        runlog.info("profile-written", path=str(suite_path),
+                    experiments=len(results))
+    if not args.no_ledger:
+        _append_ledger(args, argv, ids, started_at=started_at,
+                       wall_s=wall_s, hooks=hooks, results=results,
+                       fault_plan=fault_plan, exit_code=exit_code,
+                       runlog=runlog)
+    runlog.info("run-end", wall_s=wall_s, failed=failed,
+                cache_hits=len(hooks.cache_hits),
+                cache_misses=len(hooks.cache_misses),
+                exit_code=exit_code)
+    if failed:
+        runlog.error(f"{failed} experiment(s) had failing shape checks",
+                     code=EXIT_FAILED_CHECKS)
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -13,15 +13,24 @@ to be executed by MEMO."  Example invocations::
 Every bench accepts ``--trace out.json`` (dump a Perfetto-loadable
 timeline + an ``out.metrics.json`` snapshot) and ``--metrics`` (print
 the metrics table after the report).  See docs/TELEMETRY.md.
+
+Run-level observability (docs/OBSERVABILITY.md): every invocation
+appends a record to the run ledger (``results/runs.jsonl``,
+``--no-ledger`` to opt out), and ``--profile [DIR]`` writes a
+wall-clock phase profile to ``DIR/memo-<bench>.profile.json``.  Exit
+codes: 0 = ok, 2 = bad arguments.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from datetime import datetime, timezone
 
 from .. import build_system, combined_testbed
 from ..cpu.system import MemoryScheme
+from ..obs import Profiler, RunLog
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from .bandwidth_bench import SequentialBandwidthBench
 from .dsa_bench import DsaBench
@@ -29,6 +38,9 @@ from .latency_bench import LatencyBench
 from .movdir_bench import MovdirBench
 from .pointer_chase import PointerChaseBench
 from .random_bench import RandomBlockBench
+
+RUNLOG = RunLog("memo")
+"""The CLI's shared event stream (stderr; docs/OBSERVABILITY.md)."""
 
 
 def _parse_schemes(names: list[str] | None) -> list[MemoryScheme] | None:
@@ -38,8 +50,10 @@ def _parse_schemes(names: list[str] | None) -> list[MemoryScheme] | None:
     try:
         return [lookup[name] for name in names]
     except KeyError as missing:
-        raise SystemExit(
-            f"unknown scheme {missing}; choose from {sorted(lookup)}")
+        # Consolidated error path: the RunLog helper emits the stderr
+        # event and pins the bad-args exit code (2).
+        raise SystemExit(RUNLOG.error(
+            f"unknown scheme {missing}; choose from {sorted(lookup)}"))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument(
         "--metrics", action="store_true",
         help="print the telemetry metrics table after the report")
+    telemetry.add_argument(
+        "--profile", metavar="DIR", nargs="?", const="results",
+        default=None,
+        help="write a wall-clock phase profile to "
+             "DIR/memo-<bench>.profile.json (DIR defaults to results/)")
+    telemetry.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not append this run to the results/runs.jsonl "
+             "run ledger")
 
     parallel = argparse.ArgumentParser(add_help=False)
     parallel.add_argument(
@@ -225,33 +248,78 @@ def _run_replay(system, args, telemetry):
     return report
 
 
+def _append_ledger(args, argv, *, started_at: str, wall_s: float,
+                   telemetry) -> None:
+    """Best-effort ledger append (I/O trouble never fails a bench run)."""
+    from ..obs import append_record, run_record
+    from ..telemetry.report import snapshot_digest
+
+    bench_id = f"memo-{args.bench}"
+    try:
+        record = run_record(
+            tool="memo",
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            ids=[bench_id], started_at=started_at, wall_s=wall_s,
+            config={"bench": args.bench,
+                    "scheme": getattr(args, "scheme", None)},
+            verdicts={bench_id: {"passed": None,
+                                 "wall_s": round(wall_s, 4),
+                                 "cached": False}},
+            metrics_digest=snapshot_digest(telemetry.registry),
+            exit_code=0)
+        path = append_record(record)
+        RUNLOG.debug("ledger-appended", path=str(path))
+    except OSError as exc:
+        RUNLOG.warn("ledger-append-failed", error=str(exc))
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     tracing = bool(getattr(args, "trace", None))
     wants_metrics = bool(getattr(args, "metrics", False))
     telemetry = (Telemetry.on(process_name=f"memo-{args.bench}")
                  if tracing or wants_metrics else NULL_TELEMETRY)
-    system = build_system(combined_testbed())
-    report = args.runner(system, args, telemetry)
-    print(report.render())
-    if tracing:
+    profiler = Profiler(enabled=bool(args.profile))
+    started_at = datetime.now(timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%SZ")
+    start = time.perf_counter()
+    with profiler.phase("build-system"):
+        system = build_system(combined_testbed())
+    with profiler.phase(f"run:{args.bench}"):
+        report = args.runner(system, args, telemetry)
+    with profiler.phase("render+write"):
+        print(report.render())
+        if tracing:
+            from pathlib import Path
+
+            from ..telemetry.report import write_metrics, write_trace
+
+            trace_path = write_trace(telemetry.tracer, args.trace)
+            metrics_path = write_metrics(
+                telemetry.registry,
+                trace_path.with_suffix(
+                    trace_path.suffix + ".metrics.json")
+                if trace_path.suffix != ".json"
+                else Path(str(trace_path)[: -len(".json")]
+                          + ".metrics.json"))
+            print(f"\ntrace written to {trace_path} "
+                  f"(metrics: {metrics_path})")
+        if wants_metrics:
+            from ..telemetry.report import render_metrics
+
+            print()
+            print(render_metrics(telemetry.registry))
+    wall_s = time.perf_counter() - start
+    if args.profile:
         from pathlib import Path
 
-        from ..telemetry.report import write_metrics, write_trace
-
-        trace_path = write_trace(telemetry.tracer, args.trace)
-        metrics_path = write_metrics(
-            telemetry.registry,
-            trace_path.with_suffix(trace_path.suffix + ".metrics.json")
-            if trace_path.suffix != ".json"
-            else Path(str(trace_path)[: -len(".json")] + ".metrics.json"))
-        print(f"\ntrace written to {trace_path} "
-              f"(metrics: {metrics_path})")
-    if wants_metrics:
-        from ..telemetry.report import render_metrics
-
-        print()
-        print(render_metrics(telemetry.registry))
+        path = profiler.write(
+            Path(args.profile) / f"memo-{args.bench}.profile.json",
+            extra={"bench": args.bench, "wall_s": round(wall_s, 6)})
+        RUNLOG.info("profile-written", path=str(path))
+    if not args.no_ledger:
+        _append_ledger(args, argv, started_at=started_at,
+                       wall_s=wall_s, telemetry=telemetry)
     return 0
 
 

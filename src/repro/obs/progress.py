@@ -1,0 +1,177 @@
+"""Live progress for sweeps: single-line TTY updates, plain-log fallback.
+
+``--jobs N`` runs used to be silent until the whole suite finished.
+:class:`ProgressReporter` renders worker completions as they land:
+
+* stderr **is** a TTY — one carriage-return-rewritten status line
+  (``[3/14] fig6 2.1s | cache 2h/1m | eta 4.2s``), erased cleanly on
+  :meth:`close`;
+* stderr is **not** a TTY (CI, redirection, pytest capture) — one
+  :class:`~repro.obs.runlog.RunLog` event per completion, so logs stay
+  line-oriented and machine-parseable.
+
+Either way nothing is ever written to stdout, which is what keeps
+serial and parallel CLI output byte-identical with progress enabled.
+
+:class:`RunHooks` is the glue between the experiment scheduler and the
+reporter: the scheduler reports cache hits/misses and unit
+start/finish, the hooks collect what the run ledger needs (per-unit
+wall seconds, hit/miss lists) and forward display updates.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+from ..errors import ReproError
+from .runlog import RunLog
+
+
+class ProgressReporter:
+    """Render ``done/total`` unit progress on stderr with an ETA."""
+
+    def __init__(self, total: int, *, label: str = "experiments",
+                 runlog: RunLog | None = None,
+                 stream: TextIO | None = None,
+                 tty: bool | None = None,
+                 clock=time.monotonic) -> None:
+        if total < 0:
+            raise ReproError(f"total must be >= 0, got {total}")
+        self.total = total
+        self.label = label
+        self.runlog = runlog if runlog is not None else RunLog("progress")
+        self._stream = stream
+        self._tty = tty
+        self.clock = clock
+        self.done = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._started = clock()
+        self._line_width = 0
+        self._closed = False
+
+    @property
+    def stream(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stderr
+
+    @property
+    def is_tty(self) -> bool:
+        if self._tty is not None:
+            return self._tty
+        return bool(getattr(self.stream, "isatty", lambda: False)())
+
+    def eta_s(self) -> float | None:
+        """Remaining seconds, from the mean pace of finished units."""
+        if self.done == 0 or self.done >= self.total:
+            return None
+        elapsed = self.clock() - self._started
+        return elapsed / self.done * (self.total - self.done)
+
+    def unit_started(self, name: str) -> None:
+        if self.is_tty:
+            self._render(f"{name} …")
+        else:
+            self.runlog.debug("unit-started", id=name,
+                              done=self.done, total=self.total)
+
+    def unit_finished(self, name: str, *, wall_s: float | None = None,
+                      cached: bool = False) -> None:
+        self.done += 1
+        if cached:
+            self.cache_hits += 1
+        if self.is_tty:
+            took = f" {wall_s:.1f}s" if wall_s is not None else ""
+            took = " cache" if cached else took
+            self._render(f"{name}{took}")
+        else:
+            self.runlog.info("unit-finished", id=name, done=self.done,
+                             total=self.total, cached=cached,
+                             wall_s=wall_s, eta_s=self.eta_s())
+
+    def cache_miss(self, name: str) -> None:
+        self.cache_misses += 1
+
+    def _render(self, tail: str) -> None:
+        eta = self.eta_s()
+        eta_text = f" | eta {eta:.1f}s" if eta is not None else ""
+        cache_text = (f" | cache {self.cache_hits}h/"
+                      f"{self.cache_misses}m"
+                      if self.cache_hits or self.cache_misses else "")
+        line = (f"[{self.done}/{self.total}] {self.label}: "
+                f"{tail}{cache_text}{eta_text}")
+        pad = max(self._line_width - len(line), 0)
+        self._line_width = len(line)
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Erase the TTY status line (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.is_tty and self._line_width:
+            self.stream.write("\r" + " " * self._line_width + "\r")
+            self.stream.flush()
+
+
+class RunHooks:
+    """Scheduler-side collection point feeding reporter and ledger.
+
+    The experiment scheduler calls these as units resolve; afterwards
+    ``cache_hits`` / ``cache_misses`` / ``unit_wall`` hold exactly what
+    :func:`repro.obs.ledger.run_record` wants.  A default-constructed
+    instance (no reporter) is a pure collector — the disabled-progress
+    path shares the same call sites.
+    """
+
+    def __init__(self, reporter: ProgressReporter | None = None,
+                 clock=time.perf_counter) -> None:
+        self.reporter = reporter
+        self.clock = clock
+        self.cache_hits: list[str] = []
+        self.cache_misses: list[str] = []
+        self.unit_wall: dict[str, float] = {}
+        self._running: dict[str, float] = {}
+
+    def cache_hit(self, name: str) -> None:
+        self.cache_hits.append(name)
+        if self.reporter is not None:
+            self.reporter.unit_finished(name, cached=True)
+
+    def cache_miss(self, name: str) -> None:
+        self.cache_misses.append(name)
+        if self.reporter is not None:
+            self.reporter.cache_miss(name)
+
+    def unit_started(self, name: str) -> None:
+        self._running[name] = self.clock()
+        if self.reporter is not None:
+            self.reporter.unit_started(name)
+
+    def unit_finished(self, name: str,
+                      wall_s: float | None = None) -> None:
+        started = self._running.pop(name, None)
+        if wall_s is None and started is not None:
+            wall_s = self.clock() - started
+        if wall_s is not None:
+            self.unit_wall[name] = wall_s
+        if self.reporter is not None:
+            self.reporter.unit_finished(name, wall_s=wall_s)
+
+    def verdicts(self, results) -> dict:
+        """Ledger ``verdicts`` from ``[(id, ExperimentResult), ...]``."""
+        out: dict = {}
+        for eid, result in results:
+            wall = self.unit_wall.get(eid)
+            out[eid] = {
+                "passed": getattr(result, "passed", None),
+                "wall_s": round(wall, 4) if wall is not None else None,
+                "cached": eid in self.cache_hits,
+            }
+        return out
+
+    def close(self) -> None:
+        if self.reporter is not None:
+            self.reporter.close()

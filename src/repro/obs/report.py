@@ -1,0 +1,497 @@
+"""The ``repro-report`` CLI: one dashboard over everything a run leaves.
+
+Aggregates four result streams into a single deterministic Markdown
+(and optionally HTML) report:
+
+* ``repro-experiments --save DIR`` JSON (``<id>.json`` verdict files);
+* telemetry metrics snapshots (``*.metrics.json``);
+* the run ledger (``results/runs.jsonl``, docs/OBSERVABILITY.md) —
+  per-figure wall-clock trend lines;
+* ``BENCH_*.json`` wall-clock trajectories (``bench_to_json.py``,
+  history-aware via ``--append``).
+
+Determinism contract: the same inputs render byte-identical output.
+Every timestamp in the report comes from the ledger records; the
+report itself never reads a clock.  Tables iterate sorted keys only.
+
+``--baseline baseline.json`` (written by ``--write-baseline``) turns
+the report into a regression gate: the process exits non-zero when a
+previously-passing shape check flips to failing or a bench metric
+regresses beyond ``--threshold`` percent (seconds-like metrics are
+lower-is-better; ``speedup`` is higher-is-better).
+
+Examples::
+
+    repro-experiments fig3 fig5 --save out
+    repro-report --results out --bench . --out report.md --html report.html
+    repro-report --results out --write-baseline baseline.json
+    repro-report --results out --baseline baseline.json   # gate: exit 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import sys
+from pathlib import Path
+
+from ..analysis.sparkline import trend
+from .ledger import figure_wall_history, read_ledger
+from .runlog import EXIT_FAILED_CHECKS, EXIT_OK, RunLog
+
+BASELINE_SCHEMA_VERSION = 1
+
+HIGHER_IS_BETTER_METRICS = ("speedup",)
+"""Flattened bench metric leaf names where bigger means faster."""
+
+
+# --------------------------------------------------------------------------
+# input loading
+
+def load_experiments(results_dir: Path) -> dict[str, dict]:
+    """``{experiment_id: saved-json}`` from a ``--save`` directory.
+
+    Only files that parse as experiment verdict JSON count; metrics
+    snapshots, profiles, the ledger, and the result cache are skipped.
+    """
+    experiments: dict[str, dict] = {}
+    if not results_dir.is_dir():
+        return experiments
+    for path in sorted(results_dir.glob("*.json")):
+        if path.name.endswith((".metrics.json", ".profile.json")):
+            continue
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            continue
+        if isinstance(data, dict) and "experiment_id" in data \
+                and "checks" in data:
+            experiments[data["experiment_id"]] = data
+    return experiments
+
+
+def load_metrics_snapshots(results_dir: Path) -> dict[str, dict]:
+    """``{stem: snapshot}`` for every ``*.metrics.json`` in the dir."""
+    snapshots: dict[str, dict] = {}
+    if not results_dir.is_dir():
+        return snapshots
+    for path in sorted(results_dir.glob("*.metrics.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            continue
+        if isinstance(data, dict):
+            snapshots[path.name[: -len(".metrics.json")]] = data
+    return snapshots
+
+
+def bench_entries(obj: dict) -> list[dict]:
+    """History entries of one ``BENCH_*.json`` (both file shapes).
+
+    ``--append`` files hold ``{"label": ..., "history": [entry, ...]}``;
+    legacy files *are* the single entry.
+    """
+    if isinstance(obj.get("history"), list):
+        return [entry for entry in obj["history"]
+                if isinstance(entry, dict)]
+    return [obj]
+
+
+def load_bench_histories(bench_dir: Path) -> dict[str, list[dict]]:
+    """``{label: [entry, ...]}`` for every ``BENCH_<label>.json``."""
+    histories: dict[str, list[dict]] = {}
+    if not bench_dir.is_dir():
+        return histories
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        try:
+            obj = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            continue
+        if isinstance(obj, dict):
+            label = path.stem[len("BENCH_"):]
+            histories[label] = bench_entries(obj)
+    return histories
+
+
+def bench_metric_trends(histories: dict[str, list[dict]]) \
+        -> dict[str, list[float]]:
+    """Flatten histories to ``{label.group.metric: [values...]}``.
+
+    Covers the numeric leaves under ``figures`` (per-figure serial
+    seconds), ``suite``, and ``engine`` — the comparable, trend-able
+    wall-clock metrics; host metadata (cpus, python, …) is excluded.
+    """
+    trends: dict[str, list[float]] = {}
+
+    def add(metric: str, entry_values: float) -> None:
+        trends.setdefault(metric, []).append(float(entry_values))
+
+    for label in sorted(histories):
+        for entry in histories[label]:
+            for fig in sorted(entry.get("figures", {})):
+                for key, value in sorted(
+                        entry["figures"][fig].items()):
+                    if isinstance(value, (int, float)):
+                        add(f"{label}.figures.{fig}.{key}", value)
+            for group in ("suite", "engine"):
+                for key, value in sorted(entry.get(group, {}).items()):
+                    if isinstance(value, (int, float)):
+                        add(f"{label}.{group}.{key}", value)
+    return trends
+
+
+# --------------------------------------------------------------------------
+# baseline
+
+def build_baseline(experiments: dict[str, dict],
+                   bench_trends: dict[str, list[float]]) -> dict:
+    """Current state as a committed-baseline JSON object."""
+    return {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "experiments": {
+            eid: {"passed": bool(data.get("passed")),
+                  "checks": {check["claim"]: bool(check["passed"])
+                             for check in data.get("checks", [])}}
+            for eid, data in sorted(experiments.items())
+        },
+        "bench": {metric: values[-1]
+                  for metric, values in sorted(bench_trends.items())
+                  if values},
+    }
+
+
+def _is_higher_better(metric: str) -> bool:
+    return metric.rsplit(".", 1)[-1] in HIGHER_IS_BETTER_METRICS
+
+
+def find_regressions(experiments: dict[str, dict],
+                     bench_trends: dict[str, list[float]],
+                     baseline: dict, *,
+                     threshold_pct: float) -> list[str]:
+    """Deterministic list of regression descriptions (empty = clean).
+
+    Only inputs present on *both* sides are compared: a baseline
+    experiment or metric missing from the current inputs is skipped
+    (CI sweeps cover a subset of the full suite), and anything new has
+    no baseline to regress against.
+    """
+    regressions: list[str] = []
+    for eid in sorted(baseline.get("experiments", {})):
+        base = baseline["experiments"][eid]
+        current = experiments.get(eid)
+        if current is None:
+            continue
+        if base.get("passed") and not current.get("passed"):
+            regressions.append(f"experiment {eid}: verdict flipped "
+                               f"PASS -> FAIL")
+        current_checks = {check["claim"]: bool(check["passed"])
+                          for check in current.get("checks", [])}
+        for claim in sorted(base.get("checks", {})):
+            if base["checks"][claim] \
+                    and current_checks.get(claim) is False:
+                regressions.append(
+                    f"experiment {eid}: check flipped to FAIL: {claim}")
+    factor = threshold_pct / 100.0
+    for metric in sorted(baseline.get("bench", {})):
+        values = bench_trends.get(metric)
+        if not values:
+            continue
+        base_value, value = float(baseline["bench"][metric]), values[-1]
+        if base_value <= 0:
+            continue
+        change = (value - base_value) / base_value
+        regressed = change < -factor if _is_higher_better(metric) \
+            else change > factor
+        if regressed:
+            regressions.append(
+                f"bench {metric}: {base_value:g} -> {value:g} "
+                f"({change * 100.0:+.1f}% past {threshold_pct:g}% "
+                f"threshold)")
+    return regressions
+
+
+# --------------------------------------------------------------------------
+# rendering
+
+def _md_table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    lines += ["| " + " | ".join(row) + " |" for row in rows]
+    return lines
+
+
+def build_report(*, experiments: dict[str, dict],
+                 metrics: dict[str, dict],
+                 ledger: list[dict],
+                 bench_trends: dict[str, list[float]],
+                 regressions: list[str] | None = None,
+                 baseline_name: str | None = None,
+                 last: int = 10) -> str:
+    """The full Markdown dashboard (pure function of its inputs)."""
+    lines: list[str] = ["# repro observability report", ""]
+
+    lines += ["## Experiments", ""]
+    if experiments:
+        rows = []
+        failing: list[str] = []
+        for eid in sorted(experiments):
+            data = experiments[eid]
+            checks = data.get("checks", [])
+            passed = sum(1 for check in checks if check["passed"])
+            wall = figure_wall_history(ledger, eid)
+            rows.append([
+                eid,
+                "PASS" if data.get("passed") else "FAIL",
+                f"{passed}/{len(checks)}",
+                f"`{trend(wall)}`" + (f" {wall[-1]:.3f}s" if wall
+                                      else ""),
+            ])
+            failing += [f"- `{eid}`: {check['claim']} "
+                        f"(measured {check['measured']})"
+                        for check in checks if not check["passed"]]
+        lines += _md_table(["experiment", "verdict", "checks",
+                            "wall trend"], rows)
+        if failing:
+            lines += ["", "Failing checks:", ""] + failing
+    else:
+        lines += ["No saved experiment JSON found."]
+    lines += [""]
+
+    lines += ["## Run ledger", ""]
+    if ledger:
+        lines += [f"{len(ledger)} recorded run(s); last "
+                  f"{min(last, len(ledger))} shown.", ""]
+        rows = []
+        for record in ledger[-last:]:
+            verdicts = record.get("verdicts", {})
+            passed = sum(1 for verdict in verdicts.values()
+                         if verdict.get("passed"))
+            judged = sum(1 for verdict in verdicts.values()
+                         if verdict.get("passed") is not None)
+            cache = record.get("cache", {})
+            rows.append([
+                record.get("started_at", "?"),
+                record.get("tool", "?"),
+                str(record.get("exit_code", "?")),
+                f"{record.get('wall_s', 0.0):.2f}",
+                f"{len(cache.get('hits', []))}h/"
+                f"{len(cache.get('misses', []))}m",
+                f"{passed}/{judged}" if judged else "-",
+                " ".join(record.get("ids", [])) or "-",
+            ])
+        lines += _md_table(["started (UTC)", "tool", "exit", "wall s",
+                            "cache", "verdicts", "ids"], rows)
+    else:
+        lines += ["No ledger records found."]
+    lines += [""]
+
+    lines += ["## Bench trends", ""]
+    if bench_trends:
+        rows = [[metric, f"{values[-1]:g}", f"`{trend(values)}`",
+                 str(len(values))]
+                for metric, values in sorted(bench_trends.items())]
+        lines += _md_table(["metric", "latest", "trend", "points"],
+                           rows)
+    else:
+        lines += ["No BENCH_*.json files found."]
+    lines += [""]
+
+    if metrics:
+        lines += ["## Metrics snapshots", ""]
+        rows = [[name, str(len(snapshot))]
+                for name, snapshot in sorted(metrics.items())]
+        lines += _md_table(["snapshot", "metrics"], rows) + [""]
+
+    if regressions is not None:
+        lines += [f"## Baseline comparison ({baseline_name})", ""]
+        if regressions:
+            lines += [f"{len(regressions)} regression(s) detected:", ""]
+            lines += [f"- REGRESSION: {item}" for item in regressions]
+        else:
+            lines += ["No regressions against the baseline."]
+        lines += [""]
+
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def markdown_to_html(markdown: str, *, title: str = "repro report") \
+        -> str:
+    """A small deterministic Markdown-to-HTML conversion.
+
+    Covers exactly what :func:`build_report` emits — headings, pipe
+    tables, bullet lists, inline code, paragraphs — so the dashboard
+    needs no third-party renderer.
+    """
+    def inline(text: str) -> str:
+        out, parts = html.escape(text), []
+        while "`" in out:
+            before, _, rest = out.partition("`")
+            code, tick, rest = rest.partition("`")
+            if not tick:
+                out = before + "`" + code
+                break
+            parts.append(before + f"<code>{code}</code>")
+            out = rest
+        return "".join(parts) + out
+
+    body: list[str] = []
+    lines = markdown.splitlines()
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        if line.startswith("#"):
+            level = len(line) - len(line.lstrip("#"))
+            body.append(f"<h{level}>{inline(line[level:].strip())}"
+                        f"</h{level}>")
+        elif line.startswith("|"):
+            rows = []
+            while index < len(lines) and lines[index].startswith("|"):
+                cells = [cell.strip() for cell
+                         in lines[index].strip("|").split("|")]
+                rows.append(cells)
+                index += 1
+            index -= 1
+            body.append("<table>")
+            for row_index, cells in enumerate(rows):
+                if row_index == 1:          # the |---| separator row
+                    continue
+                tag = "th" if row_index == 0 else "td"
+                body.append(
+                    "<tr>" + "".join(f"<{tag}>{inline(cell)}</{tag}>"
+                                     for cell in cells) + "</tr>")
+            body.append("</table>")
+        elif line.startswith("- "):
+            body.append("<ul>")
+            while index < len(lines) and lines[index].startswith("- "):
+                body.append(f"<li>{inline(lines[index][2:])}</li>")
+                index += 1
+            index -= 1
+            body.append("</ul>")
+        elif line.strip():
+            body.append(f"<p>{inline(line)}</p>")
+        index += 1
+    style = ("body{font-family:monospace;margin:2em;max-width:72em}"
+             "table{border-collapse:collapse;margin:1em 0}"
+             "td,th{border:1px solid #999;padding:0.25em 0.6em;"
+             "text-align:left}"
+             "th{background:#eee}code{background:#f4f4f4}")
+    return ("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+            f"<title>{html.escape(title)}</title>"
+            f"<style>{style}</style></head>\n<body>\n"
+            + "\n".join(body) + "\n</body></html>\n")
+
+
+# --------------------------------------------------------------------------
+# CLI
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Aggregate saved results, the run ledger, and "
+                    "BENCH_*.json trajectories into one deterministic "
+                    "dashboard")
+    parser.add_argument("--results", metavar="DIR", default="results",
+                        help="directory holding --save experiment JSON "
+                             "and *.metrics.json (default: results)")
+    parser.add_argument("--ledger", metavar="PATH", default=None,
+                        help="run ledger path (default: "
+                             "results/runs.jsonl, or $REPRO_LEDGER_PATH)")
+    parser.add_argument("--bench", metavar="DIR", default=".",
+                        help="directory scanned for BENCH_*.json "
+                             "(default: .)")
+    parser.add_argument("--out", metavar="PATH", default="-",
+                        help="Markdown output path ('-' = stdout)")
+    parser.add_argument("--html", metavar="PATH", default=None,
+                        help="also write an HTML rendering")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="compare against a baseline JSON; exit 1 "
+                             "on regression")
+    parser.add_argument("--write-baseline", metavar="PATH", default=None,
+                        help="write the current state as a baseline "
+                             "JSON and exit")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        metavar="PCT",
+                        help="bench regression threshold in percent "
+                             "(default: 10)")
+    parser.add_argument("--last", type=int, default=10, metavar="N",
+                        help="ledger rows shown (default: 10)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    runlog = RunLog("repro-report")
+    if args.threshold < 0:
+        return runlog.error("--threshold must be >= 0")
+    if args.last < 1:
+        return runlog.error("--last must be >= 1")
+
+    experiments = load_experiments(Path(args.results))
+    metrics = load_metrics_snapshots(Path(args.results))
+    ledger = read_ledger(args.ledger)
+    bench_trends = bench_metric_trends(
+        load_bench_histories(Path(args.bench)))
+    runlog.debug("inputs", experiments=len(experiments),
+                 snapshots=len(metrics), ledger_records=len(ledger),
+                 bench_metrics=len(bench_trends))
+
+    if args.write_baseline:
+        baseline = build_baseline(experiments, bench_trends)
+        target = Path(args.write_baseline)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(baseline, indent=2,
+                                     sort_keys=True) + "\n")
+        runlog.info("baseline-written", path=str(target),
+                    experiments=len(baseline["experiments"]),
+                    bench_metrics=len(baseline["bench"]))
+        return EXIT_OK
+
+    regressions: list[str] | None = None
+    baseline_name: str | None = None
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except FileNotFoundError:
+            return runlog.error(f"baseline not found: {baseline_path}")
+        except json.JSONDecodeError as exc:
+            return runlog.error(
+                f"baseline is not valid JSON: {baseline_path}: {exc}")
+        if baseline.get("schema") != BASELINE_SCHEMA_VERSION:
+            return runlog.error(
+                f"baseline {baseline_path} has unsupported schema "
+                f"{baseline.get('schema')!r}")
+        baseline_name = baseline_path.name
+        regressions = find_regressions(experiments, bench_trends,
+                                       baseline,
+                                       threshold_pct=args.threshold)
+
+    report = build_report(experiments=experiments, metrics=metrics,
+                          ledger=ledger, bench_trends=bench_trends,
+                          regressions=regressions,
+                          baseline_name=baseline_name, last=args.last)
+    if args.out == "-":
+        sys.stdout.write(report)
+    else:
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(report)
+        runlog.info("report-written", path=str(target),
+                    bytes=len(report))
+    if args.html:
+        target = Path(args.html)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(markdown_to_html(report))
+        runlog.info("html-written", path=str(target))
+
+    if regressions:
+        return runlog.error(
+            f"{len(regressions)} regression(s) against "
+            f"{baseline_name}", code=EXIT_FAILED_CHECKS,
+            regressions=len(regressions))
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

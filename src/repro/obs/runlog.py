@@ -1,0 +1,136 @@
+"""Leveled, machine-parseable run events on stderr.
+
+Every line a :class:`RunLog` emits has the same shape::
+
+    <tool> <level> <event> key=value key="quoted value" ...
+
+— one event per line, fields in call order, values quoted only when
+they contain whitespace or quotes.  The format is grep-able by humans
+and splittable by machines (:meth:`RunLog.parse_line` round-trips it),
+which is what lets the live-progress plain-log fallback double as a
+structured record of a sweep.
+
+Events go to **stderr only**; stdout belongs to the figures, so serial
+and ``--jobs N`` runs stay byte-identical on stdout with logging
+enabled (the acceptance bar pinned in ``tests/obs``).
+
+The module also owns the CLI exit-code contract shared by
+``repro-experiments``, ``memo``, and ``repro-report``:
+
+* :data:`EXIT_OK` (0) — ran, everything passed;
+* :data:`EXIT_FAILED_CHECKS` (1) — ran, but a shape check / validation
+  / baseline comparison failed;
+* :data:`EXIT_BAD_ARGS` (2) — refused to run (bad flag, unknown id,
+  malformed spec).
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import sys
+from typing import TextIO
+
+from ..errors import ReproError
+
+EXIT_OK = 0
+EXIT_FAILED_CHECKS = 1
+EXIT_BAD_ARGS = 2
+
+LEVELS = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+"""Environment override for the default level (e.g. ``error`` in CI
+jobs that only want failures)."""
+
+
+def _format_value(value) -> str:
+    """One field value as a logfmt token (quoted only when needed)."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        text = format(value, ".6g")
+    else:
+        text = str(value)
+    if text == "" or any(ch in text for ch in ' \t"='):
+        return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    return text
+
+
+class RunLog:
+    """Emit leveled ``<tool> <level> <event> k=v`` lines to stderr."""
+
+    def __init__(self, tool: str, *, level: str | None = None,
+                 stream: TextIO | None = None) -> None:
+        if not tool or any(ch.isspace() for ch in tool):
+            raise ReproError(f"bad runlog tool name {tool!r}")
+        if level is None:
+            level = os.environ.get(LOG_LEVEL_ENV, "info")
+        if level not in LEVELS:
+            raise ReproError(
+                f"bad log level {level!r}; choose from {sorted(LEVELS)}")
+        self.tool = tool
+        self.level = level
+        self._stream = stream
+
+    @property
+    def stream(self) -> TextIO:
+        # Resolved per call so pytest's capsys (which swaps sys.stderr)
+        # and late redirections both see the events.
+        return self._stream if self._stream is not None else sys.stderr
+
+    def enabled_for(self, level: str) -> bool:
+        return LEVELS[level] >= LEVELS[self.level]
+
+    def event(self, level: str, event: str, **fields) -> None:
+        """One structured event line (dropped when below the level)."""
+        if level not in LEVELS:
+            raise ReproError(f"bad event level {level!r}")
+        if not self.enabled_for(level):
+            return
+        parts = [self.tool, level, event]
+        parts += [f"{key}={_format_value(value)}"
+                  for key, value in fields.items()]
+        print(" ".join(parts), file=self.stream, flush=True)
+
+    def debug(self, event: str, **fields) -> None:
+        self.event("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.event("info", event, **fields)
+
+    def warn(self, event: str, **fields) -> None:
+        self.event("warn", event, **fields)
+
+    def error(self, message: str, *, code: int = EXIT_BAD_ARGS,
+              **fields) -> int:
+        """Emit an error event and hand back the exit code.
+
+        The consolidated CLI error path: ``return runlog.error(...)``
+        replaces the ad-hoc ``print(..., file=sys.stderr)`` scattering,
+        and the returned code pins the bad-args-vs-failed-checks
+        distinction in one place.
+        """
+        self.event("error", "error", msg=message, **fields)
+        return code
+
+    @staticmethod
+    def parse_line(line: str) -> tuple[str, str, str, dict]:
+        """``(tool, level, event, fields)`` of one emitted line.
+
+        The machine-parseable half of the contract; tests use it to
+        assert on progress streams without string-matching formatting.
+        """
+        tokens = shlex.split(line)
+        if len(tokens) < 3 or tokens[1] not in LEVELS:
+            raise ReproError(f"not a runlog line: {line!r}")
+        fields: dict = {}
+        for token in tokens[3:]:
+            if "=" not in token:
+                raise ReproError(
+                    f"bad field {token!r} in runlog line: {line!r}")
+            key, value = token.split("=", 1)
+            fields[key] = value
+        return tokens[0], tokens[1], tokens[2], fields

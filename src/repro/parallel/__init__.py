@@ -32,6 +32,7 @@ from .merge import (
     TelemetrySpec,
     export_telemetry,
     fresh_telemetry,
+    merge_all,
     merge_telemetry,
     telemetry_spec,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "TelemetrySpec",
     "export_telemetry",
     "fresh_telemetry",
+    "merge_all",
     "merge_telemetry",
     "package_fingerprint",
     "result_key",

@@ -139,9 +139,28 @@ def merge_telemetry(parent: Telemetry, export: dict | None) -> None:
         elif kind == "gauge":
             registry.gauge(name).set(snap["value"])
         elif kind == "histogram":
+            # An empty histogram still merges: the metric must exist in
+            # the parent (with the worker's buckets) even when the unit
+            # recorded no samples, exactly as the serial path would
+            # have created it before its first record().
             histogram = registry.histogram(
                 name, buckets=tuple(snap["buckets"]))
             for sample in snap["samples"]:
                 histogram.record(sample)
         else:
             raise TelemetryError(f"cannot merge metric type {kind!r}")
+
+
+def merge_all(parent: Telemetry, exports) -> None:
+    """Replay worker exports into ``parent``, in iteration order.
+
+    Callers must pass exports in **unit order** (submission order), not
+    completion order — gauges fold last-write-wins, so replaying a
+    later unit before an earlier one would leave the gauge at the
+    earlier unit's value and diverge from the serial run.  The sweep
+    call sites iterate the ordered output of
+    :meth:`~repro.parallel.runner.ParallelRunner.map`, which guarantees
+    this even when workers finish out of order.
+    """
+    for export in exports:
+        merge_telemetry(parent, export)

@@ -15,7 +15,8 @@ The contract that keeps parallel runs byte-identical to serial ones:
 from __future__ import annotations
 
 import hashlib
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Callable, Iterable, Sequence
 
 from ..errors import SimulationError
@@ -41,16 +42,31 @@ class ParallelRunner:
     ``jobs <= 1`` runs every unit inline in the calling process — the
     exact serial code path, no executor, no pickling — which is why the
     CLIs can default to ``--jobs 1`` without perturbing tier-1 runs.
+
+    ``progress`` is an optional stderr-side callback fed from unit
+    completions — ``progress(event, index, total, wall_s=...)`` with
+    ``event`` one of ``"started"`` / ``"finished"`` — which the CLIs
+    bridge to :class:`repro.obs.ProgressReporter` for live ``--jobs``
+    sweeps.  It runs in the parent process only (never pickled), fires
+    in *completion* order, and must not touch the results, so enabling
+    it cannot perturb the ordered byte-identical output contract.
     """
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(self, jobs: int = 1,
+                 progress: Callable[..., None] | None = None) -> None:
         if jobs < 1:
             raise SimulationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.progress = progress
 
     @property
     def parallel(self) -> bool:
         return self.jobs > 1
+
+    def _notify(self, event: str, index: int, total: int,
+                wall_s: float | None = None) -> None:
+        if self.progress is not None:
+            self.progress(event, index, total, wall_s=wall_s)
 
     def map(self, fn: Callable[[Any], Any],
             specs: Iterable[Any]) -> list[Any]:
@@ -58,11 +74,38 @@ class ParallelRunner:
 
         ``fn`` must be a picklable module-level callable and each spec
         a picklable value.  Results come back in spec order; a worker
-        exception propagates to the caller (after the pool drains).
+        exception propagates to the caller (after the pool drains, the
+        earliest-submitted failure wins).
         """
         items: Sequence[Any] = list(specs)
+        total = len(items)
         if self.jobs <= 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            results = []
+            for index, item in enumerate(items):
+                self._notify("started", index, total)
+                start = time.perf_counter()
+                results.append(fn(item))
+                self._notify("finished", index, total,
+                             time.perf_counter() - start)
+            return results
         workers = min(self.jobs, len(items))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
+            submitted = []
+            for index, item in enumerate(items):
+                self._notify("started", index, total)
+                submitted.append(pool.submit(fn, item))
+            index_of = {future: index
+                        for index, future in enumerate(submitted)}
+            started = time.perf_counter()
+            for future in as_completed(submitted):
+                if future.exception() is None:
+                    # Per-unit wall clock is not observable from the
+                    # parent; submit-to-completion latency is the
+                    # honest upper bound the progress ETA works from.
+                    self._notify("finished", index_of[future], total,
+                                 time.perf_counter() - started)
+        for future in submitted:
+            exception = future.exception()
+            if exception is not None:
+                raise exception
+        return [future.result() for future in submitted]

@@ -53,19 +53,25 @@ def default_latency_buckets_ns() -> tuple[float, ...]:
 
 
 class Counter:
-    """A monotonically increasing count (events, bytes, pages)."""
+    """A monotonically increasing count (events, bytes, pages).
+
+    Integer increments stay integers (Python's arbitrary precision),
+    so counts beyond 2**53 — byte totals summed across many worker
+    exports — never lose low bits to float rounding.  A float
+    increment switches the counter to float accumulation, as before.
+    """
 
     __slots__ = ("name", "_value")
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._value = 0.0
+        self._value: int | float = 0
 
     @property
-    def value(self) -> float:
+    def value(self) -> int | float:
         return self._value
 
-    def inc(self, amount: float = 1.0) -> None:
+    def inc(self, amount: int | float = 1) -> None:
         if amount < 0:
             raise TelemetryError(
                 f"counter {self.name!r} cannot decrease (inc {amount})")

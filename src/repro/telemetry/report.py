@@ -23,6 +23,25 @@ def metrics_snapshot(registry: Registry) -> dict:
     return registry.snapshot()
 
 
+def snapshot_digest(snapshot: dict | Registry) -> str | None:
+    """12-hex content digest of a metrics snapshot (``None`` if empty).
+
+    The run-ledger field (docs/OBSERVABILITY.md): two runs recorded the
+    same metrics iff their digests match, without the ledger carrying
+    the full snapshot.  Accepts a registry or an already-taken
+    snapshot dict.
+    """
+    import hashlib
+
+    if isinstance(snapshot, Registry):
+        snapshot = snapshot.snapshot()
+    if not snapshot:
+        return None
+    canonical = json.dumps(snapshot, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+
 def render_metrics(registry: Registry) -> str:
     """A human-readable metrics table, one dotted name per row."""
     snapshot = registry.snapshot()

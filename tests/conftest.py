@@ -1,10 +1,11 @@
 """Suite-wide fixtures.
 
 The result cache defaults to ``results/.cache`` under the working
-directory; tests must never read from or write into the checkout's real
-cache (a stale entry could mask a regression, and a test run should not
-dirty the repo).  Point it at a throwaway directory for the whole
-session unless a test overrides it explicitly.
+directory, and the run ledger to ``results/runs.jsonl``; tests must
+never read from or write into the checkout's real copies (a stale
+entry could mask a regression, and a test run should not dirty the
+repo).  Point both at throwaway locations for the whole session unless
+a test overrides them explicitly.
 """
 
 import os
@@ -15,3 +16,7 @@ def pytest_configure(config):
     os.environ.setdefault(
         "REPRO_CACHE_DIR",
         tempfile.mkdtemp(prefix="repro-test-cache-"))
+    os.environ.setdefault(
+        "REPRO_LEDGER_PATH",
+        os.path.join(tempfile.mkdtemp(prefix="repro-test-ledger-"),
+                     "runs.jsonl"))

@@ -1,0 +1,96 @@
+"""bench_to_json --append: bounded history + legacy-shape migration."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_to_json", REPO_ROOT / "benchmarks" / "bench_to_json.py")
+bench_to_json = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_to_json)
+
+append_history = bench_to_json.append_history
+
+
+def entry(serial_s=5.0, label="local"):
+    return {"label": label, "recorded_at": "2026-08-06T00:00:00Z",
+            "figures": {"fig3": {"serial_s": serial_s}},
+            "suite": {"serial_s": serial_s}}
+
+
+class TestAppendHistory:
+    def test_fresh_file_starts_history(self, tmp_path):
+        out = append_history(tmp_path / "BENCH_x.json", entry(),
+                             limit=20)
+        assert out["label"] == "local"
+        assert [e["suite"]["serial_s"] for e in out["history"]] == [5.0]
+
+    def test_history_file_gains_entry_newest_last(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(
+            {"label": "local", "history": [entry(1.0), entry(2.0)]}))
+        out = append_history(path, entry(3.0), limit=20)
+        assert [e["suite"]["serial_s"] for e in out["history"]] \
+            == [1.0, 2.0, 3.0]
+
+    def test_legacy_single_entry_file_migrates(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        legacy = entry(7.0)
+        path.write_text(json.dumps(legacy))
+        out = append_history(path, entry(8.0), limit=20)
+        assert out["history"][0] == legacy
+        assert out["history"][1]["suite"]["serial_s"] == 8.0
+
+    def test_limit_keeps_newest(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        history = [entry(float(n)) for n in range(5)]
+        path.write_text(json.dumps({"label": "local",
+                                    "history": history}))
+        out = append_history(path, entry(99.0), limit=3)
+        assert [e["suite"]["serial_s"] for e in out["history"]] \
+            == [3.0, 4.0, 99.0]
+
+    def test_unreadable_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{broken json")
+        out = append_history(path, entry(), limit=20)
+        assert len(out["history"]) == 1
+
+    def test_non_dict_history_items_dropped(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(
+            {"label": "local", "history": [entry(1.0), "junk", 3]}))
+        out = append_history(path, entry(2.0), limit=20)
+        assert [e["suite"]["serial_s"] for e in out["history"]] \
+            == [1.0, 2.0]
+
+
+class TestCli:
+    def test_append_flag_builds_real_history(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_t.json"
+        argv = ["--label", "t", "--ids", "table1", "--repeats", "1",
+                "--jobs", "1", "--out", str(out), "--append"]
+        assert bench_to_json.main(argv) == 0
+        assert bench_to_json.main(argv) == 0
+        capsys.readouterr()
+        data = json.loads(out.read_text())
+        assert data["label"] == "t"
+        assert len(data["history"]) == 2
+        for item in data["history"]:
+            assert "suite" in item and "figures" in item
+
+    def test_without_append_overwrites(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_t.json"
+        argv = ["--label", "t", "--ids", "table1", "--repeats", "1",
+                "--jobs", "1", "--out", str(out)]
+        assert bench_to_json.main(argv) == 0
+        capsys.readouterr()
+        data = json.loads(out.read_text())
+        assert "history" not in data
+        assert "suite" in data
+
+    def test_bad_history_limit_is_exit_2(self, capsys):
+        assert bench_to_json.main(
+            ["--label", "t", "--history-limit", "0"]) == 2
+        assert "history-limit" in capsys.readouterr().err

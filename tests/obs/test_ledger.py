@@ -1,0 +1,178 @@
+"""The run ledger: record schema, append/read, and CLI integration."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    append_record,
+    config_hash,
+    figure_wall_history,
+    ledger_path,
+    read_ledger,
+    run_record,
+)
+
+
+def record(**overrides):
+    base = dict(tool="repro-experiments", argv=["fig3"], ids=["fig3"],
+                started_at="2026-08-06T00:00:00Z", wall_s=1.5,
+                rev="abc1234")
+    base.update(overrides)
+    return run_record(**base)
+
+
+class TestRecord:
+    def test_schema_and_required_fields(self):
+        rec = record(config={"fast": True},
+                     cache_hits=["fig3"], cache_misses=[],
+                     verdicts={"fig3": {"passed": True, "wall_s": 0.1,
+                                        "cached": False}})
+        assert rec["schema"] == 1
+        assert rec["tool"] == "repro-experiments"
+        assert rec["git_rev"] == "abc1234"
+        assert rec["cache"] == {"hits": ["fig3"], "misses": []}
+        assert rec["verdicts"]["fig3"]["passed"] is True
+        assert rec["exit_code"] == 0
+        json.dumps(rec)                      # JSON-clean
+
+    def test_config_hash_is_canonical(self):
+        assert config_hash({"b": 1, "a": 2}) == config_hash(
+            {"a": 2, "b": 1})
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+        assert config_hash(None) is None
+        assert len(config_hash({})) == 12
+
+    def test_empty_tool_rejected(self):
+        with pytest.raises(ReproError):
+            record(tool="")
+
+
+class TestAppendRead:
+    def test_append_then_read_round_trips(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        append_record(record(), path)
+        append_record(record(wall_s=2.0), path)
+        records = read_ledger(path)
+        assert len(records) == 2
+        assert records[1]["wall_s"] == 2.0
+
+    def test_records_are_single_lines(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        append_record(record(), path)
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_corrupt_line_skipped(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        append_record(record(), path)
+        with path.open("a") as handle:
+            handle.write('{"truncated": \n')
+        append_record(record(wall_s=3.0), path)
+        records = read_ledger(path)
+        assert [r["wall_s"] for r in records] == [1.5, 3.0]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_ledger(tmp_path / "nope.jsonl") == []
+
+    def test_bad_schema_refused(self, tmp_path):
+        with pytest.raises(ReproError):
+            append_record({"schema": 99}, tmp_path / "runs.jsonl")
+
+    def test_env_var_overrides_path(self, tmp_path, monkeypatch):
+        target = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(target))
+        assert ledger_path() == target
+        append_record(record())
+        assert len(read_ledger()) == 1
+
+
+class TestWallHistory:
+    def test_history_in_ledger_order(self):
+        records = [
+            record(verdicts={"fig3": {"passed": True, "wall_s": 0.5,
+                                      "cached": False}}),
+            record(verdicts={"fig5": {"passed": True, "wall_s": 9.0,
+                                      "cached": False}}),
+            record(verdicts={"fig3": {"passed": True, "wall_s": 0.3,
+                                      "cached": False}}),
+        ]
+        assert figure_wall_history(records, "fig3") == [0.5, 0.3]
+
+    def test_cached_and_null_walls_excluded(self):
+        records = [
+            record(verdicts={"fig3": {"passed": True, "wall_s": 0.5,
+                                      "cached": True}}),
+            record(verdicts={"fig3": {"passed": True, "wall_s": None,
+                                      "cached": False}}),
+        ]
+        assert figure_wall_history(records, "fig3") == []
+
+
+class TestCliIntegration:
+    def test_experiments_run_appends_record(self, tmp_path, monkeypatch,
+                                            capsys):
+        from repro.experiments.runner import main
+
+        path = tmp_path / "runs.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(path))
+        assert main(["table1", "--no-cache"]) == 0
+        capsys.readouterr()
+        records = read_ledger(path)
+        assert len(records) == 1
+        rec = records[0]
+        assert rec["tool"] == "repro-experiments"
+        assert rec["ids"] == ["table1"]
+        assert rec["cache"]["misses"] == ["table1"]
+        assert rec["verdicts"]["table1"]["passed"] is True
+        assert rec["exit_code"] == 0
+        assert rec["wall_s"] >= 0
+
+    def test_cache_hit_recorded_on_second_run(self, tmp_path,
+                                              monkeypatch, capsys):
+        from repro.experiments.runner import main
+
+        path = tmp_path / "runs.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(path))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["table1"]) == 0
+        assert main(["table1"]) == 0
+        capsys.readouterr()
+        first, second = read_ledger(path)
+        assert first["cache"]["misses"] == ["table1"]
+        assert second["cache"]["hits"] == ["table1"]
+        assert second["verdicts"]["table1"]["cached"] is True
+
+    def test_no_ledger_flag_skips_append(self, tmp_path, monkeypatch,
+                                         capsys):
+        from repro.experiments.runner import main
+
+        path = tmp_path / "runs.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(path))
+        assert main(["table1", "--no-cache", "--no-ledger"]) == 0
+        capsys.readouterr()
+        assert not path.exists()
+
+    def test_memo_run_appends_record(self, tmp_path, monkeypatch,
+                                     capsys):
+        from repro.memo.cli import main
+
+        path = tmp_path / "runs.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(path))
+        assert main(["latency", "--metrics"]) == 0
+        capsys.readouterr()
+        records = read_ledger(path)
+        assert len(records) == 1
+        assert records[0]["tool"] == "memo"
+        assert records[0]["ids"] == ["memo-latency"]
+
+    def test_ledger_stays_off_stdout(self, tmp_path, monkeypatch,
+                                     capsys):
+        from repro.experiments.runner import main
+
+        monkeypatch.setenv("REPRO_LEDGER_PATH",
+                           str(tmp_path / "runs.jsonl"))
+        assert main(["table1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "runs.jsonl" not in out
+        assert "run-start" not in out

@@ -1,0 +1,169 @@
+"""Profiler: deterministic output shape pinned with a fake clock."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import Profiler
+from repro.obs.profiler import write_experiment_profile
+
+
+class FakeClock:
+    """Advances a fixed step per call, so wall times are exact."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestPhases:
+    def test_phase_accumulates_and_counts(self):
+        prof = Profiler(clock=FakeClock(step=1.0))
+        with prof.phase("build"):
+            pass
+        with prof.phase("build"):
+            pass
+        assert prof.phase_seconds("build") == pytest.approx(2.0)
+        data = prof.to_dict()
+        assert data["phases"] == [
+            {"name": "build", "wall_s": 2.0, "calls": 2}]
+
+    def test_phases_keep_first_seen_order(self):
+        prof = Profiler(clock=FakeClock())
+        for name in ("zeta", "alpha", "zeta", "mid"):
+            with prof.phase(name):
+                pass
+        assert [p["name"] for p in prof.to_dict()["phases"]] == [
+            "zeta", "alpha", "mid"]
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ReproError):
+            Profiler().phase_seconds("nope")
+
+    def test_phase_records_on_exception(self):
+        prof = Profiler(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with prof.phase("boom"):
+                raise ValueError("x")
+        assert prof.phase_seconds("boom") == pytest.approx(1.0)
+
+
+class TestDeterministicOutput:
+    def test_to_dict_is_byte_stable_with_fake_clock(self):
+        def run():
+            prof = Profiler(clock=FakeClock(step=0.5))
+            with prof.phase("pooled-experiments"):
+                with prof.phase("run:fig3"):
+                    pass
+            return json.dumps(prof.to_dict(extra={"ids": ["fig3"]}),
+                              sort_keys=True)
+
+        assert run() == run()
+
+    def test_to_dict_shape(self):
+        prof = Profiler(clock=FakeClock())
+        with prof.phase("a"):
+            pass
+        data = prof.to_dict(extra={"jobs": 2})
+        assert data["schema"] == 1
+        assert data["total_s"] == pytest.approx(1.0)
+        assert data["jobs"] == 2
+        assert "cprofile_top" not in data      # only when collected
+
+    def test_write_round_trips(self, tmp_path):
+        prof = Profiler(clock=FakeClock())
+        with prof.phase("a"):
+            pass
+        target = prof.write(tmp_path / "suite.profile.json")
+        loaded = json.loads(target.read_text())
+        assert loaded["phases"][0]["name"] == "a"
+
+
+class TestDisabled:
+    def test_disabled_records_nothing(self):
+        prof = Profiler(enabled=False)
+        with prof.phase("a"):
+            pass
+        with prof.collecting():
+            pass
+        assert prof.to_dict()["phases"] == []
+        assert prof.to_dict()["total_s"] == 0.0
+
+
+class TestCProfile:
+    def test_collecting_builds_top_n_table(self):
+        prof = Profiler(cprofile_top=5)
+        with prof.collecting():
+            sorted(range(1000))
+        table = prof.to_dict()["cprofile_top"]
+        assert 0 < len(table) <= 5
+        for row in table:
+            assert set(row) == {"function", "calls", "cumtime_s"}
+            assert ":" in row["function"]
+            assert "/" not in row["function"]   # basenames only
+
+    def test_collecting_is_reentrant(self):
+        prof = Profiler(cprofile_top=3)
+        with prof.collecting():
+            with prof.collecting():
+                sorted(range(100))
+        assert prof.to_dict()["cprofile_top"]
+
+    def test_negative_top_rejected(self):
+        with pytest.raises(ReproError):
+            Profiler(cprofile_top=-1)
+
+
+class TestExperimentProfile:
+    def test_writes_id_named_file(self, tmp_path):
+        target = write_experiment_profile(tmp_path, "fig3",
+                                          wall_s=0.123456789,
+                                          cached=False, passed=True)
+        assert target.name == "fig3.profile.json"
+        data = json.loads(target.read_text())
+        assert data == {"schema": 1, "experiment": "fig3",
+                        "wall_s": 0.123457, "cached": False,
+                        "passed": True}
+
+    def test_cached_unit_has_null_wall(self, tmp_path):
+        target = write_experiment_profile(tmp_path, "fig5", wall_s=None,
+                                          cached=True, passed=True)
+        assert json.loads(target.read_text())["wall_s"] is None
+
+
+class TestCliProfile:
+    def test_profile_flag_writes_suite_and_per_experiment(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.experiments.runner import main
+
+        monkeypatch.setenv("REPRO_LEDGER_PATH",
+                           str(tmp_path / "runs.jsonl"))
+        assert main(["table1", "--no-cache",
+                     "--profile", str(tmp_path / "prof")]) == 0
+        capsys.readouterr()
+        suite = json.loads(
+            (tmp_path / "prof" / "suite.profile.json").read_text())
+        assert suite["ids"] == ["table1"]
+        names = [p["name"] for p in suite["phases"]]
+        assert "pooled-experiments" in names
+        assert "render+save" in names
+        per = json.loads(
+            (tmp_path / "prof" / "table1.profile.json").read_text())
+        assert per["experiment"] == "table1"
+        assert per["cached"] is False
+
+    def test_bad_cprofile_value_is_exit_2(self, tmp_path, monkeypatch,
+                                          capsys):
+        from repro.experiments.runner import main
+
+        monkeypatch.setenv("REPRO_LEDGER_PATH",
+                           str(tmp_path / "runs.jsonl"))
+        assert main(["table1", "--profile", str(tmp_path),
+                     "--cprofile", "-3"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,179 @@
+"""ProgressReporter / RunHooks: TTY vs log rendering, ledger collection."""
+
+import io
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import ProgressReporter, RunHooks, RunLog
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+def tty_reporter(total, clock=None):
+    stream = io.StringIO()
+    reporter = ProgressReporter(total, stream=stream, tty=True,
+                                clock=clock or FakeClock())
+    return reporter, stream
+
+
+def log_reporter(total, clock=None):
+    stream = io.StringIO()
+    runlog = RunLog("progress", level="debug", stream=stream)
+    reporter = ProgressReporter(total, stream=stream, tty=False,
+                                runlog=runlog,
+                                clock=clock or FakeClock())
+    return reporter, stream
+
+
+class TestTty:
+    def test_rewrites_one_line_with_carriage_returns(self):
+        reporter, stream = tty_reporter(2)
+        reporter.unit_finished("fig3", wall_s=1.2)
+        reporter.unit_finished("fig5", wall_s=0.8)
+        text = stream.getvalue()
+        assert text.count("\r") == 2
+        assert "\n" not in text
+        assert "[2/2]" in text
+
+    def test_cache_and_eta_fields_rendered(self):
+        clock = FakeClock()
+        reporter, stream = tty_reporter(4, clock=clock)
+        reporter.cache_miss("fig3")
+        clock.advance(2.0)
+        reporter.unit_finished("fig3", wall_s=2.0)
+        text = stream.getvalue()
+        assert "cache 0h/1m" in text
+        assert "eta 6.0s" in text              # 2s/unit x 3 remaining
+
+    def test_cached_unit_rendered_as_cache(self):
+        reporter, stream = tty_reporter(2)
+        reporter.unit_finished("fig3", cached=True)
+        assert "fig3 cache" in stream.getvalue()
+
+    def test_close_erases_the_line(self):
+        reporter, stream = tty_reporter(1)
+        reporter.unit_finished("fig3", wall_s=0.1)
+        reporter.close()
+        reporter.close()                       # idempotent
+        assert stream.getvalue().endswith("\r")
+
+    def test_shorter_line_fully_overwrites_longer(self):
+        reporter, stream = tty_reporter(2)
+        reporter.unit_started("a-very-long-experiment-name")
+        start = len(stream.getvalue())
+        reporter.unit_finished("x")
+        second = stream.getvalue()[start:]
+        assert len(second.lstrip("\r")) >= len(
+            "a-very-long-experiment-name")
+
+
+class TestNonTty:
+    def test_emits_runlog_events(self):
+        reporter, stream = log_reporter(2)
+        reporter.unit_started("fig3")
+        reporter.unit_finished("fig3", wall_s=1.5)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        tool, level, event, fields = RunLog.parse_line(lines[0])
+        assert (level, event) == ("debug", "unit-started")
+        tool, level, event, fields = RunLog.parse_line(lines[1])
+        assert (level, event) == ("info", "unit-finished")
+        assert fields["id"] == "fig3"
+        assert fields["done"] == "1" and fields["total"] == "2"
+
+    def test_no_carriage_returns_in_log_mode(self):
+        reporter, stream = log_reporter(1)
+        reporter.unit_finished("fig3", wall_s=0.1)
+        assert "\r" not in stream.getvalue()
+
+
+class TestReporterBasics:
+    def test_negative_total_rejected(self):
+        with pytest.raises(ReproError):
+            ProgressReporter(-1)
+
+    def test_eta_none_until_first_finish_and_after_last(self):
+        clock = FakeClock()
+        reporter, _ = tty_reporter(1, clock=clock)
+        assert reporter.eta_s() is None
+        clock.advance(1.0)
+        reporter.unit_finished("fig3")
+        assert reporter.eta_s() is None
+
+
+class TestRunHooks:
+    def test_collects_ledger_inputs(self):
+        clock = FakeClock()
+        hooks = RunHooks(clock=clock)
+        hooks.cache_hit("fig3")
+        hooks.cache_miss("fig5")
+        hooks.unit_started("fig5")
+        clock.advance(2.5)
+        hooks.unit_finished("fig5")
+        assert hooks.cache_hits == ["fig3"]
+        assert hooks.cache_misses == ["fig5"]
+        assert hooks.unit_wall["fig5"] == pytest.approx(2.5)
+
+    def test_explicit_wall_overrides_clock(self):
+        hooks = RunHooks(clock=FakeClock())
+        hooks.unit_finished("fig3", wall_s=7.0)
+        assert hooks.unit_wall["fig3"] == 7.0
+
+    def test_verdicts_shape(self):
+        class Result:
+            passed = True
+
+        hooks = RunHooks()
+        hooks.cache_hit("fig3")
+        hooks.unit_finished("fig5", wall_s=1.23456)
+        verdicts = hooks.verdicts([("fig3", Result()),
+                                   ("fig5", Result())])
+        assert verdicts == {
+            "fig3": {"passed": True, "wall_s": None, "cached": True},
+            "fig5": {"passed": True, "wall_s": 1.2346, "cached": False},
+        }
+
+    def test_forwards_to_reporter(self):
+        reporter, stream = log_reporter(2)
+        hooks = RunHooks(reporter=reporter, clock=FakeClock())
+        hooks.cache_hit("fig3")
+        hooks.unit_started("fig5")
+        hooks.unit_finished("fig5")
+        hooks.close()
+        text = stream.getvalue()
+        assert "unit-finished" in text
+        assert "cached=true" in text
+        assert reporter.done == 2
+
+
+class TestStdoutContract:
+    def test_progress_never_touches_stdout(self, tmp_path, monkeypatch,
+                                           capsys):
+        from repro.experiments.runner import main
+
+        monkeypatch.setenv("REPRO_LEDGER_PATH",
+                           str(tmp_path / "runs.jsonl"))
+        assert main(["table1", "fig3", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["table1", "fig3", "--no-cache", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_no_progress_flag_silences_unit_events(self, tmp_path,
+                                                   monkeypatch, capsys):
+        from repro.experiments.runner import main
+
+        monkeypatch.setenv("REPRO_LEDGER_PATH",
+                           str(tmp_path / "runs.jsonl"))
+        assert main(["table1", "--no-cache", "--no-progress"]) == 0
+        assert "unit-finished" not in capsys.readouterr().err

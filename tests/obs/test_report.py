@@ -1,0 +1,271 @@
+"""repro-report: deterministic rendering and the baseline regression gate.
+
+Two acceptance criteria from the PR are pinned here:
+
+* the rendered report is byte-identical across two runs over the same
+  inputs (``test_report_byte_identical_across_runs``);
+* ``--baseline`` exits non-zero when a bench metric regresses past the
+  threshold (``test_baseline_gate_exits_nonzero_on_bench_regression``).
+"""
+
+import json
+
+from repro.obs import EXIT_FAILED_CHECKS, EXIT_OK, append_record, run_record
+from repro.obs.report import (
+    bench_entries,
+    bench_metric_trends,
+    build_baseline,
+    build_report,
+    find_regressions,
+    load_bench_histories,
+    load_experiments,
+    main,
+    markdown_to_html,
+)
+
+
+def experiment_json(eid="fig3", passed=True, checks=None):
+    if checks is None:
+        checks = [{"claim": "latency ratio in range", "passed": passed,
+                   "measured": "2.5x"}]
+    return {"experiment_id": eid, "passed": passed, "checks": checks}
+
+
+def write_results(tmp_path, experiments):
+    results = tmp_path / "results"
+    results.mkdir(exist_ok=True)
+    for data in experiments:
+        (results / f"{data['experiment_id']}.json").write_text(
+            json.dumps(data))
+    return results
+
+
+def write_bench(tmp_path, label="local", serial_s=5.0, speedup=2.0,
+                history=None):
+    entry = {"label": label,
+             "figures": {"fig3": {"serial_s": serial_s}},
+             "suite": {"serial_s": serial_s, "parallel_s": serial_s / 2,
+                       "speedup": speedup},
+             "engine": {"e2e_read_sweep_s": 0.5}}
+    payload = {"label": label, "history": history} if history is not None \
+        else entry
+    (tmp_path / f"BENCH_{label}.json").write_text(json.dumps(payload))
+    return entry
+
+
+def write_ledger(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    for wall in (0.6, 0.4):
+        append_record(run_record(
+            tool="repro-experiments", argv=["fig3"], ids=["fig3"],
+            started_at="2026-08-06T00:00:00Z", wall_s=wall,
+            rev="abc1234",
+            verdicts={"fig3": {"passed": True, "wall_s": wall,
+                               "cached": False}}), path)
+    return path
+
+
+class TestLoading:
+    def test_load_experiments_skips_non_verdict_json(self, tmp_path):
+        results = write_results(tmp_path, [experiment_json()])
+        (results / "fig3.metrics.json").write_text("{}")
+        (results / "fig3.profile.json").write_text("{}")
+        (results / "junk.json").write_text("not json")
+        (results / "other.json").write_text('{"random": true}')
+        assert list(load_experiments(results)) == ["fig3"]
+
+    def test_bench_entries_handles_both_shapes(self):
+        legacy = {"label": "x", "suite": {"serial_s": 1.0}}
+        assert bench_entries(legacy) == [legacy]
+        wrapped = {"label": "x", "history": [legacy, legacy]}
+        assert bench_entries(wrapped) == [legacy, legacy]
+
+    def test_bench_trends_flatten_history_in_order(self, tmp_path):
+        old = write_bench(tmp_path, serial_s=6.0)
+        new = dict(old, suite={"serial_s": 4.0, "parallel_s": 2.0,
+                               "speedup": 2.0})
+        write_bench(tmp_path, history=[old, new])
+        trends = bench_metric_trends(load_bench_histories(tmp_path))
+        assert trends["local.suite.serial_s"] == [6.0, 4.0]
+        assert trends["local.figures.fig3.serial_s"] == [6.0, 6.0]
+        assert "local.cpus" not in trends      # host metadata excluded
+
+
+class TestDeterminism:
+    def test_report_byte_identical_across_runs(self, tmp_path, capsys,
+                                               monkeypatch):
+        """Acceptance: same inputs => byte-identical md and html."""
+        write_results(tmp_path, [experiment_json("fig3"),
+                                 experiment_json("table1")])
+        write_bench(tmp_path)
+        ledger = write_ledger(tmp_path)
+        monkeypatch.chdir(tmp_path)
+
+        def render(tag):
+            out_md = tmp_path / f"{tag}.md"
+            out_html = tmp_path / f"{tag}.html"
+            assert main(["--results", str(tmp_path / "results"),
+                         "--ledger", str(ledger),
+                         "--bench", str(tmp_path),
+                         "--out", str(out_md),
+                         "--html", str(out_html)]) == EXIT_OK
+            capsys.readouterr()
+            return out_md.read_bytes(), out_html.read_bytes()
+
+        assert render("first") == render("second")
+
+    def test_report_contains_all_sections(self, tmp_path):
+        report = build_report(
+            experiments={"fig3": experiment_json()},
+            metrics={"fig3": {"m": 1}},
+            ledger=[json.loads(line) for line
+                    in write_ledger(tmp_path).read_text().splitlines()],
+            bench_trends={"local.suite.serial_s": [6.0, 4.0]})
+        for heading in ("# repro observability report", "## Experiments",
+                        "## Run ledger", "## Bench trends",
+                        "## Metrics snapshots"):
+            assert heading in report
+        assert "PASS" in report
+        assert "2026-08-06T00:00:00Z" in report
+
+    def test_failing_checks_listed(self):
+        report = build_report(
+            experiments={"fig3": experiment_json(passed=False)},
+            metrics={}, ledger=[], bench_trends={})
+        assert "FAIL" in report
+        assert "Failing checks:" in report
+        assert "latency ratio in range" in report
+
+
+class TestBaseline:
+    def test_write_baseline_round_trips(self, tmp_path, capsys):
+        write_results(tmp_path, [experiment_json()])
+        write_bench(tmp_path, serial_s=5.0)
+        target = tmp_path / "baseline.json"
+        assert main(["--results", str(tmp_path / "results"),
+                     "--bench", str(tmp_path),
+                     "--ledger", str(tmp_path / "none.jsonl"),
+                     "--write-baseline", str(target)]) == EXIT_OK
+        capsys.readouterr()
+        baseline = json.loads(target.read_text())
+        assert baseline["schema"] == 1
+        assert baseline["experiments"]["fig3"]["passed"] is True
+        assert baseline["bench"]["local.suite.serial_s"] == 5.0
+
+    def test_baseline_gate_exits_nonzero_on_bench_regression(
+            self, tmp_path, capsys):
+        """Acceptance: injected bench regression => exit 1."""
+        results = write_results(tmp_path, [experiment_json()])
+        write_bench(tmp_path, serial_s=5.0)
+        target = tmp_path / "baseline.json"
+        common = ["--results", str(results), "--bench", str(tmp_path),
+                  "--ledger", str(tmp_path / "none.jsonl")]
+        assert main(common + ["--write-baseline", str(target)]) == EXIT_OK
+        # clean comparison first
+        assert main(common + ["--baseline", str(target),
+                              "--out", str(tmp_path / "r.md")]) == EXIT_OK
+        # inject: serial seconds double (past the 10% default threshold)
+        write_bench(tmp_path, serial_s=10.0)
+        code = main(common + ["--baseline", str(target),
+                              "--out", str(tmp_path / "r.md")])
+        capsys.readouterr()
+        assert code == EXIT_FAILED_CHECKS
+        assert "REGRESSION: bench local.suite.serial_s" \
+            in (tmp_path / "r.md").read_text()
+
+    def test_check_flip_is_a_regression(self, tmp_path, capsys):
+        results = write_results(tmp_path, [experiment_json(passed=True)])
+        target = tmp_path / "baseline.json"
+        common = ["--results", str(results),
+                  "--bench", str(tmp_path / "nobench"),
+                  "--ledger", str(tmp_path / "none.jsonl")]
+        assert main(common + ["--write-baseline", str(target)]) == EXIT_OK
+        write_results(tmp_path, [experiment_json(passed=False)])
+        code = main(common + ["--baseline", str(target),
+                              "--out", str(tmp_path / "r.md")])
+        err = capsys.readouterr().err
+        assert code == EXIT_FAILED_CHECKS
+        assert "regression" in err
+
+    def test_speedup_is_higher_is_better(self):
+        baseline = {"schema": 1, "experiments": {},
+                    "bench": {"local.suite.speedup": 2.0,
+                              "local.suite.serial_s": 5.0}}
+        # speedup halves (bad), serial_s halves (good)
+        regressions = find_regressions(
+            {}, {"local.suite.speedup": [1.0],
+                 "local.suite.serial_s": [2.5]},
+            baseline, threshold_pct=10.0)
+        assert len(regressions) == 1
+        assert "speedup" in regressions[0]
+
+    def test_missing_metric_or_experiment_skipped(self):
+        baseline = {"schema": 1,
+                    "experiments": {"fig9": {"passed": True,
+                                             "checks": {}}},
+                    "bench": {"local.suite.serial_s": 5.0}}
+        assert find_regressions({}, {}, baseline,
+                                threshold_pct=10.0) == []
+
+    def test_within_threshold_is_clean(self):
+        baseline = {"schema": 1, "experiments": {},
+                    "bench": {"local.suite.serial_s": 5.0}}
+        assert find_regressions(
+            {}, {"local.suite.serial_s": [5.4]}, baseline,
+            threshold_pct=10.0) == []
+
+    def test_bad_baseline_is_exit_2(self, tmp_path, capsys):
+        assert main(["--results", str(tmp_path),
+                     "--ledger", str(tmp_path / "none.jsonl"),
+                     "--bench", str(tmp_path),
+                     "--baseline", str(tmp_path / "missing.json")]) == 2
+        (tmp_path / "bad.json").write_text('{"schema": 99}')
+        assert main(["--results", str(tmp_path),
+                     "--ledger", str(tmp_path / "none.jsonl"),
+                     "--bench", str(tmp_path),
+                     "--baseline", str(tmp_path / "bad.json")]) == 2
+        capsys.readouterr()
+
+    def test_baseline_round_trip_with_build_baseline(self):
+        experiments = {"fig3": experiment_json()}
+        trends = {"local.suite.serial_s": [6.0, 5.0]}
+        baseline = build_baseline(experiments, trends)
+        assert baseline["bench"]["local.suite.serial_s"] == 5.0
+        assert find_regressions(experiments, trends, baseline,
+                                threshold_pct=10.0) == []
+
+
+class TestHtml:
+    def test_tables_bullets_code_and_escaping(self):
+        markdown = ("# Title\n\n| a | b |\n|---|---|\n| 1 | `x<y` |\n\n"
+                    "- REGRESSION: bench x: 1 -> 2\n\nplain text\n")
+        out = markdown_to_html(markdown)
+        assert "<h1>Title</h1>" in out
+        assert "<th>a</th>" in out
+        assert "<td>1</td>" in out
+        assert "<code>x&lt;y</code>" in out
+        assert "<li>REGRESSION: bench x: 1 -&gt; 2</li>" in out
+        assert "<p>plain text</p>" in out
+        assert out.startswith("<!DOCTYPE html>")
+
+    def test_html_is_deterministic(self):
+        markdown = "# T\n\n| a |\n|---|\n| 1 |\n"
+        assert markdown_to_html(markdown) == markdown_to_html(markdown)
+
+
+class TestCliArgs:
+    def test_bad_flags_are_exit_2(self, tmp_path, capsys):
+        assert main(["--results", str(tmp_path), "--threshold", "-1",
+                     "--ledger", str(tmp_path / "n.jsonl")]) == 2
+        assert main(["--results", str(tmp_path), "--last", "0",
+                     "--ledger", str(tmp_path / "n.jsonl")]) == 2
+        capsys.readouterr()
+
+    def test_empty_inputs_still_render(self, tmp_path, capsys):
+        assert main(["--results", str(tmp_path / "nope"),
+                     "--ledger", str(tmp_path / "none.jsonl"),
+                     "--bench", str(tmp_path / "nobench")]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "No saved experiment JSON found." in out
+        assert "No ledger records found." in out
+        assert "No BENCH_*.json files found." in out

@@ -1,0 +1,95 @@
+"""RunLog: leveled machine-parseable stderr events + exit-code contract."""
+
+import io
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import EXIT_BAD_ARGS, EXIT_FAILED_CHECKS, EXIT_OK, RunLog
+
+
+def make_log(level="info"):
+    stream = io.StringIO()
+    return RunLog("tool", level=level, stream=stream), stream
+
+
+class TestFormat:
+    def test_basic_line_shape(self):
+        log, stream = make_log()
+        log.info("run-start", ids="fig3", jobs=2)
+        assert stream.getvalue() == "tool info run-start ids=fig3 jobs=2\n"
+
+    def test_values_with_spaces_are_quoted(self):
+        log, stream = make_log()
+        log.info("e", msg="two words")
+        assert 'msg="two words"' in stream.getvalue()
+
+    def test_none_bool_float_formatting(self):
+        log, stream = make_log()
+        log.info("e", a=None, b=True, c=False, d=0.123456789)
+        line = stream.getvalue().strip()
+        assert "a=null" in line
+        assert "b=true" in line and "c=false" in line
+        assert "d=0.123457" in line          # .6g
+
+    def test_parse_line_round_trips(self):
+        log, stream = make_log()
+        log.warn("cache-miss", id="fig6", note="not in cache")
+        tool, level, event, fields = RunLog.parse_line(
+            stream.getvalue().strip())
+        assert (tool, level, event) == ("tool", "warn", "cache-miss")
+        assert fields == {"id": "fig6", "note": "not in cache"}
+
+    def test_parse_rejects_non_runlog_line(self):
+        with pytest.raises(ReproError):
+            RunLog.parse_line("just some text")
+
+
+class TestLevels:
+    def test_below_level_is_dropped(self):
+        log, stream = make_log(level="warn")
+        log.info("hidden")
+        log.debug("hidden")
+        log.warn("shown")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1 and "shown" in lines[0]
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ReproError):
+            RunLog("tool", level="loud")
+        log, _ = make_log()
+        with pytest.raises(ReproError):
+            log.event("loud", "e")
+
+    def test_env_default_level(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "error")
+        stream = io.StringIO()
+        log = RunLog("tool", stream=stream)
+        log.info("hidden")
+        assert stream.getvalue() == ""
+
+    def test_bad_tool_name_rejected(self):
+        with pytest.raises(ReproError):
+            RunLog("two words")
+
+
+class TestErrorHelper:
+    def test_error_returns_bad_args_by_default(self):
+        log, stream = make_log()
+        assert log.error("bad flag") == EXIT_BAD_ARGS
+        assert "bad flag" in stream.getvalue()
+        assert " error error " in stream.getvalue()
+
+    def test_error_with_failed_checks_code(self):
+        log, stream = make_log()
+        assert log.error("2 checks failed",
+                         code=EXIT_FAILED_CHECKS) == EXIT_FAILED_CHECKS
+
+    def test_exit_code_constants(self):
+        # The CLI contract: 0 ok, 1 failed checks, 2 bad args.
+        assert (EXIT_OK, EXIT_FAILED_CHECKS, EXIT_BAD_ARGS) == (0, 1, 2)
+
+    def test_error_always_emitted_even_at_error_level(self):
+        log, stream = make_log(level="error")
+        log.error("boom")
+        assert "boom" in stream.getvalue()

@@ -1,0 +1,156 @@
+"""Merge edge cases: empty histograms, gauge ordering, counter exactness.
+
+The happy-path serial-vs-merged equivalence lives in test_merge.py;
+these pin the corners a sweep can actually hit — a worker whose unit
+recorded a histogram but no samples, gauge last-write-wins when workers
+*finish* out of order, and counters that sum past the float53 integer
+ceiling without losing a single count.
+"""
+
+from repro.parallel import (
+    TelemetrySpec,
+    export_telemetry,
+    fresh_telemetry,
+    merge_all,
+    merge_telemetry,
+)
+from repro.telemetry import Telemetry
+
+METERED = TelemetrySpec(traced=False, metered=True)
+
+
+def metered_session():
+    return fresh_telemetry(METERED)
+
+
+class TestEmptyHistogram:
+    def test_empty_histogram_creates_metric_in_parent(self):
+        worker = metered_session()
+        worker.registry.histogram("unit.latency_ns",
+                                  buckets=(10.0, 100.0))
+        parent = metered_session()
+        merge_telemetry(parent, export_telemetry(worker))
+        merged = parent.registry.get("unit.latency_ns")
+        assert merged.count == 0
+        assert tuple(merged.buckets) == (10.0, 100.0)
+
+    def test_empty_then_populated_histogram_accumulates(self):
+        # Unit 1 records nothing, unit 2 records two samples — same as
+        # a serial loop where the first iteration takes the no-op path.
+        first, second = metered_session(), metered_session()
+        first.registry.histogram("unit.latency_ns", buckets=(10.0,))
+        histogram = second.registry.histogram("unit.latency_ns",
+                                              buckets=(10.0,))
+        histogram.record(5.0)
+        histogram.record(50.0)
+        parent = metered_session()
+        merge_all(parent, (export_telemetry(first),
+                           export_telemetry(second)))
+        assert parent.registry.get("unit.latency_ns").count == 2
+
+
+class TestGaugeOrdering:
+    def test_gauge_last_write_wins_in_unit_order(self):
+        # Three units set the gauge to their unit index; the merged
+        # value must be unit 3's regardless of completion order,
+        # because the call site replays exports in submission order.
+        exports = []
+        for value in (1.0, 2.0, 3.0):
+            worker = metered_session()
+            worker.registry.gauge("unit.last").set(value)
+            exports.append(export_telemetry(worker))
+        parent = metered_session()
+        merge_all(parent, exports)               # unit order
+        assert parent.registry.get("unit.last").value == 3.0
+
+    def test_out_of_order_replay_diverges(self):
+        # The contract merge_all documents: completion-order replay is
+        # WRONG for gauges. Pin the divergence so nobody "fixes" the
+        # call sites into it.
+        exports = []
+        for value in (1.0, 2.0, 3.0):
+            worker = metered_session()
+            worker.registry.gauge("unit.last").set(value)
+            exports.append(export_telemetry(worker))
+        parent = metered_session()
+        merge_all(parent, reversed(exports))     # completion order
+        assert parent.registry.get("unit.last").value == 1.0
+
+
+class TestCounterExactness:
+    def test_sum_beyond_float53_stays_exact(self):
+        # 2**53 is where float64 stops representing every integer.
+        # Worker counters carry Python ints, so merged sums must stay
+        # exact well past it.
+        big = 2 ** 62
+        exports = []
+        for _ in range(3):
+            worker = metered_session()
+            worker.registry.counter("unit.ops").inc(big)
+            worker.registry.counter("unit.ops").inc(1)
+            exports.append(export_telemetry(worker))
+        parent = metered_session()
+        merge_all(parent, exports)
+        merged = parent.registry.get("unit.ops").value
+        assert merged == 3 * big + 3
+        assert isinstance(merged, int)
+
+    def test_unit_increments_never_rounded_away(self):
+        # The classic float failure: huge + 1 == huge. Int accumulation
+        # must see every one of the small increments.
+        worker_big = metered_session()
+        worker_big.registry.counter("unit.ops").inc(2 ** 53)
+        parent = metered_session()
+        merge_telemetry(parent, export_telemetry(worker_big))
+        for _ in range(10):
+            worker = metered_session()
+            worker.registry.counter("unit.ops").inc(1)
+            merge_telemetry(parent, export_telemetry(worker))
+        assert parent.registry.get("unit.ops").value == 2 ** 53 + 10
+
+    def test_float_amounts_still_supported(self):
+        worker = metered_session()
+        worker.registry.counter("unit.bytes").inc(0.5)
+        worker.registry.counter("unit.bytes").inc(2)
+        parent = metered_session()
+        merge_telemetry(parent, export_telemetry(worker))
+        assert parent.registry.get("unit.bytes").value == 2.5
+
+
+class TestMergeAll:
+    def test_matches_sequential_merge_telemetry(self):
+        def build(values):
+            exports = []
+            for value in values:
+                worker = metered_session()
+                worker.registry.counter("unit.n").inc(1)
+                worker.registry.gauge("unit.v").set(value)
+                exports.append(export_telemetry(worker))
+            return exports
+
+        one = metered_session()
+        merge_all(one, build([1.0, 2.0]))
+        two = metered_session()
+        for export in build([1.0, 2.0]):
+            merge_telemetry(two, export)
+        assert one.registry.get("unit.n").value \
+            == two.registry.get("unit.n").value == 2
+        assert one.registry.get("unit.v").value \
+            == two.registry.get("unit.v").value == 2.0
+
+    def test_none_exports_are_skipped(self):
+        parent = metered_session()
+        merge_all(parent, [None, None])
+        assert len(parent.registry) == 0
+
+    def test_traced_session_events_replay_in_order(self):
+        spec = TelemetrySpec(traced=True, metered=False)
+        exports = []
+        for offset in (100.0, 200.0):
+            worker = fresh_telemetry(spec)
+            worker.tracer.complete("cxl.port", "m2s", offset, 8.0)
+            exports.append(export_telemetry(worker))
+        parent = Telemetry.on()
+        merge_all(parent, exports)
+        assert [event.ts_ns for event in parent.tracer.events] \
+            == [100.0, 200.0]

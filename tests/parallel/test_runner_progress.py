@@ -1,0 +1,70 @@
+"""ParallelRunner progress callback: events fire, results untouched."""
+
+import pytest
+
+from repro.parallel import ParallelRunner
+
+
+def _square(n):
+    return n * n
+
+
+def _blow_up(n):
+    raise ValueError(f"unit {n} exploded")
+
+
+class Recorder:
+    def __init__(self):
+        self.events = []
+
+    def __call__(self, event, index, total, wall_s=None):
+        self.events.append((event, index, total, wall_s))
+
+    def of(self, kind):
+        return [e for e in self.events if e[0] == kind]
+
+
+class TestSerialProgress:
+    def test_started_and_finished_per_unit_in_order(self):
+        recorder = Recorder()
+        runner = ParallelRunner(1, progress=recorder)
+        assert runner.map(_square, [3, 1]) == [9, 1]
+        assert [e[:3] for e in recorder.events] == [
+            ("started", 0, 2), ("finished", 0, 2),
+            ("started", 1, 2), ("finished", 1, 2)]
+        for event in recorder.of("finished"):
+            assert event[3] is not None and event[3] >= 0
+
+    def test_exception_stops_after_started(self):
+        recorder = Recorder()
+        with pytest.raises(ValueError):
+            ParallelRunner(1, progress=recorder).map(_blow_up, [1])
+        assert recorder.of("started") and not recorder.of("finished")
+
+
+class TestParallelProgress:
+    def test_every_unit_reports_finished(self):
+        recorder = Recorder()
+        runner = ParallelRunner(2, progress=recorder)
+        assert runner.map(_square, range(6)) == [n * n for n in range(6)]
+        assert sorted(e[1] for e in recorder.of("started")) \
+            == list(range(6))
+        # finished fires in completion order — indices are a set, not
+        # a sequence, but every unit must appear exactly once.
+        assert sorted(e[1] for e in recorder.of("finished")) \
+            == list(range(6))
+        for event in recorder.of("finished"):
+            assert event[3] is not None and event[3] >= 0
+
+    def test_results_identical_with_and_without_progress(self):
+        items = list(range(8))
+        assert ParallelRunner(3, progress=Recorder()).map(_square, items) \
+            == ParallelRunner(3).map(_square, items)
+
+    def test_exception_still_propagates_with_progress(self):
+        with pytest.raises(ValueError, match="exploded"):
+            ParallelRunner(2, progress=Recorder()).map(_blow_up, [1, 2])
+
+    def test_no_callback_is_the_default(self):
+        assert ParallelRunner(2).progress is None
+        assert ParallelRunner(2).map(_square, [2, 3]) == [4, 9]
