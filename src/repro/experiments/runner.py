@@ -23,19 +23,31 @@ serial and parallel stdout stay byte-identical.  Every run appends one
 record to the run ledger (``results/runs.jsonl``, ``--no-ledger`` to
 opt out); ``--profile DIR`` writes per-experiment wall-clock profiles
 plus a suite-level phase breakdown, and ``--cprofile N`` adds a
-cProfile top-N table.  Exit codes: 0 = all checks passed, 1 = a shape
-check failed, 2 = bad arguments.
+cProfile top-N table.
+
+Resilience (docs/RESILIENCE.md): every sweep journals completed units
+to ``results/.checkpoint/`` as they land, so SIGINT/SIGTERM drain
+gracefully and print a ``--resume`` hint; ``--resume`` replays the
+journal and runs only the remainder, byte-identical to an
+uninterrupted run.  ``--unit-timeout``/``--retries`` supervise worker
+units (kill+respawn with deterministic backoff); a unit that exhausts
+its retries is reported per-unit instead of aborting the sweep
+(``--fail-fast`` opts back into aborting).  Corrupt cache entries are
+quarantined and recomputed, never fatal.  Exit codes: 0 = all checks
+passed, 1 = a shape check failed or a unit failed to produce a result,
+2 = bad arguments, 130 = interrupted (resume to continue).
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from datetime import datetime, timezone
 
 from ..obs import Profiler, ProgressReporter, RunHooks, RunLog
-from ..obs.runlog import EXIT_FAILED_CHECKS, EXIT_OK
+from ..obs.runlog import EXIT_FAILED_CHECKS, EXIT_INTERRUPTED, EXIT_OK
 from .registry import REGISTRY, ExperimentResult, resolve_id
 
 
@@ -64,6 +76,27 @@ def build_parser() -> argparse.ArgumentParser:
                              "(keys: crc poison timeout stall stall-ns "
                              "timeout-ns backoff-ns retries width speed "
                              "seed; see docs/FAULTS.md)")
+    parser.add_argument("--unit-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill and retry any worker unit exceeding "
+                             "this wall clock (default: no timeout; "
+                             "see docs/RESILIENCE.md)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="respawn a crashed/timed-out unit up to N "
+                             "times with deterministic exponential "
+                             "backoff (default: 0)")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay completed units from the "
+                             "results/.checkpoint journal of an "
+                             "interrupted identical sweep, run only "
+                             "the remainder")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort the sweep on the first unit "
+                             "failure instead of recording it and "
+                             "continuing")
+    parser.add_argument("--no-checkpoint", action="store_true",
+                        help="do not journal completed units under "
+                             "results/.checkpoint (disables --resume)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the results/.cache result cache "
                              "(neither read nor write)")
@@ -90,41 +123,81 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+class _SweepControl:
+    """Bridges SIGINT/SIGTERM handlers to the in-flight supervisor.
+
+    The handler only calls :meth:`drain` (flag-setting, async-safe);
+    the sweep attaches its :class:`SupervisedRunner` once it exists,
+    and a drain requested *before* attachment still lands.
+    """
+
+    def __init__(self) -> None:
+        self.runner = None
+        self.requested = False
+
+    def drain(self) -> None:
+        self.requested = True
+        if self.runner is not None:
+            self.runner.request_drain()
+
+    def attach(self, runner) -> None:
+        self.runner = runner
+        if self.requested:
+            runner.request_drain()
+
+
 def _run_ids(ids: list[str], *, fast: bool, jobs: int,
              use_cache: bool, fault_plan=None, hooks: RunHooks = None,
-             profiler: Profiler = None) \
-        -> list[tuple[str, ExperimentResult]]:
-    """Run (or cache-load) ``ids`` in order; parallel across misses.
+             profiler: Profiler = None, policy=None,
+             resume: bool = False, checkpoint: bool = True,
+             control: _SweepControl | None = None):
+    """Run (or cache-load / journal-replay) ``ids`` in order.
 
     Two-wave scheduling: experiments whose runners shard internally
     (``accepts_jobs`` — the DES-heavy figures whose single-experiment
     wall clock would otherwise bound the whole suite) run one at a time
     in this process with all ``jobs`` workers on their sweep points;
-    everything else fans out one-experiment-per-worker.  Either way the
+    everything else fans out one-experiment-per-worker under
+    :class:`~repro.resilience.SupervisedRunner`.  Either way the
     result list comes back in id order and matches a serial run
     byte-for-byte.
 
     The cache key covers every result-shaping input: ``fast`` and, when
     given, the full fault-plan configuration — so a changed fault plan
-    is a cache miss, never a stale healthy (or degraded) result.
+    is a cache miss, never a stale healthy (or degraded) result.  The
+    checkpoint journal is addressed by the same material plus the id
+    list (:func:`~repro.resilience.suite_hash`), and every completed
+    unit is journaled **as it lands**, so an interrupt at any point
+    keeps the finished prefix.
 
-    ``hooks`` (optional) receives cache hit/miss and unit
-    start/finish notifications — the observability side channel; it
-    never touches the results, so runs with and without it are
-    byte-identical on stdout.  ``profiler`` attributes wall clock to
-    per-experiment phases when profiling is enabled.
+    Returns ``(results, failures, interrupted, journal)``: ``results``
+    is ``[(eid, ExperimentResult)]`` in id order for units that have
+    one; ``failures`` maps poisoned unit ids to
+    :class:`~repro.resilience.UnitFailure`; ``interrupted`` is True
+    after a graceful drain; ``journal`` is the
+    :class:`~repro.resilience.CheckpointJournal` (or ``None``).
     """
-    from ..parallel import ParallelRunner, ResultCache, result_key
+    from ..parallel import ResultCache, result_key
     from ..parallel.sweeps import run_experiment
+    from ..resilience import (
+        CheckpointJournal,
+        SupervisedRunner,
+        SupervisionPolicy,
+        UnitFailure,
+        suite_hash,
+    )
 
     if hooks is None:
         hooks = RunHooks()
     if profiler is None:
         profiler = Profiler(enabled=False)
+    if policy is None:
+        policy = SupervisionPolicy()
     config: dict = {"fast": fast}
     if fault_plan is not None:
         config["faults"] = fault_plan.to_dict()
-    cache = ResultCache() if use_cache else None
+    cache = ResultCache(on_quarantine=hooks.cache_quarantined) \
+        if use_cache else None
     keys = {eid: result_key(eid, config) for eid in ids} \
         if cache is not None else {}
     cached: dict[str, ExperimentResult] = {}
@@ -134,52 +207,151 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
             if payload is not None:
                 cached[eid] = ExperimentResult.from_payload(payload)
 
+    journal = CheckpointJournal(suite_hash(ids, config)) \
+        if checkpoint else None
+    resumed: list[str] = []
+    if journal is not None and resume:
+        loaded = journal.load()
+        for eid in ids:
+            if eid not in cached and eid in loaded:
+                cached[eid] = ExperimentResult.from_payload(loaded[eid])
+                resumed.append(eid)
+
     misses = [eid for eid in ids if eid not in cached]
     for eid in ids:
-        if eid in cached:
+        if eid in resumed:
+            hooks.unit_resumed(eid)
+        elif eid in cached:
             hooks.cache_hit(eid)
     for eid in misses:
         hooks.cache_miss(eid)
     sharded = [eid for eid in misses
                if jobs > 1 and REGISTRY[eid].accepts_jobs]
     pooled = [eid for eid in misses if eid not in sharded]
+    failures: dict[str, UnitFailure] = {}
+    interrupted = False
 
     def record(eid: str, result: ExperimentResult) -> None:
+        """Land one result: memory, result cache, checkpoint journal.
+
+        Called as each unit completes (not after the sweep), so the
+        journal always holds the finished prefix.  Cache/journal I/O
+        trouble degrades to a recompute later, never a failed run.
+        """
         cached[eid] = result
-        if cache is not None:
-            cache.put(keys[eid], result.payload(),
-                      key_material={"experiment": eid,
-                                    "config": config})
+        try:
+            if cache is not None:
+                cache.put(keys[eid], result.payload(),
+                          key_material={"experiment": eid,
+                                        "config": config})
+            if journal is not None:
+                journal.record(eid, result.payload())
+        except OSError:
+            pass
+    # Resumed units re-enter the result cache so the *next* run is a
+    # plain cache hit even after the journal is discarded.
+    if cache is not None:
+        for eid in resumed:
+            try:
+                cache.put(keys[eid], cached[eid].payload(),
+                          key_material={"experiment": eid,
+                                        "config": config})
+            except OSError:
+                pass
+
+    def on_result(index: int, result: ExperimentResult) -> None:
+        record(pooled[index], result)
 
     def on_progress(event: str, index: int, total: int,
-                    wall_s: float | None = None) -> None:
+                    wall_s: float | None = None,
+                    kind: str | None = None,
+                    attempt: int | None = None) -> None:
         eid = pooled[index]
         if event == "started":
             hooks.unit_started(eid)
         elif event == "finished":
             hooks.unit_finished(eid, wall_s=wall_s)
+        elif event == "retry":
+            hooks.unit_retry(eid, attempt=attempt or 1,
+                             kind=kind or "exception")
+        elif event == "failed" and hooks.reporter is not None:
+            # Live display only; the structured failure is collected
+            # from the outcome list after the map returns.
+            hooks.reporter.unit_failed(eid, kind=kind or "exception",
+                                       attempts=attempt or 1)
 
     with profiler.collecting():
         with profiler.phase("pooled-experiments"):
-            fresh = ParallelRunner(jobs, progress=on_progress).map(
-                run_experiment,
-                [(eid, fast, 1, fault_plan) for eid in pooled])
-        for eid, result in zip(pooled, fresh):
-            record(eid, result)
+            runner = SupervisedRunner(jobs, policy=policy,
+                                      progress=on_progress,
+                                      names=pooled,
+                                      on_result=on_result)
+            if control is not None:
+                control.attach(runner)
+            try:
+                outcomes = runner.map(
+                    run_experiment,
+                    [(eid, fast, 1, fault_plan) for eid in pooled])
+            except KeyboardInterrupt:
+                outcomes = []
+                interrupted = True
+        if runner.drained:
+            interrupted = True
+        for outcome in outcomes:
+            if outcome.ok:
+                continue
+            if outcome.failure.kind == "interrupted":
+                continue           # not poisoned — --resume reruns it
+            eid = pooled[outcome.index]
+            failures[eid] = outcome.failure
+            hooks.unit_failed(eid, outcome.failure, notify=False)
         for eid in sharded:
+            if interrupted or (control is not None and control.requested):
+                interrupted = True
+                break
+            if policy.fail_fast and failures:
+                break
             hooks.unit_started(eid)
+            attempt = 0
             with profiler.phase(f"run:{eid}"):
-                record(eid, REGISTRY[eid].run(fast=fast, jobs=jobs,
-                                              fault_plan=fault_plan))
-            hooks.unit_finished(eid)
-    return [(eid, cached[eid]) for eid in ids]
+                while True:
+                    # Sharded runners execute in this process (their
+                    # sweep points own the worker pool), so supervision
+                    # covers retries but not wall-clock kills here.
+                    try:
+                        record(eid, REGISTRY[eid].run(
+                            fast=fast, jobs=jobs,
+                            fault_plan=fault_plan))
+                        hooks.unit_finished(eid)
+                    except KeyboardInterrupt:
+                        interrupted = True
+                    except Exception as exc:
+                        if attempt < policy.retries:
+                            attempt += 1
+                            hooks.unit_retry(eid, attempt=attempt,
+                                             kind="exception")
+                            time.sleep(policy.backoff_s(
+                                ids.index(eid), attempt))
+                            continue
+                        failure = UnitFailure(
+                            index=ids.index(eid), unit=eid,
+                            kind="exception", attempts=attempt + 1,
+                            message=str(exc))
+                        failures[eid] = failure
+                        hooks.unit_failed(eid, failure)
+                    break
+            if interrupted:
+                break
+    results = [(eid, cached[eid]) for eid in ids if eid in cached]
+    return results, failures, interrupted, journal
 
 
 def _append_ledger(args, argv, ids, *, started_at: str, wall_s: float,
                    hooks: RunHooks, results, fault_plan,
-                   exit_code: int, runlog: RunLog) -> None:
+                   exit_code: int, runlog: RunLog,
+                   interrupted: bool = False) -> None:
     """Best-effort ledger append (a ledger I/O error never fails a run)."""
-    from ..obs import append_record, run_record
+    from ..obs import append_record, describe_append_failure, run_record
 
     try:
         record = run_record(
@@ -194,11 +366,13 @@ def _append_ledger(args, argv, ids, *, started_at: str, wall_s: float,
             cache_hits=hooks.cache_hits,
             cache_misses=hooks.cache_misses,
             verdicts=hooks.verdicts(results),
+            resilience=hooks.resilience_record(interrupted=interrupted),
             exit_code=exit_code)
         path = append_record(record)
         runlog.debug("ledger-appended", path=str(path))
     except OSError as exc:
-        runlog.warn("ledger-append-failed", error=str(exc))
+        runlog.warn("ledger-append-failed",
+                    **describe_append_failure(exc))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -208,6 +382,14 @@ def main(argv: list[str] | None = None) -> int:
         return runlog.error("--jobs must be >= 1")
     if args.cprofile < 0:
         return runlog.error("--cprofile must be >= 0")
+    if args.unit_timeout is not None and args.unit_timeout <= 0:
+        return runlog.error("--unit-timeout must be positive")
+    if args.retries < 0:
+        return runlog.error("--retries must be >= 0")
+    if args.resume and args.no_checkpoint:
+        return runlog.error(
+            "--resume needs the checkpoint journal; drop "
+            "--no-checkpoint")
     if args.clear_cache:
         from ..parallel import ResultCache
 
@@ -266,20 +448,76 @@ def main(argv: list[str] | None = None) -> int:
     profiler = Profiler(enabled=profile_dir is not None,
                         cprofile_top=args.cprofile)
 
+    from ..resilience import SupervisionPolicy
+
+    policy = SupervisionPolicy(
+        timeout_s=args.unit_timeout, retries=args.retries,
+        seed=getattr(fault_plan, "seed", None) or 0,
+        fail_fast=args.fail_fast)
+
     started_at = datetime.now(timezone.utc).strftime(
         "%Y-%m-%dT%H:%M:%SZ")
     reporter = None if args.no_progress else ProgressReporter(
         total=len(ids), runlog=runlog)
-    hooks = RunHooks(reporter=reporter)
+    hooks = RunHooks(reporter=reporter, runlog=runlog)
     runlog.info("run-start", ids=" ".join(ids), jobs=args.jobs,
                 full=args.full, cache=not args.no_cache,
-                faults=args.faults)
+                faults=args.faults, resume=args.resume)
     start = time.perf_counter()
-    results = _run_ids(ids, fast=not args.full, jobs=args.jobs,
-                       use_cache=not args.no_cache,
-                       fault_plan=fault_plan, hooks=hooks,
-                       profiler=profiler)
-    hooks.close()
+    control = _SweepControl()
+    previous_handlers = {}
+
+    def _on_signal(signum, frame):
+        control.drain()
+        # A second signal falls through to the default (fatal) action:
+        # the graceful drain must never trap an operator who wants out.
+        try:
+            signal.signal(signal.SIGINT, signal.default_int_handler)
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        except (ValueError, OSError):
+            pass
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous_handlers[signum] = signal.signal(signum,
+                                                      _on_signal)
+        except (ValueError, OSError):
+            pass                   # not the main thread: no handlers
+    try:
+        results, failures, interrupted, journal = _run_ids(
+            ids, fast=not args.full, jobs=args.jobs,
+            use_cache=not args.no_cache, fault_plan=fault_plan,
+            hooks=hooks, profiler=profiler, policy=policy,
+            resume=args.resume, checkpoint=not args.no_checkpoint,
+            control=control)
+    finally:
+        for signum, handler in previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+        hooks.close()
+    wall_s = time.perf_counter() - start
+
+    if interrupted:
+        # Nothing lands on stdout: a partial suite must never pass for
+        # a complete one.  Completed units live in the journal.
+        hint_argv = [a for a in (list(argv) if argv is not None
+                                 else sys.argv[1:]) if a != "--resume"]
+        hint = "repro-experiments " + " ".join(hint_argv + ["--resume"])
+        runlog.warn("interrupted", completed=len(results),
+                    total=len(ids),
+                    journal=str(journal.path) if journal is not None
+                    else None,
+                    resume=hint)
+        if not args.no_ledger:
+            _append_ledger(args, argv, ids, started_at=started_at,
+                           wall_s=wall_s, hooks=hooks, results=results,
+                           fault_plan=fault_plan,
+                           exit_code=EXIT_INTERRUPTED, runlog=runlog,
+                           interrupted=True)
+        runlog.info("run-end", wall_s=wall_s, exit_code=EXIT_INTERRUPTED)
+        return EXIT_INTERRUPTED
 
     failed = 0
     with profiler.phase("render+save"):
@@ -296,10 +534,26 @@ def main(argv: list[str] | None = None) -> int:
                                sort_keys=True) + "\n")
             if not result.passed:
                 failed += 1
+        if save_dir is not None:
+            import json
+
+            for eid, failure in failures.items():
+                (save_dir / f"{eid}.failed.json").write_text(
+                    json.dumps(failure.to_dict(), indent=2,
+                               sort_keys=True) + "\n")
     if failed:
         print(f"{failed} experiment(s) had failing shape checks")
-    wall_s = time.perf_counter() - start
-    exit_code = EXIT_FAILED_CHECKS if failed else EXIT_OK
+    if failures:
+        print(f"{len(failures)} experiment(s) failed to produce "
+              f"a result:")
+        for eid in sorted(failures):
+            print(f"  {failures[eid]}")
+    exit_code = EXIT_FAILED_CHECKS if failed or failures else EXIT_OK
+    if journal is not None and not failures:
+        # A fully-landed sweep has nothing to resume; a sweep with
+        # poisoned units keeps its journal so --resume (after the
+        # cause is fixed) reruns only what is missing.
+        journal.discard()
 
     if profile_dir is not None:
         from ..obs.profiler import write_experiment_profile
@@ -322,12 +576,18 @@ def main(argv: list[str] | None = None) -> int:
                        fault_plan=fault_plan, exit_code=exit_code,
                        runlog=runlog)
     runlog.info("run-end", wall_s=wall_s, failed=failed,
+                unit_failures=len(failures),
+                resumed=len(hooks.resumed),
                 cache_hits=len(hooks.cache_hits),
                 cache_misses=len(hooks.cache_misses),
                 exit_code=exit_code)
     if failed:
         runlog.error(f"{failed} experiment(s) had failing shape checks",
                      code=EXIT_FAILED_CHECKS)
+    if failures:
+        runlog.error(
+            f"{len(failures)} experiment(s) failed to produce a result",
+            code=EXIT_FAILED_CHECKS)
     return exit_code
 
 

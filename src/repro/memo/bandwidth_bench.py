@@ -28,7 +28,7 @@ class SequentialBandwidthBench:
     def __init__(self, system: System, *,
                  thread_counts: list[int] | None = None,
                  schemes: list[MemoryScheme] | None = None,
-                 jobs: int = 1) -> None:
+                 jobs: int = 1, policy=None) -> None:
         self.system = system
         if thread_counts is None:
             thread_counts = [n for n in DEFAULT_THREADS
@@ -39,12 +39,27 @@ class SequentialBandwidthBench:
         self.schemes = schemes or system.available_schemes()
         self.model = ThroughputModel(system)
         self.jobs = jobs
+        self.policy = policy
+        # When a SupervisionPolicy is given, curve units run under
+        # repro.resilience supervision (timeouts/retries) whatever
+        # ``jobs`` says; with policy=None behavior is unchanged.
 
     def run(self) -> BenchReport:
         report = BenchReport(title="MEMO sequential bandwidth")
         units = [(scheme, kind) for scheme in self.schemes
                  for kind in SWEEP_KINDS]
-        if self.jobs > 1:
+        if self.policy is not None:
+            from ..parallel.sweeps import run_series_supervised
+
+            specs = [(self.system, scheme, kind, None,
+                      [{"threads": threads}
+                       for threads in self.thread_counts])
+                     for scheme, kind in units]
+            curves = run_series_supervised(
+                specs, jobs=self.jobs, policy=self.policy,
+                names=[f"{scheme.label}-{kind.value}"
+                       for scheme, kind in units])
+        elif self.jobs > 1:
             # One worker unit per (scheme, kind) curve; merged back in
             # sweep order so the report is identical to a serial run's.
             from ..parallel import ParallelRunner

@@ -33,7 +33,7 @@ class RandomBlockBench:
                  block_sizes: list[int] | None = None,
                  thread_counts: list[int] | None = None,
                  schemes: list[MemoryScheme] | None = None,
-                 jobs: int = 1) -> None:
+                 jobs: int = 1, policy=None) -> None:
         self.system = system
         self.block_sizes = block_sizes or DEFAULT_BLOCKS
         if any(b < 64 for b in self.block_sizes):
@@ -43,6 +43,9 @@ class RandomBlockBench:
         self.schemes = schemes or system.available_schemes()
         self.model = ThroughputModel(system)
         self.jobs = jobs
+        self.policy = policy
+        # policy is a repro.resilience.SupervisionPolicy (or None):
+        # when set, curve units run supervised regardless of ``jobs``.
 
     def run(self) -> BenchReport:
         report = BenchReport(title="MEMO random block bandwidth")
@@ -50,7 +53,19 @@ class RandomBlockBench:
                  for scheme in self.schemes
                  for kind in GRID_KINDS
                  for threads in self.thread_counts]
-        if self.jobs > 1:
+        if self.policy is not None:
+            from ..parallel.sweeps import run_series_supervised
+
+            specs = [(self.system, scheme, kind,
+                      AccessPattern.RANDOM_BLOCK,
+                      [{"threads": threads, "block_bytes": block}
+                       for block in self.block_sizes])
+                     for scheme, kind, threads in units]
+            curves = run_series_supervised(
+                specs, jobs=self.jobs, policy=self.policy,
+                names=[f"{scheme.label}-{kind.value}-{threads}T"
+                       for scheme, kind, threads in units])
+        elif self.jobs > 1:
             # One worker unit per thread-count curve of the 3x3 grid;
             # merged in sweep order — identical to a serial run.
             from ..parallel import ParallelRunner

@@ -35,6 +35,7 @@ from .ledger import (
     LEDGER_PATH_ENV,
     append_record,
     config_hash,
+    describe_append_failure,
     figure_wall_history,
     git_rev,
     ledger_path,
@@ -46,6 +47,7 @@ from .progress import ProgressReporter, RunHooks
 from .runlog import (
     EXIT_BAD_ARGS,
     EXIT_FAILED_CHECKS,
+    EXIT_INTERRUPTED,
     EXIT_OK,
     RunLog,
 )
@@ -54,6 +56,7 @@ __all__ = [
     "DEFAULT_LEDGER_PATH",
     "EXIT_BAD_ARGS",
     "EXIT_FAILED_CHECKS",
+    "EXIT_INTERRUPTED",
     "EXIT_OK",
     "LEDGER_PATH_ENV",
     "ProgressReporter",
@@ -62,6 +65,7 @@ __all__ = [
     "RunLog",
     "append_record",
     "config_hash",
+    "describe_append_failure",
     "figure_wall_history",
     "git_rev",
     "ledger_path",

@@ -23,7 +23,14 @@ sorted keys)::
                        "wall_s": 0.12 | null,
                        "cached": false}},
      "metrics_digest": "…12hex" | null,
+     "resilience": null | {"retries": {id: n}, "failures": {id: {...}},
+                           "resumed": [...], "quarantined": [...],
+                           "interrupted": false},
      "exit_code": 0}
+
+``resilience`` is ``null`` for any run the supervision layer never
+touched (no retries, failures, resumes, quarantines, or interrupts) —
+docs/RESILIENCE.md specifies the populated shape.
 
 Timestamps are recorded **here and only here** — ``repro-report``
 renders ledger timestamps, never its own clock, which is what keeps
@@ -87,6 +94,7 @@ def run_record(*, tool: str, argv: list[str], ids: list[str],
                cache_misses: list[str] | None = None,
                verdicts: dict | None = None,
                metrics_digest: str | None = None,
+               resilience: dict | None = None,
                exit_code: int = 0,
                rev: str | None = None) -> dict:
     """Build one schema-1 ledger record (pure data, no I/O).
@@ -111,6 +119,7 @@ def run_record(*, tool: str, argv: list[str], ids: list[str],
                   "misses": sorted(cache_misses or [])},
         "verdicts": verdicts or {},
         "metrics_digest": metrics_digest,
+        "resilience": resilience,
         "exit_code": exit_code,
     }
 
@@ -127,6 +136,25 @@ def append_record(record: dict, path=None) -> Path:
     with target.open("a") as handle:
         handle.write(line + "\n")
     return target
+
+
+def describe_append_failure(exc: OSError, path=None) -> dict:
+    """Structured fields for a ``ledger-append-failed`` warning.
+
+    A bare ``str(exc)`` can hide *which* path refused the write and
+    *why* (EACCES vs. ENOSPC vs. EROFS read very differently when
+    debugging CI), so the CLIs log these fields instead.
+    """
+    import errno as errno_module
+
+    code = getattr(exc, "errno", None)
+    return {
+        "error": str(exc),
+        "errno": errno_module.errorcode.get(code, str(code))
+        if code is not None else None,
+        "path": str(getattr(exc, "filename", None)
+                    or ledger_path(path)),
+    }
 
 
 def read_ledger(path=None) -> list[dict]:

@@ -77,18 +77,42 @@ class ProgressReporter:
                               done=self.done, total=self.total)
 
     def unit_finished(self, name: str, *, wall_s: float | None = None,
-                      cached: bool = False) -> None:
+                      cached: bool = False,
+                      resumed: bool = False) -> None:
         self.done += 1
         if cached:
             self.cache_hits += 1
         if self.is_tty:
             took = f" {wall_s:.1f}s" if wall_s is not None else ""
             took = " cache" if cached else took
+            took = " resumed" if resumed else took
             self._render(f"{name}{took}")
         else:
             self.runlog.info("unit-finished", id=name, done=self.done,
                              total=self.total, cached=cached,
+                             resumed=resumed,
                              wall_s=wall_s, eta_s=self.eta_s())
+
+    def unit_retry(self, name: str, *, attempt: int,
+                   kind: str) -> None:
+        """One failed attempt being respawned (does not advance done)."""
+        if self.is_tty:
+            self._render(f"{name} retry #{attempt} ({kind})")
+        else:
+            self.runlog.warn("unit-retry", id=name, attempt=attempt,
+                             kind=kind, done=self.done,
+                             total=self.total)
+
+    def unit_failed(self, name: str, *, kind: str,
+                    attempts: int) -> None:
+        """A poisoned unit: retries exhausted, sweep continues."""
+        self.done += 1
+        if self.is_tty:
+            self._render(f"{name} FAILED ({kind})")
+        else:
+            self.runlog.warn("unit-failed", id=name, kind=kind,
+                             attempts=attempts, done=self.done,
+                             total=self.total)
 
     def cache_miss(self, name: str) -> None:
         self.cache_misses += 1
@@ -127,12 +151,18 @@ class RunHooks:
     """
 
     def __init__(self, reporter: ProgressReporter | None = None,
-                 clock=time.perf_counter) -> None:
+                 clock=time.perf_counter,
+                 runlog: RunLog | None = None) -> None:
         self.reporter = reporter
         self.clock = clock
+        self.runlog = runlog
         self.cache_hits: list[str] = []
         self.cache_misses: list[str] = []
         self.unit_wall: dict[str, float] = {}
+        self.retries: dict[str, int] = {}
+        self.failures: dict[str, dict] = {}
+        self.resumed: list[str] = []
+        self.quarantined: list[dict] = []
         self._running: dict[str, float] = {}
 
     def cache_hit(self, name: str) -> None:
@@ -160,8 +190,72 @@ class RunHooks:
         if self.reporter is not None:
             self.reporter.unit_finished(name, wall_s=wall_s)
 
+    def unit_retry(self, name: str, *, attempt: int, kind: str) -> None:
+        """A supervised attempt failed and is being respawned."""
+        self.retries[name] = self.retries.get(name, 0) + 1
+        if self.reporter is not None:
+            self.reporter.unit_retry(name, attempt=attempt, kind=kind)
+
+    def unit_failed(self, name: str, failure, *,
+                    notify: bool = True) -> None:
+        """A unit exhausted its retries — structured, never raising.
+
+        ``failure`` is a :class:`repro.resilience.UnitFailure` (or
+        anything with a ``to_dict``); the dict lands in the ledger's
+        ``resilience.failures`` map.  ``notify=False`` records without
+        re-driving the reporter (for callers that already streamed the
+        failure live and are folding in the structured record after).
+        """
+        self._running.pop(name, None)
+        self.failures[name] = failure.to_dict() \
+            if hasattr(failure, "to_dict") else dict(failure)
+        if notify and self.reporter is not None:
+            self.reporter.unit_failed(
+                name, kind=self.failures[name].get("kind", "exception"),
+                attempts=self.failures[name].get("attempts", 1))
+
+    def unit_resumed(self, name: str) -> None:
+        """A unit replayed from the checkpoint journal (``--resume``)."""
+        self.resumed.append(name)
+        if self.reporter is not None:
+            self.reporter.unit_finished(name, resumed=True)
+
+    def cache_quarantined(self, key: str, path: str,
+                          reason: str) -> None:
+        """A corrupt cache entry was moved aside (and will recompute)."""
+        self.quarantined.append({"key": key, "path": path,
+                                 "reason": reason})
+        if self.runlog is not None:
+            self.runlog.warn("cache-quarantined", key=key,
+                             reason=reason, path=path)
+
+    def resilience_record(self, *, interrupted: bool = False) -> dict | None:
+        """The ledger's ``resilience`` field; ``None`` when untouched.
+
+        A healthy, un-resumed, un-quarantined run records nothing — the
+        field only appears when the supervision layer actually acted,
+        so existing ledger consumers see unchanged records for normal
+        runs.
+        """
+        if not (self.retries or self.failures or self.resumed
+                or self.quarantined or interrupted):
+            return None
+        return {
+            "retries": dict(sorted(self.retries.items())),
+            "failures": dict(sorted(self.failures.items())),
+            "resumed": sorted(self.resumed),
+            "quarantined": sorted(
+                (q["key"] for q in self.quarantined)),
+            "interrupted": interrupted,
+        }
+
     def verdicts(self, results) -> dict:
-        """Ledger ``verdicts`` from ``[(id, ExperimentResult), ...]``."""
+        """Ledger ``verdicts`` from ``[(id, ExperimentResult), ...]``.
+
+        Failed units (no result object) report ``passed: false`` plus
+        their failure kind, so the per-run history distinguishes "shape
+        check failed" from "never produced a result".
+        """
         out: dict = {}
         for eid, result in results:
             wall = self.unit_wall.get(eid)
@@ -169,6 +263,13 @@ class RunHooks:
                 "passed": getattr(result, "passed", None),
                 "wall_s": round(wall, 4) if wall is not None else None,
                 "cached": eid in self.cache_hits,
+            }
+        for eid, failure in self.failures.items():
+            out[eid] = {
+                "passed": False,
+                "wall_s": None,
+                "cached": False,
+                "failed": failure.get("kind", "exception"),
             }
         return out
 

@@ -19,9 +19,12 @@ The module also owns the CLI exit-code contract shared by
 
 * :data:`EXIT_OK` (0) — ran, everything passed;
 * :data:`EXIT_FAILED_CHECKS` (1) — ran, but a shape check / validation
-  / baseline comparison failed;
+  / baseline comparison failed, **or** a supervised unit was poisoned
+  (timeout / crash after retries — docs/RESILIENCE.md);
 * :data:`EXIT_BAD_ARGS` (2) — refused to run (bad flag, unknown id,
-  malformed spec).
+  malformed spec);
+* :data:`EXIT_INTERRUPTED` (130) — SIGINT/SIGTERM drained the sweep;
+  completed units are journaled and ``--resume`` picks them back up.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from ..errors import ReproError
 EXIT_OK = 0
 EXIT_FAILED_CHECKS = 1
 EXIT_BAD_ARGS = 2
+EXIT_INTERRUPTED = 130                 # 128 + SIGINT, the shell idiom
 
 LEVELS = {"debug": 10, "info": 20, "warn": 30, "error": 40}
 

@@ -27,7 +27,13 @@ See docs/PERFORMANCE.md for the sharding and cache-key contract.
 
 from __future__ import annotations
 
-from .cache import ResultCache, package_fingerprint, result_key
+from .cache import (
+    QUARANTINE_DIR_NAME,
+    ResultCache,
+    package_fingerprint,
+    payload_checksum,
+    result_key,
+)
 from .merge import (
     TelemetrySpec,
     export_telemetry,
@@ -40,6 +46,7 @@ from .runner import ParallelRunner, unit_seed
 
 __all__ = [
     "ParallelRunner",
+    "QUARANTINE_DIR_NAME",
     "ResultCache",
     "TelemetrySpec",
     "export_telemetry",
@@ -47,6 +54,7 @@ __all__ = [
     "merge_all",
     "merge_telemetry",
     "package_fingerprint",
+    "payload_checksum",
     "result_key",
     "telemetry_spec",
     "unit_seed",

@@ -13,10 +13,21 @@ digest of every ``repro`` source file — so editing any simulator module
 invalidates every cached result automatically; there is no staleness
 window between code changes and version bumps.
 
-Entries are single JSON files named ``<key>.json`` holding both the key
+Entries are single JSON files named ``<key>.json`` holding the key
 material (for ``repro-experiments --cache-info`` style inspection and
-debugging) and the payload.  Writes are atomic (temp file + rename), so
-a parallel run racing on the same key leaves one valid entry.
+debugging), the payload, and a ``sha256`` checksum of the payload's
+canonical JSON.  Writes are atomic (temp file + rename), so a parallel
+run racing on the same key leaves one valid entry.
+
+Quarantine (docs/RESILIENCE.md)
+-------------------------------
+Reads verify the checksum.  A corrupt, truncated, or
+checksum-mismatched entry is **quarantined** — moved to
+``<root>/quarantine/`` for post-mortem rather than deleted — and the
+read reports a miss, so the unit recomputes and the sweep never
+crashes on bad cache state.  The optional ``on_quarantine(key, path,
+reason)`` callback is how the CLIs turn a quarantine into a ledger
+event and a ``cache-quarantined`` log line.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from ..errors import ExperimentError
 
 DEFAULT_CACHE_DIR = Path("results") / ".cache"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+QUARANTINE_DIR_NAME = "quarantine"
 
 _fingerprint_cache: str | None = None
 
@@ -72,40 +84,89 @@ def result_key(experiment_id: str, config: dict,
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+def payload_checksum(payload: dict) -> str:
+    """SHA-256 of a payload's canonical JSON (the entry checksum)."""
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 class ResultCache:
     """Get/put JSON payloads by content address.
 
     The directory defaults to ``results/.cache`` under the current
     working directory; the ``REPRO_CACHE_DIR`` environment variable
     overrides it (used by tests and CI to isolate runs).
+
+    ``on_quarantine(key, quarantine_path, reason)`` is called once per
+    entry that fails read verification, after the entry has been moved
+    aside; ``reason`` is one of ``"unreadable"`` (not JSON / not an
+    entry), ``"checksum-mismatch"``, or ``"missing-checksum"``.
     """
 
-    def __init__(self, root: Path | str | None = None) -> None:
+    def __init__(self, root: Path | str | None = None, *,
+                 on_quarantine=None) -> None:
         if root is None:
             root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
         self.root = Path(root)
+        self.on_quarantine = on_quarantine
 
     def path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
-    def get(self, key: str) -> dict | None:
-        """The cached payload, or ``None`` on miss/corruption.
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIR_NAME
 
-        A corrupt or truncated entry (e.g. from an interrupted run
-        predating atomic writes) reads as a miss and is removed.
-        """
-        path = self.path(key)
+    def _quarantine(self, key: str, path: Path, reason: str) -> None:
+        """Move a bad entry aside; never raises (a failed move deletes)."""
+        target = self.quarantine_dir / path.name
         try:
-            entry = json.loads(path.read_text())
-            return entry["payload"]
-        except FileNotFoundError:
-            return None
-        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            if target.exists():
+                target = target.with_suffix(
+                    f".{os.getpid()}{target.suffix}")
+            os.replace(path, target)
+        except OSError:
             try:
                 path.unlink()
             except OSError:
                 pass
+        if self.on_quarantine is not None:
+            self.on_quarantine(key, str(target), reason)
+
+    def get(self, key: str) -> dict | None:
+        """The cached payload, or ``None`` on miss/quarantine.
+
+        Every read verifies the entry's payload checksum; a corrupt,
+        truncated, or tampered entry is moved to the quarantine
+        directory (reported through ``on_quarantine``) and reads as a
+        miss, so the caller recomputes instead of crashing — or worse,
+        trusting a silently-damaged figure.
+        """
+        path = self.path(key)
+        try:
+            entry = json.loads(path.read_text())
+            payload = entry["payload"]
+            checksum = entry.get("sha256")
+        except FileNotFoundError:
             return None
+        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+            self._quarantine(key, path, "unreadable")
+            return None
+        if not isinstance(entry, dict) or not isinstance(payload, dict):
+            self._quarantine(key, path, "unreadable")
+            return None
+        if checksum is None:
+            # Entries predate checksums only across a source change,
+            # which already re-keys them — an entry under a *current*
+            # key with no checksum was hand-edited or damaged.
+            self._quarantine(key, path, "missing-checksum")
+            return None
+        if checksum != payload_checksum(payload):
+            self._quarantine(key, path, "checksum-mismatch")
+            return None
+        return payload
 
     def put(self, key: str, payload: dict, *,
             key_material: dict | None = None) -> Path:
@@ -113,6 +174,7 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(key)
         entry = {"key": key, "key_material": key_material or {},
+                 "sha256": payload_checksum(payload),
                  "payload": payload}
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")

@@ -151,7 +151,7 @@ def merge_telemetry(parent: Telemetry, export: dict | None) -> None:
             raise TelemetryError(f"cannot merge metric type {kind!r}")
 
 
-def merge_all(parent: Telemetry, exports) -> None:
+def merge_all(parent: Telemetry, exports) -> int:
     """Replay worker exports into ``parent``, in iteration order.
 
     Callers must pass exports in **unit order** (submission order), not
@@ -161,6 +161,16 @@ def merge_all(parent: Telemetry, exports) -> None:
     call sites iterate the ordered output of
     :meth:`~repro.parallel.runner.ParallelRunner.map`, which guarantees
     this even when workers finish out of order.
+
+    ``None`` entries are skipped: a unit that failed under supervision
+    (:mod:`repro.resilience`) has no telemetry to replay, and a merged
+    partial sweep must still fold its completed units in order.
+    Returns the number of exports actually merged.
     """
+    merged = 0
     for export in exports:
+        if export is None:
+            continue
         merge_telemetry(parent, export)
+        merged += 1
+    return merged

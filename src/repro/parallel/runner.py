@@ -89,7 +89,8 @@ class ParallelRunner:
                              time.perf_counter() - start)
             return results
         workers = min(self.jobs, len(items))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
             submitted = []
             for index, item in enumerate(items):
                 self._notify("started", index, total)
@@ -98,14 +99,28 @@ class ParallelRunner:
                         for index, future in enumerate(submitted)}
             started = time.perf_counter()
             for future in as_completed(submitted):
-                if future.exception() is None:
-                    # Per-unit wall clock is not observable from the
-                    # parent; submit-to-completion latency is the
-                    # honest upper bound the progress ETA works from.
-                    self._notify("finished", index_of[future], total,
-                                 time.perf_counter() - started)
+                if future.exception() is not None:
+                    # First failure wins the race to abort: cancel
+                    # every not-yet-started unit so the pool drains
+                    # promptly instead of grinding through doomed work.
+                    break
+                # Per-unit wall clock is not observable from the
+                # parent; submit-to-completion latency is the honest
+                # upper bound the progress ETA works from.
+                self._notify("finished", index_of[future], total,
+                             time.perf_counter() - started)
+        finally:
+            # Always shut the pool down — a worker exception, a
+            # progress-callback error, or a KeyboardInterrupt must
+            # never leave orphaned worker processes chewing on
+            # cancelled work (the with-statement's shutdown(wait=True)
+            # alone would block until every pending unit finished).
+            pool.shutdown(wait=True, cancel_futures=True)
         for future in submitted:
+            if future.cancelled():
+                continue
             exception = future.exception()
             if exception is not None:
+                # Earliest-submitted failure wins among units that ran.
                 raise exception
         return [future.result() for future in submitted]

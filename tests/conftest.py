@@ -1,11 +1,12 @@
 """Suite-wide fixtures.
 
 The result cache defaults to ``results/.cache`` under the working
-directory, and the run ledger to ``results/runs.jsonl``; tests must
-never read from or write into the checkout's real copies (a stale
-entry could mask a regression, and a test run should not dirty the
-repo).  Point both at throwaway locations for the whole session unless
-a test overrides them explicitly.
+directory, the run ledger to ``results/runs.jsonl``, and the
+checkpoint journal to ``results/.checkpoint``; tests must never read
+from or write into the checkout's real copies (a stale entry could
+mask a regression, and a test run should not dirty the repo).  Point
+all three at throwaway locations for the whole session unless a test
+overrides them explicitly.
 """
 
 import os
@@ -20,3 +21,6 @@ def pytest_configure(config):
         "REPRO_LEDGER_PATH",
         os.path.join(tempfile.mkdtemp(prefix="repro-test-ledger-"),
                      "runs.jsonl"))
+    os.environ.setdefault(
+        "REPRO_CHECKPOINT_DIR",
+        tempfile.mkdtemp(prefix="repro-test-checkpoint-"))

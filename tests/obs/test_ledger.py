@@ -8,6 +8,7 @@ from repro.errors import ReproError
 from repro.obs import (
     append_record,
     config_hash,
+    describe_append_failure,
     figure_wall_history,
     ledger_path,
     read_ledger,
@@ -47,6 +48,16 @@ class TestRecord:
     def test_empty_tool_rejected(self):
         with pytest.raises(ReproError):
             record(tool="")
+
+    def test_resilience_defaults_to_null(self):
+        assert record()["resilience"] is None
+
+    def test_resilience_field_passes_through(self):
+        data = {"retries": {"fig3": 1}, "failures": {},
+                "resumed": [], "quarantined": [], "interrupted": False}
+        rec = record(resilience=data)
+        assert rec["resilience"] == data
+        json.dumps(rec)                      # JSON-clean
 
 
 class TestAppendRead:
@@ -176,3 +187,48 @@ class TestCliIntegration:
         out = capsys.readouterr().out
         assert "runs.jsonl" not in out
         assert "run-start" not in out
+
+
+class TestAppendFailureReporting:
+    def test_describe_carries_errno_name_and_path(self):
+        exc = OSError(28, "No space left on device",
+                      "/results/runs.jsonl")
+        fields = describe_append_failure(exc)
+        assert fields["errno"] == "ENOSPC"
+        assert fields["path"] == "/results/runs.jsonl"
+        assert "No space left" in fields["error"]
+
+    def test_describe_falls_back_to_ledger_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_PATH", "/tmp/somewhere.jsonl")
+        fields = describe_append_failure(OSError("no details"))
+        assert fields["errno"] is None
+        assert fields["path"] == "/tmp/somewhere.jsonl"
+
+    def test_unwritable_ledger_warns_with_errno_and_path(
+            self, tmp_path, monkeypatch, capsys):
+        """The run must succeed; the warning must say which path and
+        why (satellite: errno + path in ledger-append failures)."""
+        from repro.experiments.runner import main
+
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory must go\n")
+        target = blocker / "runs.jsonl"      # parent is a file
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(target))
+        assert main(["table1", "--no-cache", "--no-progress"]) == 0
+        err = capsys.readouterr().err
+        assert "ledger-append-failed" in err
+        assert "errno=" in err and "EEXIST" in err
+        assert str(blocker) in err
+
+    def test_unwritable_ledger_memo_run_still_succeeds(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.memo.cli import main
+
+        blocker = tmp_path / "blocker"
+        blocker.write_text("x\n")
+        monkeypatch.setenv("REPRO_LEDGER_PATH",
+                           str(blocker / "runs.jsonl"))
+        assert main(["latency"]) == 0
+        err = capsys.readouterr().err
+        assert "ledger-append-failed" in err
+        assert "errno=" in err

@@ -1,11 +1,17 @@
 """The content-addressed result cache: keys, round-trips, invalidation."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.errors import ExperimentError
-from repro.parallel import ResultCache, package_fingerprint, result_key
+from repro.parallel import (
+    ResultCache,
+    package_fingerprint,
+    payload_checksum,
+    result_key,
+)
 
 
 @pytest.fixture
@@ -92,6 +98,13 @@ class TestStore:
         assert cache.get(key) is None
         assert key not in cache
 
+    def test_entries_carry_payload_checksum(self, cache):
+        key = result_key("x", {}, version="v")
+        payload = {"value": 1.5}
+        cache.put(key, payload)
+        entry = json.loads(cache.path(key).read_text())
+        assert entry["sha256"] == payload_checksum(payload)
+
     def test_clear(self, cache):
         for name in ("a", "b"):
             cache.put(result_key(name, {}, version="v"), {"n": name})
@@ -115,6 +128,89 @@ class TestStore:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
         cache = ResultCache()
         assert cache.root == tmp_path / "env-cache"
+
+
+class TestQuarantine:
+    """Corrupt entries are moved aside and recomputed, never trusted."""
+
+    def quarantining_cache(self, tmp_path):
+        events = []
+        cache = ResultCache(
+            tmp_path / "cache",
+            on_quarantine=lambda *args: events.append(args))
+        return cache, events
+
+    def test_truncated_entry_quarantined_as_unreadable(self, tmp_path):
+        cache, events = self.quarantining_cache(tmp_path)
+        key = result_key("x", {}, version="v")
+        cache.put(key, {"ok": 1})
+        path = cache.path(key)
+        corrupt = path.read_text()[:20]
+        path.write_text(corrupt)
+        assert cache.get(key) is None
+        assert key not in cache
+        ((event_key, quarantine_path, reason),) = events
+        assert event_key == key and reason == "unreadable"
+        # Preserved byte-for-byte for post-mortem, not deleted.
+        assert Path(quarantine_path).read_text() == corrupt
+        assert Path(quarantine_path).parent == cache.quarantine_dir
+
+    def test_bit_flipped_payload_fails_checksum(self, tmp_path):
+        cache, events = self.quarantining_cache(tmp_path)
+        key = result_key("x", {}, version="v")
+        cache.put(key, {"value": 1})
+        entry = json.loads(cache.path(key).read_text())
+        entry["payload"]["value"] = 2       # flip without re-checksum
+        cache.path(key).write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert events[0][2] == "checksum-mismatch"
+
+    def test_missing_checksum_quarantined(self, tmp_path):
+        cache, events = self.quarantining_cache(tmp_path)
+        key = result_key("x", {}, version="v")
+        cache.put(key, {"value": 1})
+        entry = json.loads(cache.path(key).read_text())
+        del entry["sha256"]
+        cache.path(key).write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert events[0][2] == "missing-checksum"
+
+    def test_recompute_after_quarantine_round_trips(self, tmp_path):
+        cache, events = self.quarantining_cache(tmp_path)
+        key = result_key("x", {}, version="v")
+        cache.put(key, {"value": 1})
+        cache.path(key).write_text("garbage")
+        assert cache.get(key) is None
+        cache.put(key, {"value": 1})
+        assert cache.get(key) == {"value": 1}
+        assert len(events) == 1
+
+    def test_quarantine_without_callback_is_silent(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = result_key("x", {}, version="v")
+        cache.put(key, {"value": 1})
+        cache.path(key).write_text("garbage")
+        assert cache.get(key) is None       # no callback, no crash
+
+    def test_repeated_quarantine_keeps_both_copies(self, tmp_path):
+        cache, events = self.quarantining_cache(tmp_path)
+        key = result_key("x", {}, version="v")
+        for _ in range(2):
+            cache.put(key, {"value": 1})
+            cache.path(key).write_text("garbage")
+            assert cache.get(key) is None
+        assert len(events) == 2
+        assert len(list(cache.quarantine_dir.iterdir())) == 2
+
+    def test_quarantined_entries_not_counted_or_cleared(self, tmp_path):
+        cache, _ = self.quarantining_cache(tmp_path)
+        key = result_key("x", {}, version="v")
+        cache.put(key, {"value": 1})
+        cache.path(key).write_text("garbage")
+        assert cache.get(key) is None
+        assert len(cache) == 0
+        assert cache.clear() == 0
+        assert len(list(cache.quarantine_dir.iterdir())) == 1
 
 
 class TestFaultAwareCliCaching:

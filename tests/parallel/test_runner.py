@@ -1,5 +1,8 @@
 """ParallelRunner: ordered fan-out, serial degeneration, unit seeds."""
 
+import multiprocessing
+import time
+
 import pytest
 
 from repro.errors import SimulationError
@@ -12,6 +15,13 @@ def _square(n):
 
 def _blow_up(n):
     raise ValueError(f"unit {n} exploded")
+
+
+def _crash_first_or_sleep(n):
+    if n == 0:
+        raise ValueError("unit 0 exploded")
+    time.sleep(0.5)
+    return n
 
 
 class TestParallelRunner:
@@ -50,6 +60,20 @@ class TestParallelRunner:
             ParallelRunner(0)
         with pytest.raises(SimulationError):
             ParallelRunner(-2)
+
+    def test_crash_shuts_pool_down_promptly(self):
+        """Regression: a crashing unit must not orphan the executor.
+
+        The map raises, but only after cancelling the pending units
+        and joining the workers — without ``cancel_futures`` the pool
+        would drain all ten 0.5 s sleeps (~2.5 s with 2 workers) and
+        leave worker processes behind the exception."""
+        start = time.monotonic()
+        with pytest.raises(ValueError, match="unit 0 exploded"):
+            ParallelRunner(2).map(_crash_first_or_sleep,
+                                  list(range(12)))
+        assert time.monotonic() - start < 2.0
+        assert multiprocessing.active_children() == []
 
 
 class TestUnitSeed:

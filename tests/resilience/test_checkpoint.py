@@ -1,0 +1,116 @@
+"""Checkpoint journals: suite addressing, durability, tolerant loads."""
+
+import json
+
+import pytest
+
+from repro.resilience import CheckpointJournal, checkpoint_dir, suite_hash
+from repro.resilience.supervisor import ResilienceError
+
+
+class TestSuiteHash:
+    def test_stable(self):
+        assert suite_hash(["a", "b"], {"fast": True}, version="v") \
+            == suite_hash(["a", "b"], {"fast": True}, version="v")
+
+    def test_sensitive_to_id_order(self):
+        # The journal stores results for *this* sweep; a reordered id
+        # list is a different sweep with different output ordering.
+        assert suite_hash(["a", "b"], {}, version="v") \
+            != suite_hash(["b", "a"], {}, version="v")
+
+    def test_sensitive_to_config(self):
+        assert suite_hash(["a"], {"fast": True}, version="v") \
+            != suite_hash(["a"], {"fast": False}, version="v")
+
+    def test_sensitive_to_version(self):
+        assert suite_hash(["a"], {}, version="v1") \
+            != suite_hash(["a"], {}, version="v2")
+
+    def test_default_version_is_source_fingerprint(self):
+        from repro.parallel import package_fingerprint
+
+        assert suite_hash(["a"], {}) \
+            == suite_hash(["a"], {}, version=package_fingerprint())
+
+    def test_empty_ids_rejected(self):
+        with pytest.raises(ResilienceError):
+            suite_hash([], {})
+
+
+class TestCheckpointDir:
+    def test_env_var_overrides_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+        assert checkpoint_dir() == tmp_path
+
+    def test_explicit_root_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "env"))
+        assert checkpoint_dir(tmp_path / "arg") == tmp_path / "arg"
+
+
+class TestJournal:
+    def journal(self, tmp_path, suite="s" * 64):
+        return CheckpointJournal(suite, root=tmp_path)
+
+    def test_record_then_load_round_trips(self, tmp_path):
+        journal = self.journal(tmp_path)
+        journal.record("fig3", {"rendered": "x", "value": 1.25})
+        journal.record("fig5", {"rendered": "y"})
+        assert journal.load() == {"fig3": {"rendered": "x",
+                                           "value": 1.25},
+                                  "fig5": {"rendered": "y"}}
+        assert len(journal) == 2
+
+    def test_missing_journal_loads_empty(self, tmp_path):
+        assert self.journal(tmp_path).load() == {}
+        assert not self.journal(tmp_path).exists()
+
+    def test_last_record_wins_for_duplicate_unit(self, tmp_path):
+        journal = self.journal(tmp_path)
+        journal.record("fig3", {"v": 1})
+        journal.record("fig3", {"v": 2})
+        assert journal.load() == {"fig3": {"v": 2}}
+
+    def test_truncated_tail_line_drops_that_unit_only(self, tmp_path):
+        journal = self.journal(tmp_path)
+        journal.record("a", {"v": 1})
+        journal.record("b", {"v": 2})
+        text = journal.path.read_text()
+        journal.path.write_text(text[:-10])   # cut into b's record
+        assert journal.load() == {"a": {"v": 1}}
+
+    def test_bit_flipped_payload_fails_checksum(self, tmp_path):
+        journal = self.journal(tmp_path)
+        journal.record("a", {"v": 1})
+        journal.record("b", {"v": 2})
+        lines = journal.path.read_text().splitlines()
+        entry = json.loads(lines[0])
+        entry["payload"]["v"] = 999          # flip without re-checksum
+        lines[0] = json.dumps(entry, sort_keys=True,
+                              separators=(",", ":"))
+        journal.path.write_text("\n".join(lines) + "\n")
+        assert journal.load() == {"b": {"v": 2}}
+
+    def test_unknown_schema_lines_skipped(self, tmp_path):
+        journal = self.journal(tmp_path)
+        journal.record("a", {"v": 1})
+        with journal.path.open("a") as handle:
+            handle.write('{"schema": 99, "unit": "z", "payload": {}}\n')
+        assert journal.load() == {"a": {"v": 1}}
+
+    def test_discard_removes_and_is_idempotent(self, tmp_path):
+        journal = self.journal(tmp_path)
+        journal.record("a", {"v": 1})
+        assert journal.discard() is True
+        assert not journal.exists()
+        assert journal.discard() is False
+
+    def test_suite_name_validation(self, tmp_path):
+        with pytest.raises(ResilienceError):
+            CheckpointJournal("", root=tmp_path)
+        with pytest.raises(ResilienceError):
+            CheckpointJournal("../escape", root=tmp_path)
+
+    def test_empty_unit_id_rejected(self, tmp_path):
+        with pytest.raises(ResilienceError):
+            self.journal(tmp_path).record("", {})
