@@ -93,7 +93,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker count for the parallel pass "
                              "(default: 4)")
     parser.add_argument("--ids", nargs="*", default=None,
-                        help="experiment ids (default: all)")
+                        help="experiment ids or aliases, e.g. figC "
+                             "(default: all)")
     parser.add_argument("--full", action="store_true",
                         help="time full-resolution sweeps")
     parser.add_argument("--repeats", type=int, default=2,
@@ -117,9 +118,11 @@ def main(argv: list[str] | None = None) -> int:
 
     import repro
     from repro.experiments import REGISTRY
+    from repro.experiments.registry import resolve_id
     from repro.experiments.runner import _run_ids
 
-    ids = args.ids or sorted(REGISTRY)
+    ids = [resolve_id(eid) for eid in args.ids] if args.ids \
+        else sorted(REGISTRY)
     unknown = [eid for eid in ids if eid not in REGISTRY]
     if unknown:
         print(f"error: unknown experiment id(s): {unknown}",

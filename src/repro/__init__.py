@@ -44,12 +44,14 @@ __all__ = [
 ]
 
 
-def build_system(config: SystemConfig):
+def build_system(config: SystemConfig, *, fault_plan=None):
     """Construct a runnable :class:`repro.cpu.system.System` from a config.
 
     Defined here (lazily) so ``import repro`` stays cheap and avoids
     circular imports between ``config`` and the model packages.
+    ``fault_plan`` builds the degraded-mode twin: every CXL backend's
+    analytic model is derated per the plan (docs/FAULTS.md).
     """
     from .cpu.system import System
 
-    return System(config)
+    return System(config, fault_plan=fault_plan)

@@ -64,10 +64,14 @@ class DlrmInferenceStudy:
     """Builds kernels per placement and sweeps thread counts."""
 
     def __init__(self, config: SystemConfig, *,
-                 num_tables: int = 26, rows_per_table: int = 200_000) -> None:
+                 num_tables: int = 26, rows_per_table: int = 200_000,
+                 fault_plan=None) -> None:
         self.config = config
         self.num_tables = num_tables
         self.rows_per_table = rows_per_table
+        # Degraded-mode twin: the plan derates every CXL backend the
+        # kernels touch (expected fault latency + link-ceiling derate).
+        self.fault_plan = fault_plan
 
     # -- kernel construction ----------------------------------------------
 
@@ -84,7 +88,7 @@ class DlrmInferenceStudy:
             config = snc_memory_config(config)
         if placement == "remote":
             config = r1_remote_config(config)
-        system = System(config)
+        system = System(config, fault_plan=self.fault_plan)
         policy = self._policy(system, placement)
         tables = EmbeddingTables(system, policy,
                                  num_tables=self.num_tables,

@@ -84,7 +84,9 @@ class RedisYcsbStudy:
             from ...parallel.sweeps import run_kv_p99_point
             specs = [(self.system, self.num_keys, self.seed, workload,
                       cxl_fraction, qps, requests) for qps in qps_points]
-            results = ParallelRunner(jobs).map(run_kv_p99_point, specs)
+            names = [f"fig6[{label},qps={qps:g}]" for qps in qps_points]
+            results = ParallelRunner(jobs, names=names).map(
+                run_kv_p99_point, specs)
         else:
             results = [self.p99_point(workload, cxl_fraction, qps,
                                       requests=requests)

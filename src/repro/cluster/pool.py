@@ -1,0 +1,150 @@
+"""The :class:`PoolAllocator`: one shared CXL memory pool, carved up.
+
+A disaggregated CXL pool exposes one large HDM range; every host that
+joins the pool gets a contiguous *slice* of it (the CXL 2.0/3.0
+multi-headed-device model that CXL-DMSim and CXLRAMSim study).  The
+allocator here is deliberately small and exact:
+
+* **bump carving** — slices are handed out in address order, never
+  overlap, and release only reclaims bytes (addresses are not reused,
+  mirroring how MLD capacity is fenced off per logical device);
+* **capacity accounting** — a carve that would overcommit the pool
+  raises :class:`~repro.errors.ClusterError` instead of silently
+  thin-provisioning, and :meth:`utilization` is always the exact ratio
+  of live bytes to pool bytes;
+* **spill planning** — :func:`plan_spill` splits one host's working set
+  between its local DRAM budget and the pool, which is how the cluster
+  experiments turn a "pool share" axis into per-host HDM slices.
+
+Everything is a plain value or a frozen dataclass, so pool layouts
+travel into worker processes and result payloads unchanged (the same
+picklability contract as :class:`~repro.faults.FaultPlan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ClusterError
+
+
+@dataclass(frozen=True)
+class PoolSlice:
+    """One host's HDM window into the shared pool."""
+
+    host: str
+    base: int                          # byte offset inside the pool HDM
+    size: int                          # bytes
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ClusterError(f"slice base must be >= 0: {self.base}")
+        if self.size <= 0:
+            raise ClusterError(f"slice size must be positive: {self.size}")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def overlaps(self, other: "PoolSlice") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+@dataclass(frozen=True)
+class SpillPlan:
+    """How one host's bytes split across local DRAM and the pool."""
+
+    local_bytes: int
+    pool_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.local_bytes + self.pool_bytes
+
+    @property
+    def pool_fraction(self) -> float:
+        """Fraction of the host's data living in the pool."""
+        if self.total_bytes == 0:
+            return 0.0
+        return self.pool_bytes / self.total_bytes
+
+
+def plan_spill(demand_bytes: int, local_capacity_bytes: int) -> SpillPlan:
+    """Fill local DRAM first; whatever does not fit spills to the pool."""
+    if demand_bytes < 0:
+        raise ClusterError(f"demand must be >= 0: {demand_bytes}")
+    if local_capacity_bytes < 0:
+        raise ClusterError(
+            f"local capacity must be >= 0: {local_capacity_bytes}")
+    local = min(demand_bytes, local_capacity_bytes)
+    return SpillPlan(local_bytes=local, pool_bytes=demand_bytes - local)
+
+
+class PoolAllocator:
+    """Carves a fixed-capacity CXL pool into per-host HDM slices."""
+
+    def __init__(self, pool_bytes: int) -> None:
+        if pool_bytes <= 0:
+            raise ClusterError(f"pool must have capacity: {pool_bytes}")
+        self.pool_bytes = pool_bytes
+        self._cursor = 0               # next free address (bump pointer)
+        self._live: dict[int, PoolSlice] = {}   # base -> slice
+        self._freed_bytes = 0
+
+    # -- carving -----------------------------------------------------------
+
+    def carve(self, host: str, size: int) -> PoolSlice:
+        """Hand ``host`` a fresh slice of ``size`` bytes.
+
+        Carves are satisfied strictly in address order and never
+        overlap; an allocation past the pool's end (accounting for
+        bytes already released) is an error, not a shrink.
+        """
+        if size <= 0:
+            raise ClusterError(
+                f"carve size must be positive: {size} (host {host!r})")
+        if self.allocated_bytes + size > self.pool_bytes:
+            raise ClusterError(
+                f"pool overcommit: {host!r} wants {size} bytes, only "
+                f"{self.free_bytes} of {self.pool_bytes} free")
+        piece = PoolSlice(host=host, base=self._cursor, size=size)
+        self._cursor += size
+        self._live[piece.base] = piece
+        return piece
+
+    def release(self, piece: PoolSlice) -> None:
+        """Return a slice's bytes to the capacity budget (idempotent
+        misuse is an error: a slice can only be released once)."""
+        live = self._live.get(piece.base)
+        if live != piece:
+            raise ClusterError(
+                f"release of unknown slice {piece.host!r}@{piece.base}")
+        del self._live[piece.base]
+        self._freed_bytes += piece.size
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def slices(self) -> list[PoolSlice]:
+        """Live slices in address order."""
+        return [self._live[base] for base in sorted(self._live)]
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Live bytes (carved minus released)."""
+        return self._cursor - self._freed_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.pool_bytes - self.allocated_bytes
+
+    def utilization(self) -> float:
+        """Live bytes as a fraction of pool capacity, in [0, 1]."""
+        return self.allocated_bytes / self.pool_bytes
+
+    def slice_of(self, host: str) -> PoolSlice | None:
+        """The (single) live slice of ``host``, or ``None``."""
+        for piece in self._live.values():
+            if piece.host == host:
+                return piece
+        return None

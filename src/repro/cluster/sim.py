@@ -1,0 +1,347 @@
+"""The cluster simulator: N KV shards, one pool, open-loop clients.
+
+Each host runs the kvstore service-time model (CPU work plus dependent
+memory misses, log-normal jitter on both) against the perfmodel read
+paths of the shared :class:`~repro.cluster.topology.ClusterTopology`:
+a record either lives in the host's local DRAM (~106 ns per miss) or
+in its CXL pool slice (device path plus a fabric hop).  Which records
+are pool-resident is a *stable* per-key decision — counter-based
+(:func:`~repro.sim.rng.decision_uniform`, keyed by owner and key), so
+the placement never depends on request order and serial/parallel runs
+agree byte for byte.
+
+Fault semantics
+---------------
+Two fault layers compose:
+
+* a per-host :class:`~repro.faults.FaultPlan` perturbs that host's CXL
+  (pool) accesses — stalls, transient timeouts, poisoned reads — with
+  the same injected/recovered accounting the ``degraded-cxl``
+  experiment pins;
+* a :class:`LinkDown` event kills one host's CXL link mid-run.  From
+  that instant the downed host can no longer reach its pool slice, so
+  pool-resident requests owned by it are *rerouted* to a surviving
+  host — possible precisely because the pool is shared fabric memory,
+  not host-private DRAM.  Every reroute counts one injected fault and,
+  on completion at the survivor, one recovery.  Local-DRAM-resident
+  keys stay on the downed host (its DRAM is fine; only the link died).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..apps.kvstore.store import (CPU_BASE_NS, CPU_JITTER_SIGMA,
+                                  EFFECTIVE_MISSES_MEAN, MISS_JITTER_SIGMA)
+from ..errors import ClusterError
+from ..faults import FaultPlan
+from ..faults.injector import FaultInjector, injector_for
+from ..sim import Engine, LatencyRecorder, Server
+from ..sim.rng import decision_uniform, substream
+from ..telemetry import NULL_TELEMETRY, Telemetry
+from .routing import HostView, Router, make_router
+from .topology import ClusterTopology
+from .traffic import OpenLoopZipfian
+
+CLUSTER_TRACK = "cluster"
+"""Telemetry track prefix; per-host spans land on ``cluster.host<i>``."""
+
+WRITE_MISS_FACTOR = 1.15
+"""Extra dirty-line traffic of a mutation (matches the kvstore model)."""
+
+CACHE_HIT_MISS_FACTOR = 0.1
+"""Miss-count multiplier when the record is LLC-hot."""
+
+REROUTE_HOP_NS = 1_500.0
+"""Balancer redirect to a survivor after a link-down routing failure."""
+
+
+@dataclass(frozen=True)
+class LinkDown:
+    """Kill one host's CXL link partway through the run.
+
+    ``at_fraction`` places the failure on the arrival timeline (0.5 =
+    midway through the trace), so the event scales with offered load
+    instead of being pinned to an absolute nanosecond.
+    """
+
+    host: int
+    at_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.at_fraction < 1.0:
+            raise ClusterError(
+                f"at_fraction must be in (0, 1): {self.at_fraction}")
+
+    def to_dict(self) -> dict:
+        return {"host": self.host, "at_fraction": self.at_fraction}
+
+
+@dataclass(frozen=True)
+class HostResult:
+    """One host's view of a cluster run."""
+
+    name: str
+    index: int
+    requests: int                      # requests this host served
+    p50_ns: float                      # sojourn percentiles of those
+    p99_ns: float
+    injected: int                      # plan faults + link-down hits
+    recovered: int                     # absorbed plan faults + reroutes
+    absorbed: int                      # reroutes this host served
+    pool_fraction: float               # shard bytes living in the pool
+
+    @property
+    def fault_free(self) -> bool:
+        return self.injected == 0 and self.recovered == 0
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Cluster-wide outcome of one (QPS, skew, pool-share) point."""
+
+    qps: float
+    theta: float
+    pool_share: float
+    requests: int                      # completed end-to-end
+    achieved_qps: float
+    p50_ns: float                      # end-to-end sojourn percentiles
+    p99_ns: float
+    mean_service_ns: float
+    pool_utilization: float
+    rerouted: int                      # link-down reroutes, fleet-wide
+    link_down_host: int | None
+    hosts: tuple[HostResult, ...]
+
+    @property
+    def injected(self) -> int:
+        return sum(host.injected for host in self.hosts)
+
+    @property
+    def recovered(self) -> int:
+        return sum(host.recovered for host in self.hosts)
+
+    @property
+    def p99_us(self) -> float:
+        return self.p99_ns / 1000.0
+
+
+class ClusterSim:
+    """Drives a :class:`ClusterTopology` under open-loop zipfian load."""
+
+    def __init__(self, topology: ClusterTopology, *,
+                 router: str | Router = "hash-shard", seed: int = 1,
+                 fault_plans: Mapping[int, FaultPlan] | None = None,
+                 link_down: LinkDown | None = None,
+                 telemetry: Telemetry | None = None) -> None:
+        self.topology = topology
+        self.router = router if isinstance(router, Router) \
+            else make_router(router)
+        self.seed = seed
+        self.fault_plans = dict(fault_plans) if fault_plans else {}
+        for host in self.fault_plans:
+            if not 0 <= host < topology.num_hosts:
+                raise ClusterError(
+                    f"fault plan for unknown host {host}")
+        if link_down is not None \
+                and not 0 <= link_down.host < topology.num_hosts:
+            raise ClusterError(
+                f"link_down host {link_down.host} outside the fleet")
+        if link_down is not None and topology.num_hosts < 2:
+            raise ClusterError(
+                "link_down needs a survivor: add at least one more host")
+        self.link_down = link_down
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
+
+    # -- stable per-key placement ------------------------------------------
+
+    def pool_resident(self, key: int) -> bool:
+        """Whether ``key``'s record spilled to its owner's pool slice.
+
+        Counter-based draw keyed by ``(owner, key)``: the same key is
+        resident in every run with this seed, regardless of request
+        order, and raising ``pool_share`` only ever *adds* residents
+        (nested fault-set property, same as the fault layer).
+        """
+        owner = self.topology.shard_of(key)
+        fraction = self.topology.hosts[owner].pool_fraction
+        if fraction <= 0.0:
+            return False
+        return decision_uniform(self.seed, "resident", owner, key) \
+            < fraction
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self, qps: float, *, theta: float = 0.99,
+            requests: int = 8_000,
+            write_fraction: float = 0.05) -> ClusterResult:
+        topo = self.topology
+        traffic = OpenLoopZipfian(
+            qps=qps, num_requests=requests, keyspace=topo.total_keys,
+            theta=theta, write_fraction=write_fraction, seed=self.seed)
+        engine = Engine(telemetry=self.telemetry)
+        tracer = self.telemetry.tracer
+        traced = tracer.enabled
+
+        servers = [Server(host.spec.workers, name=host.name)
+                   for host in topo.hosts]
+        host_sojourn = [LatencyRecorder(f"{host.name}-sojourn")
+                        for host in topo.hosts]
+        cluster_sojourn = LatencyRecorder("cluster-sojourn")
+        injectors: dict[int, FaultInjector] = {}
+        for index, plan in self.fault_plans.items():
+            injector = injector_for(plan, stream=f"host{index}",
+                                    telemetry=self.telemetry)
+            if injector is not None:
+                injectors[index] = injector
+
+        dram_ns = topo.dram_read_ns()
+        pool_ns = topo.pool_read_ns()
+        hit_prob = topo.cache_hit_prob(theta)
+
+        # Per-request randomness, pre-drawn and indexed by request so
+        # no simulation path can perturb another request's draws.
+        n = requests
+        cpu_jitter = substream("cluster/cpu", self.seed).lognormal(
+            0.0, CPU_JITTER_SIGMA, size=n)
+        miss_jitter = substream("cluster/miss", self.seed).lognormal(
+            0.0, MISS_JITTER_SIGMA, size=n)
+        cache_u = substream("cluster/cache", self.seed).random(n)
+
+        link_up = [True] * topo.num_hosts
+        link_injected = [0] * topo.num_hosts
+        link_recovered = [0] * topo.num_hosts
+        absorbed = [0] * topo.num_hosts
+        served = [0] * topo.num_hosts
+        rerouted = [0]
+        completed = [0]
+        service_total = [0.0]
+        last_completion = [0.0]
+
+        def submit(index: int, arrival: float, key: int,
+                   is_write: bool) -> None:
+            owner = topo.shard_of(key)
+            resident = self.pool_resident(key)
+            penalty = 0.0
+            rerouted_from: int | None = None
+            if resident:
+                views = [HostView(i, up=link_up[i],
+                                  in_flight=servers[i].busy
+                                  + servers[i].queue_depth)
+                         for i in range(topo.num_hosts)]
+                target = self.router.route(key, owner, views)
+                if not link_up[owner]:
+                    # The owner's link is down; reaching the shared
+                    # pool slice from a survivor costs one redirect.
+                    link_injected[owner] += 1
+                    rerouted[0] += 1
+                    rerouted_from = owner
+                    penalty = REROUTE_HOP_NS
+            else:
+                target = owner       # local DRAM keys never move
+
+            def start() -> None:
+                cpu = CPU_BASE_NS * float(cpu_jitter[index])
+                misses = EFFECTIVE_MISSES_MEAN * float(miss_jitter[index])
+                if is_write:
+                    misses *= WRITE_MISS_FACTOR
+                if float(cache_u[index]) < hit_prob:
+                    misses *= CACHE_HIT_MISS_FACTOR
+                miss_ns = pool_ns if resident else dram_ns
+                extra = penalty
+                pending_recoveries = 0
+                injector = injectors.get(target) if resident else None
+                if injector is not None:
+                    extra += injector.stall_ns(index)
+                    if injector.timeout(index):
+                        extra += injector.plan.timeout_ns \
+                            + injector.plan.retry_backoff_ns
+                        injector.retried()
+                        pending_recoveries += 1
+                    if injector.poisoned(index):
+                        # Discard the poisoned response, re-read the
+                        # record's lines from the pool.
+                        extra += misses * miss_ns \
+                            + injector.plan.retry_backoff_ns
+                        injector.retried()
+                        pending_recoveries += 1
+                service = cpu + misses * miss_ns + extra
+                service_total[0] += service
+
+                def finish() -> None:
+                    servers[target].release()
+                    sojourn = engine.now - arrival
+                    cluster_sojourn.record(sojourn)
+                    host_sojourn[target].record(sojourn)
+                    served[target] += 1
+                    completed[0] += 1
+                    last_completion[0] = engine.now
+                    for _ in range(pending_recoveries):
+                        injector.recovery()
+                    if rerouted_from is not None:
+                        link_recovered[rerouted_from] += 1
+                        absorbed[target] += 1
+                    if traced:
+                        tracer.complete(
+                            f"{CLUSTER_TRACK}.host{target}",
+                            "put" if is_write else "get",
+                            arrival, sojourn, request=index)
+
+                engine.schedule(service, finish)
+
+            servers[target].acquire(start)
+
+        if self.link_down is not None:
+            down = self.link_down
+
+            def kill_link() -> None:
+                link_up[down.host] = False
+
+            engine.schedule_at(down.at_fraction * traffic.duration_ns,
+                               kill_link)
+
+        for req in traffic.requests():
+            engine.schedule_at(req.arrival_ns, submit, req.index,
+                               req.arrival_ns, req.key, req.is_write)
+        engine.run()
+
+        if completed[0] != requests:
+            raise ClusterError(
+                f"only {completed[0]}/{requests} requests completed")
+
+        hosts = []
+        for index, host in enumerate(topo.hosts):
+            injector = injectors.get(index)
+            inj = (injector.injected if injector else 0) \
+                + link_injected[index]
+            rec = (injector.recovered if injector else 0) \
+                + link_recovered[index]
+            recorder = host_sojourn[index]
+            hosts.append(HostResult(
+                name=host.name, index=index, requests=served[index],
+                p50_ns=recorder.p50() if len(recorder) else 0.0,
+                p99_ns=recorder.p99() if len(recorder) else 0.0,
+                injected=inj, recovered=rec, absorbed=absorbed[index],
+                pool_fraction=host.pool_fraction))
+
+        registry = self.telemetry.registry
+        registry.counter("cluster.requests").inc(completed[0])
+        registry.gauge("cluster.p99_sojourn_ns").set(cluster_sojourn.p99())
+        achieved = completed[0] / (last_completion[0] / 1e9)
+        registry.gauge("cluster.achieved_qps").set(achieved)
+        for result in hosts:
+            registry.gauge(
+                f"cluster.host{result.index}.p99_ns").set(result.p99_ns)
+
+        return ClusterResult(
+            qps=qps, theta=theta, pool_share=topo.pool_share,
+            requests=completed[0], achieved_qps=achieved,
+            p50_ns=cluster_sojourn.p50(), p99_ns=cluster_sojourn.p99(),
+            mean_service_ns=service_total[0] / completed[0],
+            pool_utilization=topo.pool_utilization(),
+            rerouted=rerouted[0],
+            link_down_host=self.link_down.host
+            if self.link_down is not None else None,
+            hosts=tuple(hosts))

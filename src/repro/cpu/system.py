@@ -52,9 +52,11 @@ class System:
     LOCAL_NODE = 0
     REMOTE_NODE = 1
 
-    def __init__(self, config: SystemConfig, *, snc: bool = False) -> None:
+    def __init__(self, config: SystemConfig, *, snc: bool = False,
+                 fault_plan=None) -> None:
         self.config = config
         self.snc = snc
+        self.fault_plan = fault_plan
         self.sockets = [Socket(config.sockets[0], snc=snc)]
         self.sockets += [Socket(s) for s in config.sockets[1:]]
         self.upi = UpiLink(config.upi) if config.upi is not None else None
@@ -78,8 +80,13 @@ class System:
         dram_top = sum(node.capacity_bytes for node in nodes)
         self.hdm, mapped = map_devices(discovered, hpa_base=dram_top)
         nodes += numa_nodes_for(mapped, first_node_id=self._cxl_node_id)
+        # An active fault plan degrades every device's analytic model —
+        # expected stall/retry latency joins the protocol path and CRC
+        # retransmissions plus retrained-link fractions derate the link
+        # ceiling (docs/FAULTS.md).
         self._cxl_backends: list[CxlMemoryBackend] = [
-            build_cxl_backend(device) for device in config.cxl_devices]
+            build_cxl_backend(device, fault_plan=fault_plan)
+            for device in config.cxl_devices]
         self.topology = NumaTopology(nodes=nodes)
         self.allocator = PageAllocator(self.topology)
 
@@ -106,7 +113,7 @@ class System:
 
     def snc_system(self) -> "System":
         """This system with socket 0 in SNC mode (one cluster, Fig. 9)."""
-        return System(self.config, snc=True)
+        return System(self.config, snc=True, fault_plan=self.fault_plan)
 
     # -- host-side latency components --------------------------------------
 

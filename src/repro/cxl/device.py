@@ -47,9 +47,11 @@ class CxlMemoryBackend(MemoryBackend):
                       + self.device_controller.processing_ns()
                       + fault_ns)
         # Reads return data (5-slot DRS) so the dominant direction is S2M;
-        # the link ceiling accounts for header+framing overhead.
-        link_ceiling = port.data_bandwidth_ceiling(slots_per_line=5) \
-            * self.device_controller.fault_bandwidth_derate()
+        # the link ceiling accounts for header+framing overhead.  The
+        # fault derate is applied over the *combined* ceiling in
+        # :meth:`bus_ceiling` — retries and stalls occupy the device
+        # pipeline end to end, not just the wire.
+        link_ceiling = port.data_bandwidth_ceiling(slots_per_line=5)
         super().__init__(label="CXL",
                          controller=self.device_controller.backend_controller,
                          extra_read_ns=read_path,
@@ -58,9 +60,16 @@ class CxlMemoryBackend(MemoryBackend):
 
     def bus_ceiling(self, pattern: AccessPattern, block_bytes: int,
                     streams: int, *, write_fraction: float = 0.0) -> float:
-        """DRAM-side ceiling behind the controller, capped by the link."""
-        return super().bus_ceiling(pattern, block_bytes, streams,
-                                   write_fraction=write_fraction)
+        """DRAM-side ceiling behind the controller, capped by the link.
+
+        Under an active fault plan the whole ceiling is derated: CRC
+        retransmissions re-send flits, and stalled/poisoned requests
+        hold controller buffers, so every byte of goodput costs more
+        than one byte of device time regardless of which stage binds.
+        """
+        ceiling = super().bus_ceiling(pattern, block_bytes, streams,
+                                      write_fraction=write_fraction)
+        return ceiling * self.device_controller.fault_bandwidth_derate()
 
     def concurrency_derate(self, *, readers: int, writers: int,
                            nt_writers: int = 0) -> float:

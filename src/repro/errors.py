@@ -50,3 +50,7 @@ class TelemetryError(ReproError):
 
 class FaultError(ReproError):
     """A fault-injection plan is invalid or was applied inconsistently."""
+
+
+class ClusterError(ReproError):
+    """A cluster topology, pool carve, or routing rule was violated."""

@@ -23,6 +23,7 @@ from . import (          # noqa: F401  (imported for registration side effect)
     fig8_dlrm,
     fig9_dlrm_snc,
     fig10_dsb,
+    figc_cluster,
     figf_degraded_cxl,
     extensions,
 )

@@ -14,6 +14,7 @@ from ..analysis.tables import series_table
 from ..apps.dlrm import DlrmInferenceStudy
 from ..apps.dlrm.nearmem import NearMemoryReduction
 from ..config import pooled_cxl_testbed
+from ..faults import FaultPlan
 from ..memo.loaded_latency import LoadedLatencyBench
 from ..tiering import (
     MigrationEngine,
@@ -87,23 +88,48 @@ def run_nearmem(fast: bool) -> ExperimentResult:
                             "\n".join(rows), checks)
 
 
+# The ext-pooling degraded reference: every pooled expander retrained
+# to half link width with occasional device stalls (docs/FAULTS.md).
+POOLING_DEGRADED_PLAN = FaultPlan(link_width_fraction=0.5,
+                                  stall_rate=0.02, seed=5)
+
+
 @register("ext-pooling", "Multi-expander pooling",
           "§5.2 bandwidth anticipation")
-def run_pooling(fast: bool) -> ExperimentResult:
+def run_pooling(fast: bool,
+                fault_plan: FaultPlan | None = None) -> ExperimentResult:
     del fast
+    plan = fault_plan if fault_plan is not None else POOLING_DEGRADED_PLAN
     rows = []
-    throughputs = {}
+    healthy = {}
+    degraded = {}
     for devices in (1, 2, 4):
-        study = DlrmInferenceStudy(pooled_cxl_testbed(devices))
-        throughputs[devices] = study.kernel("cxl-pool").throughput(32)
+        testbed = pooled_cxl_testbed(devices)
+        healthy[devices] = DlrmInferenceStudy(
+            testbed).kernel("cxl-pool").throughput(32)
+        # The degraded twin reuses the same testbed; the plan derates
+        # every expander's analytic model (expected stall/retry ns on
+        # the protocol path, CRC/retrain derate on the link ceiling).
+        degraded[devices] = DlrmInferenceStudy(
+            testbed, fault_plan=plan).kernel("cxl-pool").throughput(32)
         rows.append(f"{devices} device(s): "
-                    f"{throughputs[devices]:12,.0f} inferences/s @32T")
+                    f"{healthy[devices]:12,.0f} inferences/s @32T "
+                    f"(degraded: {degraded[devices]:12,.0f})")
     checks = [
         ShapeCheck("pooling scales bandwidth-bound throughput",
-                   throughputs[2] > 1.8 * throughputs[1]
-                   and throughputs[4] > 3.2 * throughputs[1],
-                   f"x2={throughputs[2] / throughputs[1]:.2f}, "
-                   f"x4={throughputs[4] / throughputs[1]:.2f}"),
+                   healthy[2] > 1.8 * healthy[1]
+                   and healthy[4] > 3.2 * healthy[1],
+                   f"x2={healthy[2] / healthy[1]:.2f}, "
+                   f"x4={healthy[4] / healthy[1]:.2f}"),
+        ShapeCheck("a degraded pool never beats a healthy one",
+                   all(degraded[n] < healthy[n] for n in healthy),
+                   ", ".join(f"x{n}={degraded[n] / healthy[n]:.2f}"
+                             for n in sorted(healthy))),
+        ShapeCheck("pooling still scales under degraded links",
+                   degraded[2] > 1.5 * degraded[1]
+                   and degraded[4] > 2.5 * degraded[1],
+                   f"x2={degraded[2] / degraded[1]:.2f}, "
+                   f"x4={degraded[4] / degraded[1]:.2f}"),
     ]
     return ExperimentResult("ext-pooling", "Multi-expander pooling",
                             "\n".join(rows), checks)

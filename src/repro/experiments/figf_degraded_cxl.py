@@ -31,7 +31,8 @@ BASE_PLAN = FaultPlan(crc_rate=0.01, poison_rate=0.002,
 THREADS = 4
 
 
-def _run_points(plans: list[FaultPlan | None], lines: int,
+def _run_points(plans: list[FaultPlan | None],
+                severities: list[float], lines: int,
                 jobs: int) -> list[E2eResult]:
     """One sim run per plan, optionally sharded across processes."""
     run_kwargs = {"threads": THREADS, "lines_per_thread": lines}
@@ -41,8 +42,11 @@ def _run_points(plans: list[FaultPlan | None], lines: int,
 
         units = [(CxlEndToEndSim, {"fault_plan": plan}, run_kwargs, None)
                  for plan in plans]
+        names = [f"figF[severity={severity:g}x]"
+                 for severity in severities]
         return [result for result, _export
-                in ParallelRunner(jobs).map(run_sim_point, units)]
+                in ParallelRunner(jobs, names=names).map(run_sim_point,
+                                                         units)]
     return [CxlEndToEndSim(fault_plan=plan).run(**run_kwargs)
             for plan in plans]
 
@@ -57,7 +61,7 @@ def run(fast: bool, jobs: int = 1,
     lines = 600 if fast else 2000
     plans = [base.scaled(severity) if severity > 0 else None
              for severity in severities]
-    results = _run_points(plans, lines, jobs)
+    results = _run_points(plans, severities, lines, jobs)
     # The zero-plan fast path must be byte-identical to an explicit
     # all-zero-rates plan (the "faults off means OFF" contract).
     zero_plan_result = CxlEndToEndSim(fault_plan=ZERO_FAULTS).run(

@@ -134,7 +134,9 @@ REGISTRY: dict[str, Experiment] = {}
 # Paper-figure aliases for extension experiments ("figF" is how the
 # roadmap refers to the degraded-mode figure; the registry id is the
 # descriptive name).
-ALIASES: dict[str, str] = {"figF": "degraded-cxl"}
+ALIASES: dict[str, str] = {"figF": "degraded-cxl",
+                           "figC": "cluster-pooling",
+                           "figC-deg": "cluster-degraded"}
 
 
 def register(experiment_id: str, title: str, paper_ref: str):

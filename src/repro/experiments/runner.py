@@ -4,6 +4,7 @@ Examples::
 
     repro-experiments                 # run everything (fast parameters)
     repro-experiments fig3 fig5       # selected figures
+    repro-experiments --only figC     # same selection, flag form
     repro-experiments --full fig6     # full-resolution sweep
     repro-experiments --jobs 4        # fan experiments across processes
     repro-experiments --no-cache fig3 # force re-simulation
@@ -58,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
                     "simulated testbed")
     parser.add_argument("ids", nargs="*",
                         help="experiment ids (default: all)")
+    parser.add_argument("--only", action="append", metavar="ID",
+                        default=None,
+                        help="run only this experiment id or alias "
+                             "(repeatable; combines with positional "
+                             "ids)")
     parser.add_argument("--full", action="store_true",
                         help="full-resolution sweeps (slower)")
     parser.add_argument("--list", action="store_true",
@@ -413,7 +419,8 @@ def main(argv: list[str] | None = None) -> int:
             f"{sum(1 for c in checks if not c.passed)} validation "
             f"check(s) failed", code=EXIT_FAILED_CHECKS)
 
-    ids = [resolve_id(eid) for eid in args.ids] or sorted(REGISTRY)
+    selected = list(args.ids) + (args.only or [])
+    ids = [resolve_id(eid) for eid in selected] or sorted(REGISTRY)
     unknown = [eid for eid in ids if eid not in REGISTRY]
     if unknown:
         return runlog.error(

@@ -44,29 +44,46 @@ class ParallelRunner:
     CLIs can default to ``--jobs 1`` without perturbing tier-1 runs.
 
     ``progress`` is an optional stderr-side callback fed from unit
-    completions — ``progress(event, index, total, wall_s=...)`` with
-    ``event`` one of ``"started"`` / ``"finished"`` — which the CLIs
-    bridge to :class:`repro.obs.ProgressReporter` for live ``--jobs``
-    sweeps.  It runs in the parent process only (never pickled), fires
-    in *completion* order, and must not touch the results, so enabling
-    it cannot perturb the ordered byte-identical output contract.
+    completions — ``progress(event, index, total, wall_s=...,
+    name=...)`` with ``event`` one of ``"started"`` / ``"finished"`` —
+    which the CLIs bridge to :class:`repro.obs.ProgressReporter` for
+    live ``--jobs`` sweeps.  It runs in the parent process only (never
+    pickled), fires in *completion* order, and must not touch the
+    results, so enabling it cannot perturb the ordered byte-identical
+    output contract.
+
+    ``names`` labels the units for progress and failure reporting —
+    sweep-shaped callers pass human-readable point labels (e.g.
+    ``figC[qps=50k,skew=0.99]``) so sharded-sweep progress lines and
+    supervised-retry summaries name the point, not a bare index.
+    Unnamed units fall back to ``unit-<index>``.
     """
 
     def __init__(self, jobs: int = 1,
-                 progress: Callable[..., None] | None = None) -> None:
+                 progress: Callable[..., None] | None = None,
+                 names: Sequence[str] | None = None) -> None:
         if jobs < 1:
             raise SimulationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.progress = progress
+        self.names = list(names) if names is not None else None
 
     @property
     def parallel(self) -> bool:
         return self.jobs > 1
 
+    def unit_name(self, index: int) -> str:
+        """The display label of unit ``index`` (``unit-<index>`` when
+        the caller named nothing)."""
+        if self.names is not None and index < len(self.names):
+            return self.names[index]
+        return f"unit-{index}"
+
     def _notify(self, event: str, index: int, total: int,
                 wall_s: float | None = None) -> None:
         if self.progress is not None:
-            self.progress(event, index, total, wall_s=wall_s)
+            self.progress(event, index, total, wall_s=wall_s,
+                          name=self.unit_name(index))
 
     def map(self, fn: Callable[[Any], Any],
             specs: Iterable[Any]) -> list[Any]:

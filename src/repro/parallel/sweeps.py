@@ -12,6 +12,9 @@ Three unit shapes cover the repo's sweeps:
   ``repro-experiments --jobs`` unit);
 * :func:`run_kv_p99_point` — one (workload, placement, QPS) point of a
   Redis-YCSB p99 curve (Fig 6's inner shard);
+* :func:`run_cluster_point` — one (QPS, skew, pool-share) point of the
+  figC cluster-pooling sweep: builds the topology *inside* the worker
+  (pool carving is per-point state) and runs the cluster DES;
 * :func:`run_model_series` — one analytic series of the MEMO
   bandwidth/random benches (a batch of closed-form model evaluations).
 
@@ -131,6 +134,31 @@ def run_kv_p99_point(spec: tuple) -> Any:
     study = RedisYcsbStudy(system, num_keys=num_keys, seed=seed)
     return study.p99_point(workload, cxl_fraction, qps,
                            requests=requests)
+
+
+def run_cluster_point(spec: tuple) -> tuple[Any, dict | None]:
+    """One cluster sweep point: topology + sim + open-loop run.
+
+    ``spec`` is ``(topo_kwargs, sim_kwargs, run_kwargs,
+    telemetry_spec)``.  The worker rebuilds the
+    :class:`~repro.cluster.ClusterTopology` from scratch — carving the
+    pool is part of the point, so serial and sharded runs construct
+    identical fleets — and every random draw inside
+    :class:`~repro.cluster.ClusterSim` is counter-based or
+    request-indexed, which is what makes the merge byte-identical.
+    Returns ``(ClusterResult, telemetry_export)``.
+    """
+    topo_kwargs, sim_kwargs, run_kwargs, tspec = spec
+    from ..cluster import ClusterSim, ClusterTopology
+
+    telemetry = fresh_telemetry(tspec) if isinstance(
+        tspec, TelemetrySpec) else None
+    topology = ClusterTopology(**topo_kwargs)
+    sim = ClusterSim(topology, telemetry=telemetry, **sim_kwargs)
+    result = sim.run(**run_kwargs)
+    export = export_telemetry(telemetry) \
+        if telemetry is not None else None
+    return result, export
 
 
 def run_series_supervised(specs: list, *, jobs: int, policy,

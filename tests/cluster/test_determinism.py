@@ -1,0 +1,67 @@
+"""Serial ≡ parallel for the cluster experiments, byte for byte.
+
+The acceptance bar for the cluster subsystem: ``repro-experiments figC``
+saved serially and with ``--jobs N`` produce identical artifacts, and
+repeated in-process runs of :class:`ClusterSim` compare equal — all
+randomness is pre-drawn or counter-based, so scheduling can never leak
+into results.
+"""
+
+import filecmp
+from pathlib import Path
+
+from repro.cluster import ClusterSim, ClusterTopology, LinkDown
+from repro.experiments.runner import main
+from repro.faults import FaultPlan
+
+
+def saved_files(path: Path) -> list[str]:
+    return sorted(p.name for p in path.iterdir())
+
+
+def assert_dirs_byte_identical(serial: Path, parallel: Path) -> None:
+    assert saved_files(serial) == saved_files(parallel)
+    for name in saved_files(serial):
+        assert filecmp.cmp(serial / name, parallel / name,
+                           shallow=False), f"{name} differs"
+
+
+class TestSimRepeatability:
+    def test_identical_runs_compare_equal(self):
+        def run():
+            topo = ClusterTopology(3, keys_per_host=10_000)
+            sim = ClusterSim(topo, seed=11,
+                             fault_plans={0: FaultPlan(stall_rate=0.05,
+                                                       seed=2)},
+                             link_down=LinkDown(host=0, at_fraction=0.5))
+            return sim.run(qps=90_000.0, requests=1_000)
+        assert run() == run()
+
+    def test_seed_changes_the_result(self):
+        def run(seed):
+            topo = ClusterTopology(3, keys_per_host=10_000)
+            return ClusterSim(topo, seed=seed).run(qps=90_000.0,
+                                                   requests=1_000)
+        assert run(1) != run(2)
+
+
+class TestRunnerByteIdentity:
+    def test_figc_serial_matches_jobs(self, tmp_path, capsys):
+        serial = tmp_path / "serial"
+        parallel = tmp_path / "parallel"
+        assert main(["--only", "figC", "--no-cache",
+                     "--save", str(serial)]) == 0
+        assert main(["--only", "figC", "--no-cache", "--jobs", "2",
+                     "--save", str(parallel)]) == 0
+        capsys.readouterr()
+        assert_dirs_byte_identical(serial, parallel)
+
+    def test_degraded_variant_serial_matches_jobs(self, tmp_path, capsys):
+        serial = tmp_path / "serial"
+        parallel = tmp_path / "parallel"
+        assert main(["--only", "figC-deg", "--no-cache",
+                     "--save", str(serial)]) == 0
+        assert main(["--only", "figC-deg", "--no-cache", "--jobs", "2",
+                     "--save", str(parallel)]) == 0
+        capsys.readouterr()
+        assert_dirs_byte_identical(serial, parallel)

@@ -1,0 +1,88 @@
+"""PoolAllocator invariants: exact accounting, no overlap, no overcommit."""
+
+import pytest
+
+from repro.cluster import PoolAllocator, PoolSlice, SpillPlan, plan_spill
+from repro.errors import ClusterError
+
+MIB = 1 << 20
+
+
+class TestCarving:
+    def test_slices_are_address_ordered_and_disjoint(self):
+        pool = PoolAllocator(16 * MIB)
+        slices = [pool.carve(f"host{i}", 4 * MIB) for i in range(4)]
+        assert [s.base for s in slices] == [0, 4 * MIB, 8 * MIB, 12 * MIB]
+        for a in slices:
+            for b in slices:
+                if a is not b:
+                    assert not a.overlaps(b)
+
+    def test_overcommit_raises_instead_of_thin_provisioning(self):
+        pool = PoolAllocator(8 * MIB)
+        pool.carve("host0", 6 * MIB)
+        with pytest.raises(ClusterError, match="overcommit"):
+            pool.carve("host1", 4 * MIB)
+        # The failed carve must not have consumed capacity.
+        assert pool.free_bytes == 2 * MIB
+
+    def test_release_returns_bytes_but_not_addresses(self):
+        pool = PoolAllocator(8 * MIB)
+        piece = pool.carve("host0", 4 * MIB)
+        pool.release(piece)
+        assert pool.allocated_bytes == 0
+        fresh = pool.carve("host1", 4 * MIB)
+        assert fresh.base == 4 * MIB   # bump pointer never rewinds
+
+    def test_double_release_rejected(self):
+        pool = PoolAllocator(8 * MIB)
+        piece = pool.carve("host0", MIB)
+        pool.release(piece)
+        with pytest.raises(ClusterError, match="unknown slice"):
+            pool.release(piece)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ClusterError):
+            PoolAllocator(0)
+        pool = PoolAllocator(MIB)
+        with pytest.raises(ClusterError):
+            pool.carve("host0", 0)
+        with pytest.raises(ClusterError):
+            PoolSlice(host="h", base=-1, size=MIB)
+
+
+class TestAccounting:
+    def test_utilization_is_exact(self):
+        pool = PoolAllocator(10 * MIB)
+        pool.carve("host0", 3 * MIB)
+        assert pool.utilization() == pytest.approx(0.3)
+        pool.carve("host1", 2 * MIB)
+        assert pool.utilization() == pytest.approx(0.5)
+
+    def test_slice_of_finds_the_live_slice(self):
+        pool = PoolAllocator(8 * MIB)
+        mine = pool.carve("host1", MIB)
+        pool.carve("host2", MIB)
+        assert pool.slice_of("host1") == mine
+        assert pool.slice_of("host9") is None
+
+
+class TestSpillPlanning:
+    def test_local_dram_fills_first(self):
+        plan = plan_spill(10 * MIB, 6 * MIB)
+        assert plan == SpillPlan(local_bytes=6 * MIB, pool_bytes=4 * MIB)
+        assert plan.pool_fraction == pytest.approx(0.4)
+
+    def test_fitting_demand_never_spills(self):
+        plan = plan_spill(4 * MIB, 6 * MIB)
+        assert plan.pool_bytes == 0
+        assert plan.pool_fraction == 0.0
+
+    def test_zero_demand_is_legal(self):
+        assert plan_spill(0, MIB).pool_fraction == 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ClusterError):
+            plan_spill(-1, MIB)
+        with pytest.raises(ClusterError):
+            plan_spill(MIB, -1)

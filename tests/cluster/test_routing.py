@@ -1,0 +1,62 @@
+"""Routing policies: deterministic picks, failover, empty-fleet errors."""
+
+import pytest
+
+from repro.cluster import (
+    HashShardRouter,
+    HostView,
+    LeastLoadedRouter,
+    make_router,
+)
+from repro.errors import ClusterError
+
+
+def fleet(n, down=(), load=None):
+    load = load or {}
+    return [HostView(i, up=i not in down, in_flight=load.get(i, 0))
+            for i in range(n)]
+
+
+class TestHashShard:
+    def test_healthy_owner_serves_its_keys(self):
+        router = HashShardRouter()
+        assert router.route(key=123, owner=2, hosts=fleet(4)) == 2
+
+    def test_downed_owner_probes_forward_deterministically(self):
+        router = HashShardRouter()
+        assert router.route(0, 1, fleet(4, down={1})) == 2
+        assert router.route(0, 1, fleet(4, down={1, 2})) == 3
+        assert router.route(0, 3, fleet(4, down={3})) == 0   # wraps
+
+    def test_dead_fleet_raises(self):
+        with pytest.raises(ClusterError, match="no surviving"):
+            HashShardRouter().route(0, 0, fleet(3, down={0, 1, 2}))
+
+
+class TestLeastLoaded:
+    def test_picks_minimum_in_flight(self):
+        router = LeastLoadedRouter()
+        hosts = fleet(4, load={0: 5, 1: 2, 2: 7, 3: 3})
+        assert router.route(0, owner=0, hosts=hosts) == 1
+
+    def test_tie_breaks_toward_owner_then_lowest_index(self):
+        router = LeastLoadedRouter()
+        hosts = fleet(4, load={0: 1, 1: 1, 2: 1, 3: 1})
+        assert router.route(0, owner=2, hosts=hosts) == 2
+        hosts = fleet(4, load={0: 1, 1: 1, 2: 9, 3: 1})
+        assert router.route(0, owner=2, hosts=hosts) == 0
+
+    def test_skips_downed_hosts(self):
+        router = LeastLoadedRouter()
+        hosts = fleet(3, down={0}, load={0: 0, 1: 4, 2: 5})
+        assert router.route(0, owner=0, hosts=hosts) == 1
+
+
+class TestFactory:
+    def test_registered_names_resolve(self):
+        assert isinstance(make_router("hash-shard"), HashShardRouter)
+        assert isinstance(make_router("least-loaded"), LeastLoadedRouter)
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ClusterError, match="hash-shard"):
+            make_router("round-robin")

@@ -12,7 +12,8 @@ class TestRegistry:
     def test_every_paper_artifact_is_registered(self):
         paper = {"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
                  "fig7", "fig8", "fig9", "fig10"}
-        named_extensions = {"degraded-cxl"}
+        named_extensions = {"degraded-cxl", "cluster-pooling",
+                            "cluster-degraded"}
         assert paper <= set(REGISTRY)
         extras = set(REGISTRY) - paper - named_extensions
         assert all(eid.startswith("ext-") for eid in extras)
@@ -94,6 +95,12 @@ class TestCli:
             ["--jobs", "4", "--no-cache", "fig3"])
         assert args.jobs == 4
         assert args.no_cache
+
+    def test_parser_only_flag_accumulates(self):
+        args = build_parser().parse_args(
+            ["--only", "figC", "--only", "figC-deg"])
+        assert args.only == ["figC", "figC-deg"]
+        assert args.ids == []
 
     def test_parser_faults_flag(self):
         args = build_parser().parse_args(

@@ -15,6 +15,7 @@ from repro.cxl.messages import read_transaction
 from repro.cxl.port import CxlPort
 from repro.errors import SimulationError
 from repro.faults import FaultPlan, ZERO_FAULTS
+from repro.mem.dram import AccessPattern
 from repro.telemetry import Telemetry
 
 PLAN = FaultPlan(crc_rate=0.02, poison_rate=0.005, timeout_rate=0.002,
@@ -113,11 +114,18 @@ class TestLinkSim:
 
 class TestAnalyticBackend:
     def test_fault_plan_derates_bandwidth_and_adds_latency(self):
+        # The derate applies to the *combined* ceiling (bus_ceiling),
+        # not just the wire: retries hold the device pipeline too, so
+        # degradation bites even when DRAM, not the link, binds.
         config = combined_testbed().cxl
         healthy = build_cxl_backend(config)
         degraded = build_cxl_backend(config, fault_plan=PLAN)
         assert degraded.extra_read_ns > healthy.extra_read_ns
-        assert degraded.link_bandwidth < healthy.link_bandwidth
+        assert degraded.link_bandwidth == healthy.link_bandwidth
+        assert (degraded.bus_ceiling(AccessPattern.SEQUENTIAL, 64, 8)
+                < healthy.bus_ceiling(AccessPattern.SEQUENTIAL, 64, 8))
+        assert (degraded.bus_ceiling(AccessPattern.RANDOM_BLOCK, 256, 8)
+                < healthy.bus_ceiling(AccessPattern.RANDOM_BLOCK, 256, 8))
 
     def test_zero_plan_changes_nothing(self):
         config = combined_testbed().cxl
@@ -125,6 +133,8 @@ class TestAnalyticBackend:
         zeroed = build_cxl_backend(config, fault_plan=ZERO_FAULTS)
         assert zeroed.extra_read_ns == healthy.extra_read_ns
         assert zeroed.link_bandwidth == healthy.link_bandwidth
+        assert (zeroed.bus_ceiling(AccessPattern.SEQUENTIAL, 64, 8)
+                == healthy.bus_ceiling(AccessPattern.SEQUENTIAL, 64, 8))
 
     def test_system_build_unaffected_by_module_import(self):
         # Importing repro.faults anywhere must not disturb the healthy

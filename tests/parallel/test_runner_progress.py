@@ -17,11 +17,14 @@ class Recorder:
     def __init__(self):
         self.events = []
 
-    def __call__(self, event, index, total, wall_s=None):
-        self.events.append((event, index, total, wall_s))
+    def __call__(self, event, index, total, wall_s=None, name=None):
+        self.events.append((event, index, total, wall_s, name))
 
     def of(self, kind):
         return [e for e in self.events if e[0] == kind]
+
+    def names(self, kind):
+        return [e[4] for e in self.of(kind)]
 
 
 class TestSerialProgress:
@@ -40,6 +43,22 @@ class TestSerialProgress:
         with pytest.raises(ValueError):
             ParallelRunner(1, progress=recorder).map(_blow_up, [1])
         assert recorder.of("started") and not recorder.of("finished")
+
+    def test_default_names_are_indexed_units(self):
+        recorder = Recorder()
+        ParallelRunner(1, progress=recorder).map(_square, [3, 1])
+        assert recorder.names("finished") == ["unit-0", "unit-1"]
+
+    def test_caller_names_label_every_event(self):
+        recorder = Recorder()
+        runner = ParallelRunner(
+            1, progress=recorder,
+            names=["figC[qps=50k,skew=0.99]", "figC[qps=100k,skew=0.99]"])
+        runner.map(_square, [3, 1])
+        assert recorder.names("started") \
+            == ["figC[qps=50k,skew=0.99]", "figC[qps=100k,skew=0.99]"]
+        assert runner.unit_name(0) == "figC[qps=50k,skew=0.99]"
+        assert runner.unit_name(7) == "unit-7"
 
 
 class TestParallelProgress:
