@@ -1,8 +1,12 @@
 """Record wall-clock timings for the experiment suite as BENCH_<label>.json.
 
 Gives perf PRs a written trajectory: each run captures per-figure serial
-seconds, the whole-suite serial vs ``--jobs N`` wall clock, and the DES
-engine microbenchmarks the hot-path optimizations target.  Usage::
+seconds (plus ``--jobs N`` seconds for internally-sharded figures), the
+whole-suite serial vs ``--jobs N`` wall clock, the effective CPU count
+(affinity/cgroup aware, so recorded speedups carry honest context), and
+the DES engine microbenchmarks — including raw scheduler throughput
+(``engine.events_per_sec``) — the hot-path optimizations target.
+Usage::
 
     PYTHONPATH=src python benchmarks/bench_to_json.py --label local --jobs 4
     PYTHONPATH=src python benchmarks/bench_to_json.py --label ci \
@@ -44,10 +48,51 @@ def _best_of(fn, repeats: int) -> float:
     return min(_time_once(fn) for _ in range(max(1, repeats)))
 
 
+def effective_cpu_count() -> int:
+    """CPUs this process can actually use, not what the host has.
+
+    ``os.cpu_count()`` reports the machine; in a container with a CPU
+    affinity mask or a cgroup-v2 quota that overstates the parallelism
+    a ``--jobs N`` run really got, which makes recorded speedups
+    uninterpretable.  Take the most restrictive of the affinity mask,
+    the cgroup quota (``cpu.max``), and the host count.
+    """
+    host = os.cpu_count() or 1
+    candidates = [host]
+    try:
+        candidates.append(len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        pass
+    try:
+        quota_text = Path("/sys/fs/cgroup/cpu.max").read_text().split()
+        if quota_text and quota_text[0] != "max":
+            quota, period = int(quota_text[0]), int(quota_text[1])
+            if quota > 0 and period > 0:
+                candidates.append(max(1, quota // period))
+    except (FileNotFoundError, OSError, ValueError, IndexError):
+        pass
+    return min(candidates)
+
+
+def _load_sibling(name: str):
+    """Import a benchmarks/ sibling by path (works however this file
+    was loaded — ``python benchmarks/bench_to_json.py`` or an importlib
+    spec, neither of which guarantees benchmarks/ on sys.path)."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        name, Path(__file__).resolve().parent / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
 def engine_microbench(repeats: int) -> dict:
-    """The DES hot paths: e2e read sweep + nt-store drain."""
+    """The DES hot paths: raw event throughput + the e2e sims."""
     from repro.cxl.e2e_sim import CxlEndToEndSim, CxlWriteEndToEndSim
 
+    rate = _load_sibling("engine_events_per_sec").events_per_sec(
+        repeats=repeats)
     read_sweep_s = _best_of(
         lambda: CxlEndToEndSim().sweep([1, 2, 4, 8, 12, 16, 32],
                                        lines_per_thread=1000),
@@ -56,7 +101,8 @@ def engine_microbench(repeats: int) -> dict:
         lambda: CxlWriteEndToEndSim().run(threads=8,
                                           lines_per_thread=1000),
         repeats)
-    return {"e2e_read_sweep_s": round(read_sweep_s, 4),
+    return {"events_per_sec": round(rate),
+            "e2e_read_sweep_s": round(read_sweep_s, 4),
             "e2e_write_run_s": round(write_run_s, 4)}
 
 
@@ -130,27 +176,43 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     fast = not args.full
 
+    # Measure the parallel pass FIRST, while this process is still
+    # lean: the suite schedule forks worker pools, and forking after
+    # the serial figure loop has bloated the parent heap overstates
+    # the wall time vs what `repro-experiments --jobs N` (a fresh
+    # process) actually costs.  Same scheduling as
+    # `repro-experiments --jobs N --no-cache`: internally-sharded
+    # heavies + one-experiment-per-worker rest.
+    parallel_total = _best_of(
+        lambda: _run_ids(ids, fast=fast, jobs=args.jobs,
+                         use_cache=False),
+        args.repeats)
+    print(f"{'suite':20s} --jobs {args.jobs} {parallel_total:7.3f}s",
+          flush=True)
+
     figures = {}
     for eid in ids:
         seconds = _best_of(lambda: REGISTRY[eid].run(fast=fast),
                            args.repeats)
         figures[eid] = {"serial_s": round(seconds, 4)}
-        print(f"{eid:20s} serial {seconds:7.3f}s", flush=True)
+        line = f"{eid:20s} serial {seconds:7.3f}s"
+        if REGISTRY[eid].accepts_jobs and args.jobs > 1:
+            jobs_seconds = _best_of(
+                lambda: REGISTRY[eid].run(fast=fast, jobs=args.jobs),
+                args.repeats)
+            figures[eid]["jobs_s"] = round(jobs_seconds, 4)
+            line += f"  --jobs {args.jobs} {jobs_seconds:7.3f}s"
+        print(line, flush=True)
 
     serial_total = sum(entry["serial_s"] for entry in figures.values())
-    # Same scheduling as `repro-experiments --jobs N --no-cache`:
-    # internally-sharded heavies + one-experiment-per-worker rest.
-    parallel_total = _best_of(
-        lambda: _run_ids(ids, fast=fast, jobs=args.jobs,
-                         use_cache=False),
-        args.repeats)
     speedup = serial_total / parallel_total if parallel_total else 0.0
     print(f"{'suite':20s} serial {serial_total:7.3f}s  "
           f"--jobs {args.jobs} {parallel_total:7.3f}s  "
           f"(x{speedup:.2f})", flush=True)
 
     engine = engine_microbench(args.repeats)
-    print(f"{'engine':20s} read-sweep {engine['e2e_read_sweep_s']}s  "
+    print(f"{'engine':20s} {engine['events_per_sec']:,} events/s  "
+          f"read-sweep {engine['e2e_read_sweep_s']}s  "
           f"write-run {engine['e2e_write_run_s']}s")
 
     payload = {
@@ -159,7 +221,7 @@ def main(argv: list[str] | None = None) -> int:
         .strftime("%Y-%m-%dT%H:%M:%SZ"),
         "version": repro.__version__,
         "python": platform.python_version(),
-        "cpus": os.cpu_count(),
+        "cpus": effective_cpu_count(),
         "mode": "full" if args.full else "fast",
         "jobs": args.jobs,
         "figures": figures,

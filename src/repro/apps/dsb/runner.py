@@ -9,7 +9,7 @@ import numpy as np
 from ...cpu.system import System
 from ...errors import WorkloadError
 from ...sim import Engine, LatencyRecorder
-from ...sim.process import spawn
+from ...sim.process import Serve, spawn
 from ...sim.rng import substream
 from ...telemetry import NULL_TELEMETRY, Telemetry
 
@@ -72,28 +72,47 @@ class DsbRunner:
         types = list(mix.keys())
         shares = np.array([mix[t] for t in types])
 
-        def stage_visits(stage: StageRuntime, visits: float):
-            for _ in range(int(visits)):
-                yield from self._visit(engine, stage, rng)
-            fractional = visits - int(visits)
+        # Per request type, flatten the recipe once into (fused Serve
+        # command, whole visits, fractional visit) triples — Serve is
+        # immutable and samples at grant time, so one instance per
+        # stage serves every request of the run byte-identically to
+        # the historical acquire/timeout/release triple per visit.
+        plans: dict[RequestType, tuple[list, list]] = {}
+        for request in types:
+            group = PARALLEL_GROUPS[request]
+            serial: list = []
+            forked: list = []
+            for stage, visits in self.network.recipe(request):
+                item = (Serve(stage.server, stage.sample_service_ns, rng),
+                        int(visits), visits - int(visits),
+                        stage.stage.name)
+                if stage.stage.name in group:
+                    forked.append(item)
+                else:
+                    serial.append(item[:3])
+            plans[request] = (serial, forked)
+
+        def stage_visits(visit, whole: int, fractional: float):
+            for _ in range(whole):
+                yield visit
             if fractional > 0 and rng.random() < fractional:
-                yield from self._visit(engine, stage, rng)
+                yield visit
 
         def request_body(request: RequestType, arrival: float):
-            group = PARALLEL_GROUPS[request]
-            forked = []
-            for stage, visits in self.network.recipe(request):
-                if stage.stage.name in group:
-                    forked.append((stage, visits))
-                else:
-                    yield from stage_visits(stage, visits)
+            serial, forked = plans[request]
+            for visit, whole, fractional in serial:
+                for _ in range(whole):
+                    yield visit
+                if fractional > 0 and rng.random() < fractional:
+                    yield visit
             if forked:
                 # Fork the concurrent legs, then join them all — the
                 # compose-post pattern where media/text processing and
                 # the database writes overlap.
-                children = [spawn(engine, stage_visits(stage, visits),
-                                  name=stage.stage.name)
-                            for stage, visits in forked]
+                children = [spawn(engine,
+                                  stage_visits(visit, whole, fractional),
+                                  name=name, immediate=True)
+                            for visit, whole, fractional, name in forked]
                 for child in children:
                     yield child
             sojourn.record(engine.now - arrival)
@@ -103,15 +122,19 @@ class DsbRunner:
                 tracer.complete(DSB_TRACK, request.value, arrival,
                                 engine.now - arrival)
 
+        def start_request(request: RequestType, arrival_time: float):
+            spawn(engine, request_body(request, arrival_time),
+                  name=request.value, immediate=True)
+
         gaps = rng.exponential(1e9 / qps, size=requests)
+        # One batched draw consumes the exact word stream of the
+        # historical per-request rng.choice calls.
+        choices = rng.choice(len(types), size=requests, p=shares)
         arrival = 0.0
-        for gap in gaps:
-            arrival += float(gap)
-            choice = types[int(rng.choice(len(types), p=shares))]
-            engine.schedule_at(
-                arrival,
-                lambda r=choice, t=arrival: spawn(
-                    engine, request_body(r, t), name=r.value))
+        for index in range(requests):
+            arrival += float(gaps[index])
+            engine.schedule_at(arrival, start_request,
+                               types[int(choices[index])], arrival)
         engine.run()
 
         if completed[0] == 0:
@@ -128,11 +151,8 @@ class DsbRunner:
 
     @staticmethod
     def _visit(engine: Engine, stage: StageRuntime, rng):
-        """One stage visit as process commands (acquire/serve/release)."""
-        from ...sim.process import Acquire, Release, Timeout
-        yield Acquire(stage.server)
-        yield Timeout(stage.sample_service_ns(rng))
-        yield Release(stage.server)
+        """One stage visit as a process command (fused acquire/serve/release)."""
+        yield Serve(stage.server, stage.sample_service_ns, rng)
 
     # -- convenience -----------------------------------------------------------
 
@@ -182,3 +202,56 @@ class DsbRunner:
                 series.append(qps, self.run(qps, mix=mix,
                                             requests=requests).p99_ms)
         return series
+
+
+def p99_curves(combos: list[tuple["DsbRunner", RequestType | None]],
+               qps_points: list[float], *, requests: int = 4000,
+               jobs: int = 1):
+    """Every Fig-10 curve in one flat (combo × QPS) sweep.
+
+    ``combos`` pairs a runner (DRAM- or CXL-backed database) with a
+    request type (``None`` = the mixed workload).  With ``jobs > 1``
+    each *(combo, qps)* point is its own worker unit — the whole
+    figure shards at once instead of curve-at-a-time, so workers stay
+    busy across panel boundaries.  Results reassemble combo-major,
+    QPS-minor; telemetry merges into the first runner's session in
+    unit order.  Byte-identical to the serial loop either way.
+    """
+    from ...analysis.series import Series
+    if jobs > 1 and len(combos) * len(qps_points) > 1:
+        from ...parallel import ParallelRunner, merge_all, telemetry_spec
+        from ...parallel.sweeps import run_sim_point
+        spec = telemetry_spec(combos[0][0].telemetry)
+        units = []
+        names = []
+        for runner, request_type in combos:
+            mix = (MIXED_WORKLOAD if request_type is None
+                   else {request_type: 1.0})
+            label = request_type.value if request_type else "mixed"
+            node = runner.network.database_node
+            kind = runner.system.topology.node(node).kind.value
+            for qps in qps_points:
+                units.append((DsbRunner, runner._init_kwargs(),
+                              {"qps": qps, "mix": mix,
+                               "requests": requests}, spec))
+                names.append(f"fig10[{label}@{kind},qps={qps:g}]")
+        outputs = ParallelRunner(jobs, names=names).map(
+            run_sim_point, units)
+        merge_all(combos[0][0].telemetry,
+                  (export for _, export in outputs))
+        curves = []
+        for index, (runner, request_type) in enumerate(combos):
+            label = request_type.value if request_type else "mixed"
+            node = runner.network.database_node
+            kind = runner.system.topology.node(node).kind.value
+            series = Series(f"{label}@{kind}", x_label="QPS",
+                            y_label="p99 (ms)")
+            offset = index * len(qps_points)
+            for qps, (result, _) in zip(
+                    qps_points, outputs[offset:offset + len(qps_points)]):
+                series.append(qps, result.p99_ms)
+            curves.append(series)
+        return curves
+    return [runner.p99_curve(qps_points, request_type=request_type,
+                             requests=requests)
+            for runner, request_type in combos]

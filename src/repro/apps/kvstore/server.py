@@ -9,6 +9,7 @@ sojourn time (queue wait + service) is what the p99 curves plot.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from ...errors import WorkloadError
@@ -70,6 +71,11 @@ class KvServer:
             raise WorkloadError(f"QPS must be positive: {target_qps}")
         if requests <= 0:
             raise WorkloadError(f"requests must be positive: {requests}")
+        if (self.workers == 1 and not self.telemetry.enabled
+                and os.environ.get("REPRO_KV_FASTPATH", "") != "0"):
+            # A capacity-1 FIFO station needs no event queue: the
+            # Lindley recursion below replays the DES float-for-float.
+            return self._run_fast(target_qps, requests)
         engine = Engine(telemetry=self.telemetry)
         tracer = self.telemetry.tracer
         traced = tracer.enabled
@@ -133,3 +139,65 @@ class KvServer:
                          p99_ns=sojourn.p99(),
                          mean_service_ns=service_total[0] / completed[0],
                          requests=completed[0])
+
+    def _run_fast(self, target_qps: float, requests: int) -> RunResult:
+        """The ``workers == 1`` analytic fast path (no event queue).
+
+        With a single FIFO slot the DES collapses to the Lindley
+        recursion ``start_i = max(arrival_i, finish_{i-1})``,
+        ``finish_i = start_i + service_i``: arrival events carry the
+        lowest sequence numbers, so grants — and with them every RNG
+        draw (operation, key, service) — happen in arrival-index order
+        exactly as the engine replays them, and the float arithmetic
+        here is the same adds/compares the event loop performs.  The
+        result is byte-identical to the DES path
+        (``REPRO_KV_FASTPATH=0`` forces the engine for verification;
+        ``tests/apps/test_kv_fastpath.py`` pins the equivalence).
+        Tracing runs keep the DES path so per-request trace events and
+        engine trace spans still appear.
+        """
+        store = self.store
+        arrivals = substream(f"arrivals-{self.seed}", self.seed)
+        sojourn = LatencyRecorder("sojourn")
+        next_operation = store.workload.next_operation
+        insert_record = store.insert_record
+        chooser = store.chooser
+        sample_service_ns = store.sample_service_ns
+        record = sojourn.record
+        insert = Operation.INSERT
+
+        gaps = arrivals.exponential(1e9 / target_qps, size=requests)
+        arrival = 0.0
+        finish = 0.0
+        service_total = 0.0
+        for index in range(requests):
+            arrival += float(gaps[index])
+            op = next_operation(arrivals)
+            if op is insert:
+                key = insert_record()
+            else:
+                key = chooser.next_key(arrivals)
+            service = sample_service_ns(op, key)
+            service_total += service
+            start = arrival if arrival >= finish else finish
+            finish = start + service
+            record(finish - arrival)
+
+        if finish <= 0:
+            raise WorkloadError("no requests completed")
+        registry = self.telemetry.registry
+        # Registry parity with the DES path: the engine's end-of-run
+        # gauges (one arrival event + one finish event per request, the
+        # clock left at the last completion) plus the app-level stats.
+        registry.gauge("sim.engine.events_processed").set(2 * requests)
+        registry.gauge("sim.engine.now_ns").set(finish)
+        registry.counter("apps.kvstore.requests").inc(requests)
+        registry.gauge("apps.kvstore.p99_sojourn_ns").set(sojourn.p99())
+        registry.gauge("apps.kvstore.achieved_qps").set(
+            requests / (finish / 1e9))
+        return RunResult(target_qps=target_qps,
+                         achieved_qps=requests / (finish / 1e9),
+                         p50_ns=sojourn.p50(),
+                         p99_ns=sojourn.p99(),
+                         mean_service_ns=service_total / requests,
+                         requests=requests)

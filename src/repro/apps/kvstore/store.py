@@ -80,6 +80,10 @@ class KvStore:
             + system.backend_for_node(node.node_id).idle_read_ns()
             for node in system.topology.nodes}
         self._cache_hit_prob = self._estimate_cache_hit_prob()
+        # Per-key expected miss latency, built lazily on first use
+        # (None = unbuilt, False = record too large for the vectorized
+        # build, ndarray = the table).  See _build_miss_table.
+        self._miss_table: np.ndarray | None | bool = None
 
     def free(self) -> None:
         """Return the store's pages to the allocator (sweep hygiene)."""
@@ -134,8 +138,60 @@ class KvStore:
 
     # -- service times ---------------------------------------------------------
 
+    def _build_miss_table(self) -> np.ndarray | bool:
+        """Vectorize ``average_miss_latency_ns`` over the whole keyspace.
+
+        A record shorter than a page touches at most two pages, so each
+        key's node mix is (lines-on-first-page, lines-on-second-page)
+        split between two ``page_nodes`` entries — a handful of O(keys)
+        integer ops instead of an ``arange``/``nodes_of``/``unique``
+        round-trip per query.  The float expression replicates the
+        scalar path exactly: shares accumulate in ascending node-id
+        order with the same ``count/lines`` division and
+        ``share * ns`` product, and the single-node case collapses to
+        ``1.0 * ns`` just as the scalar sum does — so every table entry
+        is bit-identical to what the per-key computation returns.
+        """
+        page = self.allocation.page_bytes
+        rb = self.record_bytes
+        if rb > page:
+            self._miss_table = False
+            return False
+        nlines = rb // CACHELINE
+        page_nodes = self.allocation.page_nodes
+        ns_arr = np.zeros(max(int(page_nodes.max()),
+                              max(self._node_read_ns)) + 1)
+        for node, ns in self._node_read_ns.items():
+            ns_arr[node] = ns
+        start = np.arange(self.capacity_keys, dtype=np.int64) * rb
+        first_page = start // page
+        last_page = (start + rb - CACHELINE) // page
+        n1 = page_nodes[first_page].astype(np.int64)
+        n2 = page_nodes[last_page].astype(np.int64)
+        # Lines of the record on its first page (start and page are
+        # both cacheline-multiples, so the bound divides exactly).
+        a = np.minimum(nlines, ((first_page + 1) * page - start)
+                       // CACHELINE).astype(np.float64)
+        b = nlines - a
+        lo_first = n1 <= n2
+        c_lo = np.where(lo_first, a, b)
+        c_hi = np.where(lo_first, b, a)
+        ns_lo = ns_arr[np.minimum(n1, n2)]
+        ns_hi = ns_arr[np.maximum(n1, n2)]
+        split = (c_lo / nlines) * ns_lo + (c_hi / nlines) * ns_hi
+        table = np.where(n1 == n2, ns_arr[n1], split)
+        self._miss_table = table
+        return table
+
     def average_miss_latency_ns(self, key: int) -> float:
         """Expected per-miss latency given the record's node mix."""
+        table = self._miss_table
+        if table is None:
+            table = self._build_miss_table()
+        if table is not False:
+            if not 0 <= key < self.num_keys:
+                raise WorkloadError(f"key {key} outside keyspace")
+            return float(table[key])
         mix = self.record_node_mix(key)
         return sum(share * self._node_read_ns[node]
                    for node, share in mix.items())

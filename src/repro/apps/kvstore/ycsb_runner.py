@@ -95,6 +95,46 @@ class RedisYcsbStudy:
             series.append(qps, result.p99_us)
         return series
 
+    def p99_curves(self, workload: YcsbWorkload,
+                   cxl_fractions: list[float],
+                   qps_points: list[float], *, requests: int = 15_000,
+                   jobs: int = 1) -> list[Series]:
+        """Every Fig-6 curve in one flat (fraction × QPS) sweep.
+
+        With ``jobs > 1`` each *(fraction, qps)* pair is its own worker
+        unit — finer sharding than one-curve-at-a-time, so a handful of
+        workers keeps busy across the whole figure instead of stalling
+        at each curve boundary.  Results reassemble fraction-major,
+        QPS-minor, byte-identical to the serial nested loop.
+        """
+        if jobs > 1 and len(cxl_fractions) * len(qps_points) > 1:
+            from ...parallel import ParallelRunner
+            from ...parallel.sweeps import run_kv_p99_point
+            specs = []
+            names = []
+            for fraction in cxl_fractions:
+                label = f"{int(fraction * 100)}%-CXL"
+                for qps in qps_points:
+                    specs.append((self.system, self.num_keys, self.seed,
+                                  workload, fraction, qps, requests))
+                    names.append(f"fig6[{label},qps={qps:g}]")
+            results = ParallelRunner(jobs, names=names).map(
+                run_kv_p99_point, specs)
+            curves = []
+            for index, fraction in enumerate(cxl_fractions):
+                label = f"{int(fraction * 100)}%-CXL"
+                series = Series(label, x_label="QPS", y_label="p99 (us)")
+                offset = index * len(qps_points)
+                for qps, result in zip(
+                        qps_points,
+                        results[offset:offset + len(qps_points)]):
+                    series.append(qps, result.p99_us)
+                curves.append(series)
+            return curves
+        return [self.p99_curve(workload, fraction, qps_points,
+                               requests=requests)
+                for fraction in cxl_fractions]
+
     # -- Fig 7: max sustainable QPS -------------------------------------------
 
     def max_qps(self, workload: YcsbWorkload,

@@ -6,6 +6,7 @@ from .. import build_system, combined_testbed
 from ..analysis.compare import ShapeCheck, check_ratio
 from ..analysis.tables import format_table, series_table
 from ..apps.dsb import DsbRunner, RequestType, memory_breakdown
+from ..apps.dsb.runner import p99_curves
 from ..apps.dsb.socialnet import MIXED_WORKLOAD, SocialNetwork
 from .registry import ExperimentResult, register, series_payload
 
@@ -21,14 +22,21 @@ def run(fast: bool, jobs: int = 1) -> ExperimentResult:
                                                       1600.0]
     requests = 1500 if fast else 5000
 
+    request_types = (RequestType.COMPOSE_POST,
+                     RequestType.READ_USER_TIMELINE, None)
+    # One flat (type × backend × QPS) sweep: with --jobs every point is
+    # its own worker unit instead of sharding one curve at a time.
+    combos = [(runner, request_type)
+              for request_type in request_types
+              for runner in (dram, cxl)]
+    all_curves = p99_curves(combos, qps_points, requests=requests,
+                            jobs=jobs)
+
     panels = []
     per_type_curves = {}
-    for request_type in (RequestType.COMPOSE_POST,
-                         RequestType.READ_USER_TIMELINE, None):
+    for index, request_type in enumerate(request_types):
         name = request_type.value if request_type else "mixed"
-        curves = [runner.p99_curve(qps_points, request_type=request_type,
-                                   requests=requests, jobs=jobs)
-                  for runner in (dram, cxl)]
+        curves = all_curves[2 * index:2 * index + 2]
         per_type_curves[name] = curves
         panels.append(series_table(curves, y_format="{:.2f}",
                                    title=f"Fig 10: {name} p99 (ms)"))

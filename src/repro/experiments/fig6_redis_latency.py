@@ -19,9 +19,8 @@ def run(fast: bool, jobs: int = 1) -> ExperimentResult:
                   [10_000.0, 20_000.0, 30_000.0, 40_000.0, 50_000.0,
                    55_000.0, 60_000.0, 65_000.0, 70_000.0, 80_000.0])
     requests = 6_000 if fast else 20_000
-    curves = [study.p99_curve(workload, fraction, qps_points,
+    curves = study.p99_curves(workload, [0.0, 0.5, 1.0], qps_points,
                               requests=requests, jobs=jobs)
-              for fraction in (0.0, 0.5, 1.0)]
     rendered = series_table(curves,
                             title="Fig 6: Redis p99 (us) vs QPS, YCSB-A")
 

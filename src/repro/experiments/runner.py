@@ -152,6 +152,25 @@ class _SweepControl:
             runner.request_drain()
 
 
+def run_config(fast: bool, *, fault_plan=None) -> dict:
+    """The result-shaping config material for cache keys and journals.
+
+    Everything that can change an experiment's payload belongs here:
+    ``fast`` mode, the engine scheduling mode
+    (:func:`repro.sim.engine.scheduling_fingerprint`) and, when given,
+    the full fault-plan configuration.  Tests that predict cache or
+    journal paths should build their material through this function
+    rather than hard-coding the dict shape.
+    """
+    from ..sim.engine import scheduling_fingerprint
+
+    config: dict = {"fast": fast,
+                    "scheduler": scheduling_fingerprint()}
+    if fault_plan is not None:
+        config["faults"] = fault_plan.to_dict()
+    return config
+
+
 def _run_ids(ids: list[str], *, fast: bool, jobs: int,
              use_cache: bool, fault_plan=None, hooks: RunHooks = None,
              profiler: Profiler = None, policy=None,
@@ -168,9 +187,12 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
     result list comes back in id order and matches a serial run
     byte-for-byte.
 
-    The cache key covers every result-shaping input: ``fast`` and, when
-    given, the full fault-plan configuration — so a changed fault plan
-    is a cache miss, never a stale healthy (or degraded) result.  The
+    The cache key covers every result-shaping input: ``fast``, the
+    engine scheduling mode (:func:`repro.sim.engine.scheduling_fingerprint`
+    — a result computed under the legacy heap scheduler is never served
+    for the calendar path or vice versa) and, when given, the full
+    fault-plan configuration — so a changed fault plan is a cache
+    miss, never a stale healthy (or degraded) result.  The
     checkpoint journal is addressed by the same material plus the id
     list (:func:`~repro.resilience.suite_hash`), and every completed
     unit is journaled **as it lands**, so an interrupt at any point
@@ -199,9 +221,7 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
         profiler = Profiler(enabled=False)
     if policy is None:
         policy = SupervisionPolicy()
-    config: dict = {"fast": fast}
-    if fault_plan is not None:
-        config["faults"] = fault_plan.to_dict()
+    config = run_config(fast, fault_plan=fault_plan)
     cache = ResultCache(on_quarantine=hooks.cache_quarantined) \
         if use_cache else None
     keys = {eid: result_key(eid, config) for eid in ids} \

@@ -5,7 +5,11 @@
 
 * stderr **is** a TTY — one carriage-return-rewritten status line
   (``[3/14] fig6 2.1s | cache 2h/1m | eta 4.2s``), erased cleanly on
-  :meth:`close`;
+  :meth:`close`.  Repaints are throttled to one per
+  :data:`MIN_RENDER_INTERVAL_S` so a sweep of sub-millisecond units
+  (fine-grained shards, cache-hit storms) doesn't spend its wall time
+  writing to the terminal — retries, failures, and the final
+  completion always render regardless;
 * stderr is **not** a TTY (CI, redirection, pytest capture) — one
   :class:`~repro.obs.runlog.RunLog` event per completion, so logs stay
   line-oriented and machine-parseable.
@@ -28,6 +32,9 @@ from typing import TextIO
 from ..errors import ReproError
 from .runlog import RunLog
 
+MIN_RENDER_INTERVAL_S = 0.1
+"""Floor between consecutive TTY repaints (seconds)."""
+
 
 class ProgressReporter:
     """Render ``done/total`` unit progress on stderr with an ETA."""
@@ -36,7 +43,9 @@ class ProgressReporter:
                  runlog: RunLog | None = None,
                  stream: TextIO | None = None,
                  tty: bool | None = None,
-                 clock=time.monotonic) -> None:
+                 clock=time.monotonic,
+                 min_render_interval_s: float = MIN_RENDER_INTERVAL_S
+                 ) -> None:
         if total < 0:
             raise ReproError(f"total must be >= 0, got {total}")
         self.total = total
@@ -48,8 +57,10 @@ class ProgressReporter:
         self.done = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.min_render_interval_s = min_render_interval_s
         self._started = clock()
         self._line_width = 0
+        self._last_render: float | None = None
         self._closed = False
 
     @property
@@ -86,7 +97,7 @@ class ProgressReporter:
             took = f" {wall_s:.1f}s" if wall_s is not None else ""
             took = " cache" if cached else took
             took = " resumed" if resumed else took
-            self._render(f"{name}{took}")
+            self._render(f"{name}{took}", force=self.done >= self.total)
         else:
             self.runlog.info("unit-finished", id=name, done=self.done,
                              total=self.total, cached=cached,
@@ -97,7 +108,7 @@ class ProgressReporter:
                    kind: str) -> None:
         """One failed attempt being respawned (does not advance done)."""
         if self.is_tty:
-            self._render(f"{name} retry #{attempt} ({kind})")
+            self._render(f"{name} retry #{attempt} ({kind})", force=True)
         else:
             self.runlog.warn("unit-retry", id=name, attempt=attempt,
                              kind=kind, done=self.done,
@@ -108,7 +119,7 @@ class ProgressReporter:
         """A poisoned unit: retries exhausted, sweep continues."""
         self.done += 1
         if self.is_tty:
-            self._render(f"{name} FAILED ({kind})")
+            self._render(f"{name} FAILED ({kind})", force=True)
         else:
             self.runlog.warn("unit-failed", id=name, kind=kind,
                              attempts=attempts, done=self.done,
@@ -117,7 +128,17 @@ class ProgressReporter:
     def cache_miss(self, name: str) -> None:
         self.cache_misses += 1
 
-    def _render(self, tail: str) -> None:
+    def _render(self, tail: str, *, force: bool = False) -> None:
+        # Repaint throttle: fine-grained shards can finish every few
+        # hundred microseconds, and an unthrottled reporter turns that
+        # into a TTY write per unit.  Counters above stay exact — only
+        # the repaint is skipped — and retries, failures, and the final
+        # unit force their way through.
+        now = self.clock()
+        if (not force and self._last_render is not None
+                and now - self._last_render < self.min_render_interval_s):
+            return
+        self._last_render = now
         eta = self.eta_s()
         eta_text = f" | eta {eta:.1f}s" if eta is not None else ""
         cache_text = (f" | cache {self.cache_hits}h/"

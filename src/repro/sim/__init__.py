@@ -17,7 +17,7 @@ Public surface:
 """
 
 from .engine import Engine
-from .process import Process, Timeout, Acquire, Release, Get, Put, WaitEvent, Signal
+from .process import Process, Timeout, Acquire, Release, Serve, Get, Put, WaitEvent, Signal
 from .resources import Server, Store, SimEvent
 from .stats import LatencyRecorder, RateMeter, percentile
 from .rng import substream
@@ -28,6 +28,7 @@ __all__ = [
     "Timeout",
     "Acquire",
     "Release",
+    "Serve",
     "Get",
     "Put",
     "WaitEvent",

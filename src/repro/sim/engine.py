@@ -1,4 +1,4 @@
-"""The discrete-event engine: a clock plus a time-ordered callback heap.
+"""The discrete-event engine: a clock plus a time-ordered event queue.
 
 Design notes
 ------------
@@ -12,31 +12,74 @@ Design notes
 
 Hot-path layout
 ---------------
-The heap holds ``(time, seq, handle)`` tuples rather than the handles
-themselves, so ``heapq`` orders entries with C-level tuple comparison
-(``time`` then ``seq``) instead of calling back into a Python
-``__lt__`` — on engine-bound models this removes millions of
-interpreter round-trips per run.  Cancellation stays a tombstone flag
-on the handle; tombstones are skipped exactly once, at the heap top,
-by :meth:`step`.  :meth:`run` drives :meth:`step` with its ``until``
-bound pushed down, so each event costs a single bounded heap
-inspection (the historical ``peek()`` + ``step()`` pair scanned the
-tombstoned heap top twice per event).
+Two scheduler implementations share the same ``(time, seq)`` total
+order, so every model produces byte-identical results under either;
+``REPRO_SIM_SCHEDULER`` selects one (``calendar`` is the default,
+``heap`` is the legacy fallback):
 
-Callbacks can carry positional arguments through the event
+* **calendar** — a two-level run queue in the calendar-queue family.
+  The *current run* is a sorted list walked by index; arrivals that
+  land inside the run's time span are ``bisect.insort``-ed after the
+  walk cursor (a C-level binary search + memmove), while arrivals
+  beyond it are appended, unsorted, to a *future* list.  When the
+  current run is exhausted the future list is sorted wholesale (C
+  Timsort over ``(time, seq, handle)`` tuples, near-linear on the
+  mostly-ordered batches models actually generate) and swapped in as
+  the next run.  :meth:`run` drains the current run in one interpreter
+  loop — no per-event method call, no heap sift — which is where the
+  batched ``step_until`` win comes from.
+* **heap** — the historical binary heap of ``(time, seq, handle)``
+  tuples; ``heapq`` orders entries with C-level tuple comparison.
+
+Cancellation is a tombstone flag on the handle in both modes;
+tombstones are skipped exactly once, at the queue head.  Callbacks can
+carry positional arguments through the event
 (``schedule(delay, fn, a, b)``), which lets hot models pass a bound
 method plus its arguments instead of allocating a fresh closure per
 request.
+
+The active mode participates in the experiment cache key via
+:func:`scheduling_fingerprint`, so results computed under one
+scheduler are never served for the other (docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
+from bisect import insort
 from typing import Any, Callable
 
 from ..errors import SimulationError
 from ..telemetry import NULL_TELEMETRY, Telemetry
+
+_MODE_ENV = "REPRO_SIM_SCHEDULER"
+_MODES = ("calendar", "heap")
+
+# Compact the executed prefix of the current run once the walk cursor
+# passes this many entries; keeps long prescheduled runs from pinning
+# their whole history while staying amortized O(1) per event.
+_COMPACT_THRESHOLD = 65536
+
+
+def scheduler_mode() -> str:
+    """The process-wide scheduler mode (``calendar`` unless overridden).
+
+    Set ``REPRO_SIM_SCHEDULER=heap`` to fall back to the legacy binary
+    heap — useful for bisecting a suspected scheduler bug, and pinned
+    equivalent by ``tests/sim/test_engine.py``.
+    """
+    mode = os.environ.get(_MODE_ENV, "").strip().lower() or "calendar"
+    if mode not in _MODES:
+        raise SimulationError(
+            f"unknown {_MODE_ENV}={mode!r}; expected one of {_MODES}")
+    return mode
+
+
+def scheduling_fingerprint() -> str:
+    """Cache-key component naming the active scheduler implementation."""
+    return f"sim-scheduler:{scheduler_mode()}"
 
 
 class _Scheduled:
@@ -70,12 +113,29 @@ class Engine:
     [10.0]
     """
 
-    def __init__(self, *, telemetry: Telemetry | None = None) -> None:
+    def __init__(self, *, telemetry: Telemetry | None = None,
+                 scheduler: str | None = None) -> None:
+        mode = scheduler if scheduler is not None else scheduler_mode()
+        if mode not in _MODES:
+            raise SimulationError(
+                f"unknown scheduler={mode!r}; expected one of {_MODES}")
+        self._mode = mode
+        self._calendar = mode == "calendar"
         self._now = 0.0
-        self._heap: list[tuple[float, int, _Scheduled]] = []
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        # heap mode: one binary heap.
+        self._heap: list[tuple[float, int, _Scheduled]] = []
+        # calendar mode: sorted current run walked by ``_pos`` + an
+        # unsorted future list.  Every future entry's time is strictly
+        # greater than ``_run_max`` (the current run's last time), so
+        # draining the run before sorting the future preserves the
+        # global (time, seq) order.
+        self._run_list: list[tuple[float, int, _Scheduled]] = []
+        self._pos = 0
+        self._future: list[tuple[float, int, _Scheduled]] = []
+        self._run_max = float("-inf")
         self.telemetry = telemetry if telemetry is not None \
             else NULL_TELEMETRY
 
@@ -83,6 +143,11 @@ class Engine:
     def now(self) -> float:
         """Current simulation time in ns."""
         return self._now
+
+    @property
+    def scheduler(self) -> str:
+        """The scheduler implementation this engine was built with."""
+        return self._mode
 
     @property
     def events_processed(self) -> int:
@@ -98,7 +163,13 @@ class Engine:
         time = self._now + delay
         seq = next(self._seq)
         handle = _Scheduled(time, seq, callback, args)
-        heapq.heappush(self._heap, (time, seq, handle))
+        if self._calendar:
+            if time > self._run_max:
+                self._future.append((time, seq, handle))
+            else:
+                insort(self._run_list, (time, seq, handle), self._pos)
+        else:
+            heapq.heappush(self._heap, (time, seq, handle))
         return handle
 
     def schedule_at(self, time: float, callback: Callable[..., Any],
@@ -110,20 +181,67 @@ class Engine:
         """Cancel a previously scheduled callback (idempotent)."""
         handle.cancelled = True
 
+    def _advance(self) -> bool:
+        """Position the walk cursor at the next live entry.
+
+        Skips tombstones and, when the current run is exhausted, sorts
+        the future list in as the next run.  Returns ``False`` when
+        nothing is pending.
+        """
+        run = self._run_list
+        pos = self._pos
+        n = len(run)
+        while True:
+            while pos < n:
+                if run[pos][2].cancelled:
+                    pos += 1
+                    continue
+                self._pos = pos
+                return True
+            if not self._future:
+                self._pos = pos
+                return False
+            future = self._future
+            future.sort()
+            self._run_list = run = future
+            self._future = []
+            self._run_max = run[-1][0]
+            self._pos = pos = 0
+            n = len(run)
+
     def peek(self) -> float | None:
-        """Time of the next pending event, or ``None`` if the heap is empty."""
+        """Time of the next pending event, or ``None`` if none is queued."""
+        if self._calendar:
+            if not self._advance():
+                return None
+            return self._run_list[self._pos][0]
         heap = self._heap
         while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
         return heap[0][0] if heap else None
 
     def step(self, until: float | None = None) -> bool:
-        """Execute the next event in one bounded heap scan.
+        """Execute the next event in one bounded queue scan.
 
         Returns ``False`` when nothing is pending — or, with ``until``
         given, when the next live event lies strictly after ``until``
         (the event stays queued; the clock is not advanced).
         """
+        if self._calendar:
+            if not self._advance():
+                return False
+            pos = self._pos
+            time, _seq, handle = self._run_list[pos]
+            if until is not None and time > until:
+                return False
+            self._pos = pos + 1
+            if time < self._now:
+                raise SimulationError(
+                    f"event at t={time} before now={self._now}")
+            self._now = time
+            self._processed += 1
+            handle.callback(*handle.args)
+            return True
         heap = self._heap
         while heap:
             head = heap[0]
@@ -144,9 +262,87 @@ class Engine:
             return True
         return False
 
+    def _drain(self, until: float | None,
+               max_events: int | None) -> int:
+        """Batched calendar-mode drain: one interpreter loop per run.
+
+        Executes live events in ``(time, seq)`` order until the queue
+        empties or the next event lies strictly after ``until``.
+        Returns the number of callbacks executed.
+        """
+        executed = 0
+        run = self._run_list
+        pos = self._pos
+        future = self._future
+        now = self._now
+        while True:
+            if max_events is not None and executed >= max_events:
+                self._pos = pos
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; "
+                    "model may not terminate")
+            if pos >= len(run):
+                if not future:
+                    self._pos = pos
+                    return executed
+                future.sort()
+                self._run_list = run = future
+                self._future = future = []
+                self._run_max = run[-1][0]
+                pos = 0
+                continue
+            entry = run[pos]
+            handle = entry[2]
+            if handle.cancelled:
+                pos += 1
+                continue
+            time = entry[0]
+            if until is not None and time > until:
+                self._pos = pos
+                return executed
+            pos += 1
+            if pos >= _COMPACT_THRESHOLD:
+                del run[:pos]
+                pos = 0
+            self._pos = pos
+            if time < now:
+                raise SimulationError(
+                    f"event at t={time} before now={now}")
+            self._now = now = time
+            self._processed += 1
+            executed += 1
+            handle.callback(*handle.args)
+            # A callback may have stepped the engine itself; re-sync
+            # the cursor (schedule() insorts after it, so entries
+            # before ``pos`` are never displaced).
+            pos = self._pos
+            now = self._now
+
+    def step_until(self, until: float) -> int:
+        """Execute every pending event with ``time <= until``.
+
+        The batched counterpart of repeated :meth:`step` calls: the
+        whole drain runs in one interpreter loop (calendar mode).
+        Unlike :meth:`run` the clock is left at the last executed
+        event, not advanced to ``until``.  Returns the number of
+        callbacks executed.
+        """
+        if self._running:
+            raise SimulationError("Engine.step_until() is not reentrant")
+        self._running = True
+        try:
+            if self._calendar:
+                return self._drain(until, None)
+            executed = 0
+            while self.step(until):
+                executed += 1
+            return executed
+        finally:
+            self._running = False
+
     def run(self, until: float | None = None,
             max_events: int | None = None) -> None:
-        """Drain the event heap.
+        """Drain the event queue.
 
         ``until`` stops the clock at an absolute time (events strictly
         after it stay pending and the clock is left *at* ``until``).
@@ -157,12 +353,15 @@ class Engine:
             raise SimulationError("Engine.run() is not reentrant")
         self._running = True
         run_start = self._now
-        step = self.step
         try:
-            if max_events is None:
+            if self._calendar:
+                self._drain(until, max_events)
+            elif max_events is None:
+                step = self.step
                 while step(until):
                     pass
             else:
+                step = self.step
                 executed = 0
                 while True:
                     if executed >= max_events:

@@ -7,6 +7,10 @@ resumes it (optionally with a value) when the command completes:
 * :class:`Timeout` — advance simulated time;
 * :class:`Acquire` / :class:`Release` — claim / free a slot of a
   :class:`~repro.sim.resources.Server`;
+* :class:`Serve` — the fused acquire → sampled-service timeout →
+  release visit, one command instead of three (hot-path form; the
+  service time is sampled at grant time so results are byte-identical
+  to the unfused sequence);
 * :class:`Get` / :class:`Put` — consume / produce items of a
   :class:`~repro.sim.resources.Store`;
 * :class:`WaitEvent` / :class:`Signal` — one-shot broadcast events;
@@ -77,6 +81,27 @@ class Put:
         self.item = item
 
 
+class Serve:
+    """Fused ``Acquire`` → ``Timeout`` → ``Release`` on one :class:`Server`.
+
+    The hot-path visit pattern as a single command: wait for a slot,
+    hold it for ``sampler(*args)`` ns — the service time is sampled
+    lazily **at grant time**, exactly where the unfused three-command
+    sequence samples it, so RNG draw order (and therefore every result
+    byte) is unchanged — then release and resume the process with the
+    sampled service time as the ``yield`` value.  One command object
+    and one generator resume replace three of each.
+    """
+
+    __slots__ = ("server", "sampler", "args")
+
+    def __init__(self, server: Server,
+                 sampler: Callable[..., float], *args: Any) -> None:
+        self.server = server
+        self.sampler = sampler
+        self.args = args
+
+
 class WaitEvent:
     """Block until a :class:`SimEvent` is signalled."""
 
@@ -105,14 +130,21 @@ class Process:
     """
 
     def __init__(self, engine: Engine, body: ProcessBody,
-                 name: str = "proc") -> None:
+                 name: str = "proc", *, immediate: bool = False) -> None:
         self.engine = engine
         self.name = name
         self._body = body
         self.done = False
         self.result: Any = None
         self._joiners: list[Callable[[Any], None]] = []
-        engine.schedule(0.0, lambda: self._resume(None))
+        if immediate:
+            # Start synchronously instead of via a zero-delay event —
+            # for spawns made *inside* an event callback where the
+            # extra start event is pure queue traffic.  The generator
+            # runs to its first suspension before __init__ returns.
+            self._resume(None)
+        else:
+            engine.schedule(0.0, self._resume, None)
 
     def __repr__(self) -> str:
         state = "done" if self.done else "running"
@@ -135,35 +167,74 @@ class Process:
         for wake in joiners:
             wake(result)
 
+    def _wake(self) -> None:
+        self._resume(None)
+
+    def _serve_granted(self, command: "Serve") -> None:
+        service = command.sampler(*command.args)
+        self.engine.schedule(service, self._serve_finish,
+                             command.server, service)
+
+    def _serve_finish(self, server: Server, service: float) -> None:
+        server.release()
+        self._resume(service)
+
     def _dispatch(self, command: Command) -> None:
-        if isinstance(command, Timeout):
-            self.engine.schedule(command.delay, lambda: self._resume(None))
-        elif isinstance(command, Acquire):
-            command.server.acquire(lambda: self._resume(None))
-        elif isinstance(command, Release):
+        # Hot path: exact-type checks in rough frequency order, and
+        # bound methods (plus engine-carried args) instead of a fresh
+        # closure per dispatch.  The command types are plain structs;
+        # anything unrecognized falls through to the isinstance chain
+        # below, which keeps subclassed commands working.
+        cls = type(command)
+        if cls is Serve:
+            command.server.acquire(self._serve_granted, command)
+        elif cls is Timeout:
+            self.engine.schedule(command.delay, self._resume, None)
+        elif cls is Acquire:
+            command.server.acquire(self._wake)
+        elif cls is Release:
             command.server.release()
-            self.engine.schedule(0.0, lambda: self._resume(None))
-        elif isinstance(command, Get):
-            command.store.get(lambda item: self._resume(item))
-        elif isinstance(command, Put):
+            self.engine.schedule(0.0, self._resume, None)
+        elif cls is Get:
+            command.store.get(self._resume)
+        elif cls is Put:
             command.store.put(command.item)
-            self.engine.schedule(0.0, lambda: self._resume(None))
-        elif isinstance(command, WaitEvent):
-            command.event.wait(lambda value: self._resume(value))
-        elif isinstance(command, Signal):
+            self.engine.schedule(0.0, self._resume, None)
+        elif cls is WaitEvent:
+            command.event.wait(self._resume)
+        elif cls is Signal:
             command.event.signal(command.value)
-            self.engine.schedule(0.0, lambda: self._resume(None))
+            self.engine.schedule(0.0, self._resume, None)
         elif isinstance(command, Process):
             if command.done:
-                self.engine.schedule(
-                    0.0, lambda: self._resume(command.result))
+                self.engine.schedule(0.0, self._resume, command.result)
             else:
                 command._joiners.append(self._resume)
+        elif isinstance(command, Timeout):
+            self.engine.schedule(command.delay, self._resume, None)
+        elif isinstance(command, Serve):
+            command.server.acquire(self._serve_granted, command)
+        elif isinstance(command, Acquire):
+            command.server.acquire(self._wake)
+        elif isinstance(command, Release):
+            command.server.release()
+            self.engine.schedule(0.0, self._resume, None)
+        elif isinstance(command, Get):
+            command.store.get(self._resume)
+        elif isinstance(command, Put):
+            command.store.put(command.item)
+            self.engine.schedule(0.0, self._resume, None)
+        elif isinstance(command, WaitEvent):
+            command.event.wait(self._resume)
+        elif isinstance(command, Signal):
+            command.event.signal(command.value)
+            self.engine.schedule(0.0, self._resume, None)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unknown command: {command!r}")
 
 
-def spawn(engine: Engine, body: ProcessBody, name: str = "proc") -> Process:
+def spawn(engine: Engine, body: ProcessBody, name: str = "proc",
+          *, immediate: bool = False) -> Process:
     """Convenience constructor mirroring ``simpy.Environment.process``."""
-    return Process(engine, body, name=name)
+    return Process(engine, body, name=name, immediate=immediate)

@@ -27,7 +27,7 @@ class Server:
         self.capacity = capacity
         self.name = name
         self._busy = 0
-        self._waiters: deque[Callable[[], None]] = deque()
+        self._waiters: deque[tuple[Callable[..., None], tuple]] = deque()
         # Peak queue depth, useful for sizing diagnostics in tests.
         self.max_queue_depth = 0
 
@@ -41,13 +41,16 @@ class Server:
         """Requests waiting for a slot."""
         return len(self._waiters)
 
-    def acquire(self, granted: Callable[[], None]) -> None:
-        """Claim a slot; ``granted`` fires immediately or when one frees."""
+    def acquire(self, granted: Callable[..., None], *args: Any) -> None:
+        """Claim a slot; ``granted(*args)`` fires immediately or when one
+        frees.  Extra ``args`` ride through the wait queue, so hot
+        callers can pass a bound method plus state instead of
+        allocating a closure per request."""
         if self._busy < self.capacity:
             self._busy += 1
-            granted()
+            granted(*args)
         else:
-            self._waiters.append(granted)
+            self._waiters.append((granted, args))
             self.max_queue_depth = max(self.max_queue_depth, len(self._waiters))
 
     def release(self) -> None:
@@ -56,8 +59,8 @@ class Server:
             raise SimulationError(f"release() on idle server {self.name!r}")
         if self._waiters:
             # The slot transfers directly; _busy stays constant.
-            waiter = self._waiters.popleft()
-            waiter()
+            granted, args = self._waiters.popleft()
+            granted(*args)
         else:
             self._busy -= 1
 

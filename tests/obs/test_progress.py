@@ -68,13 +68,61 @@ class TestTty:
         assert stream.getvalue().endswith("\r")
 
     def test_shorter_line_fully_overwrites_longer(self):
-        reporter, stream = tty_reporter(2)
+        clock = FakeClock()
+        reporter, stream = tty_reporter(2, clock=clock)
         reporter.unit_started("a-very-long-experiment-name")
         start = len(stream.getvalue())
+        clock.advance(1.0)                     # clear the repaint throttle
         reporter.unit_finished("x")
         second = stream.getvalue()[start:]
         assert len(second.lstrip("\r")) >= len(
             "a-very-long-experiment-name")
+
+
+class TestThrottle:
+    def test_rapid_repaints_suppressed(self):
+        clock = FakeClock()
+        reporter, stream = tty_reporter(100, clock=clock)
+        for index in range(50):
+            reporter.unit_finished(f"unit{index}", wall_s=0.001)
+            clock.advance(0.001)               # 1 ms per unit
+        # 50 ms of units at a 100 ms floor: only the first repaint lands.
+        assert stream.getvalue().count("\r") == 1
+        assert reporter.done == 50             # counters stay exact
+
+    def test_repaint_resumes_after_interval(self):
+        clock = FakeClock()
+        reporter, stream = tty_reporter(10, clock=clock)
+        reporter.unit_finished("a")
+        clock.advance(0.2)
+        reporter.unit_finished("b")
+        text = stream.getvalue()
+        assert text.count("\r") == 2
+        assert "[2/10]" in text
+
+    def test_final_unit_always_renders(self):
+        clock = FakeClock()
+        reporter, stream = tty_reporter(2, clock=clock)
+        reporter.unit_finished("a")
+        reporter.unit_finished("b")            # same instant, but last
+        assert "[2/2]" in stream.getvalue()
+
+    def test_retry_and_failure_bypass_throttle(self):
+        clock = FakeClock()
+        reporter, stream = tty_reporter(3, clock=clock)
+        reporter.unit_finished("a")
+        reporter.unit_retry("b", attempt=1, kind="timeout")
+        reporter.unit_failed("b", kind="timeout", attempts=2)
+        text = stream.getvalue()
+        assert "retry #1" in text
+        assert "FAILED" in text
+
+    def test_log_mode_never_throttled(self):
+        clock = FakeClock()
+        reporter, stream = log_reporter(10, clock=clock)
+        for index in range(5):
+            reporter.unit_finished(f"unit{index}")
+        assert len(stream.getvalue().splitlines()) == 5
 
 
 class TestNonTty:

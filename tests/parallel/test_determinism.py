@@ -84,6 +84,34 @@ class TestCurveSharding:
             == [e.key() for e in serial.tracer.events]
         assert merged.registry.snapshot() == serial.registry.snapshot()
 
+    def test_kv_p99_curves_flat_shard_equals_serial(self, system):
+        # The fig6 whole-figure sweep: every (fraction, qps) pair is
+        # its own worker unit, reassembled fraction-major.
+        study = RedisYcsbStudy(system, num_keys=5_000)
+        qps = [10_000.0, 30_000.0]
+        fractions = [0.0, 0.5, 1.0]
+        serial = study.p99_curves(WORKLOADS["A"], fractions, qps,
+                                  requests=400)
+        parallel = study.p99_curves(WORKLOADS["A"], fractions, qps,
+                                    requests=400, jobs=2)
+        assert parallel == serial
+
+    def test_dsb_p99_curves_flat_shard_equals_serial(self, system):
+        # The fig10 whole-figure sweep: (runner, request-type) combos
+        # crossed with QPS points, one unit each.
+        from repro.apps.dsb import RequestType
+        from repro.apps.dsb.runner import p99_curves
+
+        dram = DsbRunner(system, database_node=system.LOCAL_NODE)
+        cxl = DsbRunner(system, database_node=system.cxl_node_id)
+        combos = [(runner, request_type)
+                  for request_type in (RequestType.COMPOSE_POST, None)
+                  for runner in (dram, cxl)]
+        qps = [200.0, 600.0]
+        serial = p99_curves(combos, qps, requests=300)
+        parallel = p99_curves(combos, qps, requests=300, jobs=2)
+        assert parallel == serial
+
     def test_only_des_heavy_experiments_shard_internally(self):
         assert REGISTRY["fig6"].accepts_jobs
         assert REGISTRY["fig10"].accepts_jobs

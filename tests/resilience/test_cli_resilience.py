@@ -21,6 +21,7 @@ import repro
 from repro.experiments.runner import main as experiments_main
 from repro.memo.cli import main as memo_main
 from repro.obs import read_ledger
+from repro.experiments.runner import run_config
 from repro.resilience import suite_hash
 
 SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
@@ -205,7 +206,7 @@ class TestInterruptResume:
                           REPRO_TEST_UNIT_HANG="table1:60"),
             stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
         journal = (sandbox / "ckpt"
-                   / f"{suite_hash(ids, {'fast': True})}.jsonl")
+                   / f"{suite_hash(ids, run_config(True))}.jsonl")
         deadline = time.monotonic() + 60
         # Wait until both quick units are journaled, then interrupt.
         while time.monotonic() < deadline:

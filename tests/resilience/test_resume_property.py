@@ -21,6 +21,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.experiments.runner import main as experiments_main
+from repro.experiments.runner import run_config
 from repro.resilience import CheckpointJournal, suite_hash
 
 IDS = ["fig2", "fig3", "table1"]
@@ -49,7 +50,7 @@ def _run(argv):
 
 
 def _journal_path(root):
-    return Path(root) / f"{suite_hash(IDS, {'fast': True})}.jsonl"
+    return Path(root) / f"{suite_hash(IDS, run_config(True))}.jsonl"
 
 
 @functools.lru_cache(maxsize=1)
