@@ -198,7 +198,11 @@ class ClusterSim:
                 injectors[index] = injector
 
         dram_ns = topo.dram_read_ns()
-        pool_ns = topo.pool_read_ns()
+        # Per-owner pool path: with one CXL device every entry is the
+        # same number (the classic shared path); a heterogeneous pool
+        # gives each shard the latency of the device holding its slice.
+        pool_ns_by_host = [topo.pool_read_ns(host)
+                           for host in range(topo.num_hosts)]
         hit_prob = topo.cache_hit_prob(theta)
 
         # Per-request randomness, pre-drawn and indexed by request so
@@ -249,7 +253,8 @@ class ClusterSim:
                     misses *= WRITE_MISS_FACTOR
                 if float(cache_u[index]) < hit_prob:
                     misses *= CACHE_HIT_MISS_FACTOR
-                miss_ns = pool_ns if resident else dram_ns
+                miss_ns = pool_ns_by_host[owner] if resident \
+                    else dram_ns
                 extra = penalty
                 pending_recoveries = 0
                 injector = injectors.get(target) if resident else None

@@ -132,11 +132,20 @@ class ClusterTopology:
         return system.edge_ns() + system.backend_for_node(
             system.LOCAL_NODE).idle_read_ns()
 
-    def pool_read_ns(self) -> float:
-        """Unloaded pool miss path: the CXL device plus one fabric hop."""
+    def pool_read_ns(self, host: int | None = None) -> float:
+        """Unloaded pool miss path: the CXL device plus one fabric hop.
+
+        With a multi-device pool (``pooled``/``hetero-pool`` scenario
+        profiles) each host's slice lives on device ``host mod
+        num_devices``, so a heterogeneous pool gives different shards
+        different pool latencies.  Single-device systems reduce to the
+        classic shared path regardless of ``host``.
+        """
         system = self.system
+        device = 0 if host is None \
+            else host % len(system.config.cxl_devices)
         return (system.edge_ns()
-                + system.backend_for_node(system.cxl_node_id)
+                + system.backend_for_node(system.cxl_node_id + device)
                 .idle_read_ns() + POOL_HOP_NS)
 
     # -- workload-derived absorption --------------------------------------

@@ -356,6 +356,26 @@ def pooled_cxl_testbed(num_devices: int = 2) -> SystemConfig:
                         sockets=single.sockets, cxl_devices=devices)
 
 
+def hetero_pooled_testbed(num_devices: int = 2) -> SystemConfig:
+    """A pooled testbed mixing FPGA- and ASIC-class expanders.
+
+    CXLMemSim's device taxonomy (PAPERS.md) observes that shipping CXL
+    memory spans FPGA prototypes (with a controller penalty, like the
+    paper's Agilex-I testbed) and ASIC controllers that shed it.  A
+    heterogeneous pool alternates the two classes behind independent
+    root ports, so pool latency depends on which device owns a shard.
+    """
+    if num_devices <= 1:
+        raise ConfigError(
+            f"a heterogeneous pool needs at least two devices: {num_devices}")
+    single = single_socket_testbed()
+    base = _agilex_cxl_device()
+    devices = tuple(base.as_asic() if i % 2 else base
+                    for i in range(num_devices))
+    return SystemConfig(name=f"hetero-pool-{num_devices}cxl",
+                        sockets=single.sockets, cxl_devices=devices)
+
+
 def combined_testbed() -> SystemConfig:
     """Both testbeds merged into one model system.
 

@@ -54,3 +54,7 @@ class FaultError(ReproError):
 
 class ClusterError(ReproError):
     """A cluster topology, pool carve, or routing rule was violated."""
+
+
+class ScenarioError(ReproError):
+    """A declarative scenario could not be loaded, validated, or run."""

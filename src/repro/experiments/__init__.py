@@ -28,4 +28,10 @@ from . import (          # noqa: F401  (imported for registration side effect)
     extensions,
 )
 
+# The shipped scenario pack registers last, alongside the hand-written
+# experiments (docs/SCENARIOS.md); ids carry the ``scn-`` prefix.
+from ..scenarios import register_pack as _register_pack
+
+_register_pack()
+
 __all__ = ["Experiment", "ExperimentResult", "REGISTRY", "get", "run_all"]

@@ -105,6 +105,12 @@ class Experiment:
     accepts_faults: bool = False
     # True when the runner takes a ``fault_plan`` keyword — it can run
     # its simulations under a degraded-mode FaultPlan (docs/FAULTS.md).
+    extra_config: tuple | None = None
+    # Extra (key, value) pairs folded into this experiment's cache /
+    # checkpoint config.  Scenario-derived experiments carry their
+    # document content hash here: package_fingerprint() only hashes
+    # *.py, so without this an edited scenario file would silently hit
+    # a stale cached result.
 
     def run(self, *, fast: bool = True, jobs: int = 1,
             fault_plan=None) -> ExperimentResult:
@@ -139,7 +145,8 @@ ALIASES: dict[str, str] = {"figF": "degraded-cxl",
                            "figC-deg": "cluster-degraded"}
 
 
-def register(experiment_id: str, title: str, paper_ref: str):
+def register(experiment_id: str, title: str, paper_ref: str, *,
+             extra_config: dict | None = None):
     """Decorator registering ``runner(fast) -> ExperimentResult``."""
 
     def wrap(runner: Callable[..., ExperimentResult]) -> Callable:
@@ -149,10 +156,11 @@ def register(experiment_id: str, title: str, paper_ref: str):
         params = inspect.signature(runner).parameters
         accepts_jobs = "jobs" in params
         accepts_faults = "fault_plan" in params
-        REGISTRY[experiment_id] = Experiment(experiment_id, title,
-                                             paper_ref, runner,
-                                             accepts_jobs,
-                                             accepts_faults)
+        REGISTRY[experiment_id] = Experiment(
+            experiment_id, title, paper_ref, runner, accepts_jobs,
+            accepts_faults,
+            tuple(sorted(extra_config.items()))
+            if extra_config else None)
         return runner
 
     return wrap

@@ -49,7 +49,7 @@ from datetime import datetime, timezone
 
 from ..obs import Profiler, ProgressReporter, RunHooks, RunLog
 from ..obs.runlog import EXIT_FAILED_CHECKS, EXIT_INTERRUPTED, EXIT_OK
-from .registry import REGISTRY, ExperimentResult, resolve_id
+from .registry import ALIASES, REGISTRY, ExperimentResult, resolve_id
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,6 +64,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run only this experiment id or alias "
                              "(repeatable; combines with positional "
                              "ids)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        metavar="NAME|FILE|pack",
+                        help="run declarative scenario(s): a shipped "
+                             "pack scenario by name, a scenario file "
+                             "path, or 'pack' for the whole shipped "
+                             "pack (repeatable; combines with ids; "
+                             "see docs/SCENARIOS.md)")
     parser.add_argument("--full", action="store_true",
                         help="full-resolution sweeps (slower)")
     parser.add_argument("--list", action="store_true",
@@ -171,6 +178,33 @@ def run_config(fast: bool, *, fault_plan=None) -> dict:
     return config
 
 
+def config_for(experiment_id: str, config: dict) -> dict:
+    """Fold an experiment's registered ``extra_config`` into the shared
+    run config.
+
+    Scenario-derived experiments carry their document content hash
+    here, so editing a scenario file is a cache miss even though
+    :func:`~repro.parallel.cache.package_fingerprint` only hashes
+    Python sources.  Experiments without extras get the shared config
+    unchanged (their keys are identical to pre-scenario releases).
+    """
+    experiment = REGISTRY.get(experiment_id)
+    if experiment is None or not experiment.extra_config:
+        return config
+    return {**config, "extra": dict(experiment.extra_config)}
+
+
+def _suite_config(ids: list[str], config: dict) -> dict:
+    """The checkpoint-journal config: the shared config plus every
+    selected experiment's extras (only when some exist, so suites
+    without scenarios keep their historical journal hashes)."""
+    extras = {eid: dict(REGISTRY[eid].extra_config) for eid in ids
+              if eid in REGISTRY and REGISTRY[eid].extra_config}
+    if not extras:
+        return config
+    return {**config, "extras": extras}
+
+
 def _run_ids(ids: list[str], *, fast: bool, jobs: int,
              use_cache: bool, fault_plan=None, hooks: RunHooks = None,
              profiler: Profiler = None, policy=None,
@@ -224,8 +258,8 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
     config = run_config(fast, fault_plan=fault_plan)
     cache = ResultCache(on_quarantine=hooks.cache_quarantined) \
         if use_cache else None
-    keys = {eid: result_key(eid, config) for eid in ids} \
-        if cache is not None else {}
+    keys = {eid: result_key(eid, config_for(eid, config))
+            for eid in ids} if cache is not None else {}
     cached: dict[str, ExperimentResult] = {}
     if cache is not None:
         for eid in ids:
@@ -233,7 +267,8 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
             if payload is not None:
                 cached[eid] = ExperimentResult.from_payload(payload)
 
-    journal = CheckpointJournal(suite_hash(ids, config)) \
+    journal = CheckpointJournal(suite_hash(ids, _suite_config(ids,
+                                                              config))) \
         if checkpoint else None
     resumed: list[str] = []
     if journal is not None and resume:
@@ -269,7 +304,8 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
             if cache is not None:
                 cache.put(keys[eid], result.payload(),
                           key_material={"experiment": eid,
-                                        "config": config})
+                                        "config": config_for(eid,
+                                                             config)})
             if journal is not None:
                 journal.record(eid, result.payload())
         except OSError:
@@ -281,7 +317,8 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
             try:
                 cache.put(keys[eid], cached[eid].payload(),
                           key_material={"experiment": eid,
-                                        "config": config})
+                                        "config": config_for(eid,
+                                                             config)})
             except OSError:
                 pass
 
@@ -439,13 +476,30 @@ def main(argv: list[str] | None = None) -> int:
             f"{sum(1 for c in checks if not c.passed)} validation "
             f"check(s) failed", code=EXIT_FAILED_CHECKS)
 
+    scenario_ids: list[str] = []
+    if args.scenario:
+        from ..errors import ScenarioError
+        from ..scenarios import resolve_scenario_ids
+
+        try:
+            for spec in args.scenario:
+                for eid in resolve_scenario_ids(spec):
+                    if eid not in scenario_ids:
+                        scenario_ids.append(eid)
+        except ScenarioError as exc:
+            return runlog.error(f"bad --scenario: {exc}")
     selected = list(args.ids) + (args.only or [])
-    ids = [resolve_id(eid) for eid in selected] or sorted(REGISTRY)
+    ids = [resolve_id(eid) for eid in selected] + scenario_ids \
+        or sorted(REGISTRY)
     unknown = [eid for eid in ids if eid not in REGISTRY]
     if unknown:
+        # The valid-id list includes scenario-derived ids (scn-*) and
+        # the paper-figure aliases, so a typo is a one-edit fix.
         return runlog.error(
             "unknown experiment id(s): " + " ".join(sorted(unknown)),
-            available=" ".join(sorted(REGISTRY)))
+            available=" ".join(sorted(REGISTRY)),
+            aliases=" ".join(f"{alias}={target}" for alias, target
+                             in sorted(ALIASES.items())))
     fault_plan = None
     if args.faults is not None:
         from ..errors import FaultError

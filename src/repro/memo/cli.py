@@ -94,6 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-ledger", action="store_true",
         help="do not append this run to the results/runs.jsonl "
              "run ledger")
+    telemetry.add_argument(
+        "--scenario", metavar="NAME|FILE", default=None,
+        help="build the testbed from a scenario's device profile "
+             "(a shipped pack name or a scenario file; see "
+             "docs/SCENARIOS.md) instead of the combined testbed")
 
     parallel = argparse.ArgumentParser(add_help=False)
     parallel.add_argument(
@@ -337,7 +342,16 @@ def main(argv: list[str] | None = None) -> int:
         "%Y-%m-%dT%H:%M:%SZ")
     start = time.perf_counter()
     with profiler.phase("build-system"):
-        system = build_system(combined_testbed())
+        testbed = combined_testbed()
+        if getattr(args, "scenario", None):
+            from ..errors import ScenarioError
+            from ..scenarios import scenario_testbed
+
+            try:
+                testbed = scenario_testbed(args.scenario)
+            except ScenarioError as exc:
+                return RUNLOG.error(f"bad --scenario: {exc}")
+        system = build_system(testbed)
     try:
         with profiler.phase(f"run:{args.bench}"):
             report = args.runner(system, args, telemetry)

@@ -1,0 +1,115 @@
+"""Placeholder substitution and the parameter-grid expander.
+
+The two mechanical halves of the scenario format, mirroring the
+exemplars named in the roadmap:
+
+* **placeholders** — proto2testbed-style ``{{ NAME }}`` variables,
+  substituted from the scenario's own ``vars`` block (plus caller
+  overrides) *before* schema validation.  A string that is exactly one
+  placeholder takes the variable's native type (``"{{ QPS }}"`` with
+  ``QPS: 120000`` becomes the number); embedded placeholders are string
+  interpolation.  Substitution is idempotent: variable values may not
+  themselves contain placeholders, so a substituted tree substitutes to
+  itself.
+
+* **grid expansion** — congestion-responsive-queuing's
+  ``config-generator.py`` idea: one template plus sweep axes expands
+  into a deterministic list of concrete run configs.  Axes expand in
+  declaration order with the **last axis fastest** (``itertools.product``
+  order), the expansion covers the full cross-product exactly once, and
+  two expansions of the same template are identical — the properties
+  the hypothesis suite in ``tests/scenarios`` pins.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Any, Mapping
+
+from .schema import ValidationError
+
+PLACEHOLDER = re.compile(r"\{\{\s*([A-Za-z_][A-Za-z0-9_]*)\s*\}\}")
+
+
+def find_placeholders(tree: Any) -> set[str]:
+    """Every ``{{ NAME }}`` variable referenced anywhere in ``tree``."""
+    names: set[str] = set()
+
+    def walk(node: Any) -> None:
+        if isinstance(node, str):
+            names.update(PLACEHOLDER.findall(node))
+        elif isinstance(node, dict):
+            for key, value in node.items():
+                walk(key)
+                walk(value)
+        elif isinstance(node, list):
+            for value in node:
+                walk(value)
+
+    walk(tree)
+    return names
+
+
+def substitute(tree: Any, variables: Mapping[str, Any], *,
+               path: str = "scenario") -> Any:
+    """Replace every ``{{ NAME }}`` in ``tree`` from ``variables``.
+
+    Raises :class:`~repro.scenarios.schema.ValidationError` naming the
+    path of an unknown placeholder, and rejects variable values that
+    contain placeholders themselves (which would break idempotency and
+    invite one-level-only expansion surprises).
+    """
+    for name, value in variables.items():
+        if isinstance(value, str) and PLACEHOLDER.search(value):
+            raise ValidationError(
+                f"{path}.vars.{name}",
+                "variable values may not contain placeholders")
+
+    def lookup(name: str, at: str) -> Any:
+        if name not in variables:
+            raise ValidationError(
+                at, f"undefined placeholder {{{{ {name} }}}}; "
+                    f"known vars: {sorted(variables)}")
+        return variables[name]
+
+    def walk(node: Any, at: str) -> Any:
+        if isinstance(node, str):
+            whole = PLACEHOLDER.fullmatch(node.strip())
+            if whole:
+                return lookup(whole.group(1), at)
+            return PLACEHOLDER.sub(
+                lambda match: str(lookup(match.group(1), at)), node)
+        if isinstance(node, dict):
+            return {key: walk(value, f"{at}.{key}")
+                    for key, value in node.items()}
+        if isinstance(node, list):
+            return [walk(value, f"{at}[{i}]")
+                    for i, value in enumerate(node)]
+        return node
+
+    return walk(tree, path)
+
+
+def expand_grid(axes: Mapping[str, list]) -> list[dict]:
+    """Expand sweep axes into the full cross-product of point configs.
+
+    ``axes`` maps axis name to its value list.  The result is ordered
+    deterministically: axes iterate in declaration order, the last
+    declared axis varies fastest, and every combination appears exactly
+    once.  An empty ``axes`` yields one empty point (the degenerate
+    single-run scenario).
+    """
+    names = list(axes)
+    for name in names:
+        values = axes[name]
+        if not isinstance(values, list) or not values:
+            raise ValidationError(
+                f"scenario.axes.{name}",
+                "an axis needs a non-empty list of values")
+        if len(set(map(repr, values))) != len(values):
+            raise ValidationError(
+                f"scenario.axes.{name}",
+                f"axis values must be unique, got {values!r}")
+    return [dict(zip(names, combo))
+            for combo in itertools.product(*(axes[n] for n in names))]

@@ -1,0 +1,97 @@
+"""Loading scenario documents from disk.
+
+JSON is always supported (stdlib); YAML is supported when PyYAML is
+importable and cleanly refused otherwise — the CI image installs only
+numpy/pytest/hypothesis, so nothing in the shipped pack may require
+YAML.  Duplicate keys in a JSON document are rejected rather than
+last-writer-wins, matching the unknown-key strictness of the schema
+engine.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from .schema import ValidationError
+from .spec import Scenario, parse_scenario
+
+PACK_DIR = Path(__file__).resolve().parent / "pack"
+"""The shipped starter-pack directory."""
+
+SUFFIXES = (".json", ".yaml", ".yml")
+
+try:  # pragma: no cover - exercised only where PyYAML is installed
+    import yaml as _yaml
+except ImportError:  # pragma: no cover
+    _yaml = None
+
+
+def _reject_duplicates(pairs: list) -> dict:
+    seen: dict = {}
+    for key, value in pairs:
+        if key in seen:
+            raise ValidationError(
+                f"scenario.{key}", "duplicate key in document")
+        seen[key] = value
+    return seen
+
+
+def load_document(path: str | Path) -> Any:
+    """Parse one scenario file into a raw tree (no validation yet)."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(str(path), "scenario file does not exist")
+    text = path.read_text()
+    if path.suffix == ".json":
+        try:
+            return json.loads(text, object_pairs_hook=_reject_duplicates)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                str(path), f"invalid JSON: {exc}") from exc
+    if path.suffix in (".yaml", ".yml"):
+        if _yaml is None:
+            raise ValidationError(
+                str(path),
+                "YAML scenarios need PyYAML, which is not installed; "
+                "use JSON")
+        try:
+            return _yaml.safe_load(text)
+        except _yaml.YAMLError as exc:
+            raise ValidationError(
+                str(path), f"invalid YAML: {exc}") from exc
+    raise ValidationError(
+        str(path),
+        f"unknown scenario suffix {path.suffix!r}; "
+        f"expected one of {list(SUFFIXES)}")
+
+
+def load_scenario_file(path: str | Path, *,
+                       variables: Mapping[str, Any] | None = None
+                       ) -> Scenario:
+    """Load and fully validate one scenario document."""
+    return parse_scenario(load_document(path), variables=variables)
+
+
+def pack_files(directory: str | Path = PACK_DIR) -> list[Path]:
+    """Every scenario file shipped in ``directory``, sorted by name."""
+    directory = Path(directory)
+    return sorted(p for p in directory.iterdir()
+                  if p.suffix in SUFFIXES)
+
+
+def load_pack(directory: str | Path = PACK_DIR) -> list[Scenario]:
+    """Load the whole pack; duplicate scenario names are an error."""
+    scenarios: list[Scenario] = []
+    names: dict[str, Path] = {}
+    for path in pack_files(directory):
+        scenario = load_scenario_file(path)
+        if scenario.name in names:
+            raise ValidationError(
+                f"scenario.name",
+                f"{scenario.name!r} defined by both "
+                f"{names[scenario.name].name} and {path.name}")
+        names[scenario.name] = path
+        scenarios.append(scenario)
+    return scenarios

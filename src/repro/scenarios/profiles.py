@@ -1,0 +1,56 @@
+"""Device profiles: scenario ``topology.device`` blocks to testbeds.
+
+The profile axis covers the device taxonomy CXLMemSim draws for real
+CXL memory (PAPERS.md): FPGA-controller prototypes (the paper's
+Agilex-I testbed, with its controller penalty) versus ASIC controllers
+that shed it, in single-device, homogeneous-pool, and heterogeneous
+pool arrangements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..config import (SystemConfig, combined_testbed,
+                      hetero_pooled_testbed, pooled_cxl_testbed,
+                      single_socket_testbed)
+from .schema import ValidationError
+from .spec import DeviceProfile
+
+
+def build_testbed(profile: DeviceProfile) -> SystemConfig:
+    """The :class:`~repro.config.SystemConfig` a profile describes.
+
+    ``variant == "asic"`` rewrites every CXL device with
+    :meth:`~repro.config.CxlDeviceConfig.as_asic` — the ablation twin
+    with the FPGA controller penalty removed.  The ``hetero-pool``
+    preset already mixes both classes, so its variant picks which class
+    device 0 gets (``fpga`` keeps the paper's ordering).
+    """
+    if profile.preset == "combined":
+        system = combined_testbed()
+    elif profile.preset == "single-socket":
+        system = single_socket_testbed()
+    elif profile.preset == "pooled":
+        system = pooled_cxl_testbed(num_devices=max(2, profile.devices))
+    elif profile.preset == "hetero-pool":
+        system = hetero_pooled_testbed(
+            num_devices=max(2, profile.devices))
+    else:
+        raise ValidationError(
+            "scenario.topology.device.preset",
+            f"unknown device preset {profile.preset!r}")
+    if profile.variant == "asic":
+        if profile.preset == "hetero-pool":
+            # Flip the mix so the ASIC class leads the pool: the
+            # fpga-variant hetero pool is (fpga, asic, fpga, ...), the
+            # asic variant reverses each pair to (asic, fpga, asic, ...).
+            fpga = single_socket_testbed().cxl_devices[0]
+            devices = tuple(fpga.as_asic() if i % 2 == 0 else fpga
+                            for i in range(len(system.cxl_devices)))
+        else:
+            devices = tuple(dev.as_asic()
+                            for dev in system.cxl_devices)
+        system = replace(system, name=f"{system.name}-asic",
+                         cxl_devices=devices)
+    return system

@@ -1,0 +1,157 @@
+"""A small declarative schema engine for scenario documents.
+
+Scenario files are plain JSON/YAML trees; this module validates them
+against :class:`Field` specs the way proto2testbed checks
+``testbed.json`` against its JSON schema — except self-contained, so
+the repo needs no ``jsonschema`` dependency.  Every failure raises a
+structured :class:`ValidationError` that names the offending **path**
+(``scenario.topology.hosts``), never a raw traceback: scenario authors
+debug their files from the error message alone.
+
+Design rules:
+
+* unknown keys are rejected (typos fail loudly, matching
+  :mod:`repro.config_io`);
+* ``bool`` is not a number (JSON ``true`` must not pass an ``int``
+  field);
+* defaults are applied during validation, so downstream code always
+  sees a fully-populated object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import ScenarioError
+
+
+class ValidationError(ScenarioError):
+    """A scenario document violated the schema at a specific path."""
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        self.reason = message
+        super().__init__(f"{path}: {message}")
+
+
+_MISSING = object()
+
+_KINDS = {
+    "str": (str,),
+    "int": (int,),
+    "number": (int, float),
+    "bool": (bool,),
+    "object": (dict,),
+    "list": (list,),
+}
+
+
+@dataclass(frozen=True)
+class Field:
+    """One schema slot: type, requiredness, default, and constraints."""
+
+    kind: str
+    required: bool = False
+    default: Any = _MISSING
+    choices: tuple = ()
+    minimum: float | None = None
+    maximum: float | None = None
+    exclusive_minimum: bool = False
+    exclusive_maximum: bool = False
+    schema: Mapping[str, "Field"] | None = None   # kind == "object"
+    item: "Field | None" = None                   # kind == "list"
+    allow_none: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ScenarioError(f"unknown schema kind {self.kind!r}")
+
+
+def _type_name(value: Any) -> str:
+    if value is None:
+        return "null"
+    return {dict: "object", list: "list", str: "string", bool: "bool",
+            int: "int", float: "number"}.get(type(value),
+                                             type(value).__name__)
+
+
+def _check_type(value: Any, spec: Field, path: str) -> None:
+    expected = _KINDS[spec.kind]
+    # bool is an int subclass in Python; JSON authors mean them as
+    # distinct types, so reject the crossover both ways.
+    if isinstance(value, bool) and spec.kind != "bool":
+        raise ValidationError(
+            path, f"expected {spec.kind}, got bool")
+    if not isinstance(value, expected) or (
+            spec.kind == "bool" and not isinstance(value, bool)):
+        raise ValidationError(
+            path, f"expected {spec.kind}, got {_type_name(value)}")
+
+
+def validate_value(value: Any, spec: Field, path: str) -> Any:
+    """Validate one value against ``spec``; returns the value."""
+    if value is None:
+        if spec.allow_none:
+            return None
+        raise ValidationError(path, f"expected {spec.kind}, got null")
+    _check_type(value, spec, path)
+    if spec.choices and value not in spec.choices:
+        raise ValidationError(
+            path, f"must be one of {sorted(map(str, spec.choices))}, "
+                  f"got {value!r}")
+    if spec.minimum is not None:
+        if value < spec.minimum or (
+                spec.exclusive_minimum and value == spec.minimum):
+            bound = ">" if spec.exclusive_minimum else ">="
+            raise ValidationError(
+                path, f"must be {bound} {spec.minimum:g}, got {value!r}")
+    if spec.maximum is not None:
+        if value > spec.maximum or (
+                spec.exclusive_maximum and value == spec.maximum):
+            bound = "<" if spec.exclusive_maximum else "<="
+            raise ValidationError(
+                path, f"must be {bound} {spec.maximum:g}, got {value!r}")
+    if spec.kind == "object" and spec.schema is not None:
+        return validate_object(value, spec.schema, path)
+    if spec.kind == "list" and spec.item is not None:
+        return [validate_value(entry, spec.item, f"{path}[{i}]")
+                for i, entry in enumerate(value)]
+    return value
+
+
+def validate_object(data: Any, schema: Mapping[str, Field],
+                    path: str) -> dict:
+    """Validate an object; returns a normalized dict with defaults.
+
+    Unknown keys and missing required fields both name the exact path;
+    the valid-key list rides along so a typo'd key is a one-edit fix.
+    """
+    if not isinstance(data, dict):
+        raise ValidationError(
+            path, f"expected object, got {_type_name(data)}")
+    unknown = set(data) - set(schema)
+    if unknown:
+        worst = sorted(unknown)[0]
+        raise ValidationError(
+            f"{path}.{worst}",
+            f"unknown key; valid keys: {sorted(schema)}")
+    result: dict = {}
+    for name, spec in schema.items():
+        value = data.get(name, _MISSING)
+        if value is _MISSING:
+            if spec.required:
+                raise ValidationError(
+                    f"{path}.{name}", "required field is missing")
+            if spec.default is _MISSING:
+                continue
+            result[name] = spec.default
+            continue
+        result[name] = validate_value(value, spec, f"{path}.{name}")
+    return result
+
+
+def require(condition: bool, path: str, message: str) -> None:
+    """Raise a :class:`ValidationError` unless ``condition`` holds."""
+    if not condition:
+        raise ValidationError(path, message)

@@ -16,7 +16,9 @@ class TestRegistry:
                             "cluster-degraded"}
         assert paper <= set(REGISTRY)
         extras = set(REGISTRY) - paper - named_extensions
-        assert all(eid.startswith("ext-") for eid in extras)
+        # ext- = hand-written extension experiments; scn- = declarative
+        # scenario-pack experiments (docs/SCENARIOS.md).
+        assert all(eid.startswith(("ext-", "scn-")) for eid in extras)
 
     def test_extension_experiments_registered(self):
         expected = {"ext-tiering", "ext-nearmem", "ext-pooling",

@@ -1,0 +1,1 @@
+"""Conformance suite for the declarative scenario packs."""

@@ -1,0 +1,109 @@
+"""The ``--scenario`` surface of both CLIs, and the unknown-id error
+contract (exit 2, structured message, valid ids listed — including
+scenario-derived ones — never a traceback)."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import build_parser, main
+from repro.memo.cli import main as memo_main
+from repro.scenarios import load_pack
+
+QUIET = ["--no-cache", "--no-checkpoint", "--no-ledger",
+         "--no-progress"]
+
+BY_NAME = {scenario.name: scenario for scenario in load_pack()}
+
+
+class TestScenarioFlag:
+    def test_parser_accumulates(self):
+        args = build_parser().parse_args(
+            ["--scenario", "steady-baseline", "--scenario", "pack"])
+        assert args.scenario == ["steady-baseline", "pack"]
+
+    def test_run_pack_scenario_by_name(self, capsys):
+        assert main(["--scenario", "steady-baseline"] + QUIET) == 0
+        out = capsys.readouterr().out
+        assert "scn-steady-baseline" in out
+        assert "[PASS]" in out
+
+    def test_scn_prefix_also_resolves(self, capsys):
+        assert main(["--scenario", "scn-steady-baseline"] + QUIET) == 0
+        assert "scn-steady-baseline" in capsys.readouterr().out
+
+    def test_scenario_combines_with_ids(self, capsys):
+        assert main(["table1", "--scenario", "steady-baseline"]
+                    + QUIET) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "scn-steady-baseline" in out
+
+    def test_scenario_file_path(self, tmp_path, capsys):
+        document = dict(BY_NAME["steady-baseline"].to_dict())
+        document["name"] = "cli-file-scenario"
+        path = tmp_path / "cli-file-scenario.json"
+        path.write_text(json.dumps(document))
+        assert main(["--scenario", str(path)] + QUIET) == 0
+        assert "scn-cli-file-scenario" in capsys.readouterr().out
+
+    def test_unknown_scenario_exits_2_listing_the_pack(self, capsys):
+        assert main(["--scenario", "no-such-scenario"] + QUIET) == 2
+        err = capsys.readouterr().err
+        assert "bad --scenario" in err
+        assert "steady-baseline" in err       # the catalog rides along
+        assert "Traceback" not in err
+
+    def test_broken_scenario_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["--scenario", str(path)] + QUIET) == 2
+        err = capsys.readouterr().err
+        assert "bad --scenario" in err
+        assert "invalid JSON" in err
+        assert "Traceback" not in err
+
+    def test_schema_error_names_the_offending_path(self, tmp_path,
+                                                   capsys):
+        document = dict(BY_NAME["steady-baseline"].to_dict())
+        del document["title"]
+        document["name"] = "cli-invalid-scenario"
+        path = tmp_path / "cli-invalid-scenario.json"
+        path.write_text(json.dumps(document))
+        assert main(["--scenario", str(path)] + QUIET) == 2
+        err = capsys.readouterr().err
+        assert "scenario.title" in err
+        assert "Traceback" not in err
+
+
+class TestUnknownIdListing:
+    """Regression: an unknown id lists every valid id — including the
+    scenario-derived ``scn-*`` ones — plus the aliases, and exits 2."""
+
+    def test_unknown_only_lists_scenario_ids(self, capsys):
+        assert main(["--only", "nope"] + QUIET) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment id" in err
+        assert "scn-steady-baseline" in err
+        assert "figC=cluster-pooling" in err
+        assert "Traceback" not in err
+
+    def test_unknown_positional_id_same_contract(self, capsys):
+        assert main(["bogus-id"] + QUIET) == 2
+        err = capsys.readouterr().err
+        assert "bogus-id" in err
+        assert "scn-" in err
+
+
+class TestMemoScenarioFlag:
+    def test_latency_accepts_a_scenario_testbed(self, capsys):
+        assert memo_main(["latency", "--scenario", "hetero-pool",
+                          "--no-ledger"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert memo_main(["latency", "--scenario", "bogus",
+                          "--no-ledger"]) == 2
+        err = capsys.readouterr().err
+        assert "bad --scenario" in err
+        assert "Traceback" not in err

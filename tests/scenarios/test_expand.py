@@ -1,0 +1,102 @@
+"""The grid expander and placeholder substitution, example-based.
+
+The hypothesis suite (test_property.py) pins the same properties over
+random inputs; these are the readable anchors.
+"""
+
+import pytest
+
+from repro.scenarios import (ValidationError, expand_grid,
+                             find_placeholders, substitute)
+
+
+class TestExpandGrid:
+    def test_declaration_order_last_axis_fastest(self):
+        points = expand_grid({"a": [1, 2], "b": [10, 20]})
+        assert points == [{"a": 1, "b": 10}, {"a": 1, "b": 20},
+                          {"a": 2, "b": 10}, {"a": 2, "b": 20}]
+
+    def test_empty_axes_yield_one_empty_point(self):
+        assert expand_grid({}) == [{}]
+
+    def test_single_axis(self):
+        assert expand_grid({"qps": [1, 2, 3]}) == [
+            {"qps": 1}, {"qps": 2}, {"qps": 3}]
+
+    def test_three_axes_cover_cross_product_once(self):
+        points = expand_grid({"a": [0, 1], "b": [0, 1], "c": [0, 1]})
+        assert len(points) == 8
+        assert len({tuple(sorted(p.items())) for p in points}) == 8
+
+    def test_expansion_is_deterministic(self):
+        axes = {"x": [3, 1, 2], "y": [True, False]}
+        assert expand_grid(axes) == expand_grid(axes)
+
+    def test_empty_value_list_rejected(self):
+        with pytest.raises(ValidationError) as excinfo:
+            expand_grid({"a": []})
+        assert excinfo.value.path == "scenario.axes.a"
+
+    def test_non_list_rejected(self):
+        with pytest.raises(ValidationError):
+            expand_grid({"a": "not-a-list"})
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValidationError) as excinfo:
+            expand_grid({"a": [1, 1]})
+        assert "unique" in str(excinfo.value)
+
+    def test_bool_and_int_values_are_distinct(self):
+        # repr-based uniqueness: True and 1 are different axis values.
+        points = expand_grid({"a": [True, 1]})
+        assert len(points) == 2
+
+
+class TestSubstitute:
+    def test_whole_string_placeholder_keeps_native_type(self):
+        assert substitute("{{ QPS }}", {"QPS": 120000}) == 120000
+        assert substitute("{{ ON }}", {"ON": True}) is True
+
+    def test_embedded_placeholder_is_string_interpolation(self):
+        assert substitute("run {{ N }} times", {"N": 3}) == \
+            "run 3 times"
+
+    def test_whitespace_inside_braces_is_flexible(self):
+        assert substitute("{{QPS}}", {"QPS": 5}) == 5
+        assert substitute("{{  QPS  }}", {"QPS": 5}) == 5
+
+    def test_nested_trees(self):
+        tree = {"w": {"qps": "{{ QPS }}"}, "axes": ["{{ QPS }}", 7]}
+        out = substitute(tree, {"QPS": 9})
+        assert out == {"w": {"qps": 9}, "axes": [9, 7]}
+
+    def test_substitution_is_idempotent(self):
+        tree = {"title": "at {{ QPS }}", "qps": "{{ QPS }}"}
+        variables = {"QPS": 80000}
+        once = substitute(tree, variables)
+        assert substitute(once, variables) == once
+
+    def test_undefined_placeholder_names_path(self):
+        with pytest.raises(ValidationError) as excinfo:
+            substitute({"workload": {"qps": "{{ NOPE }}"}}, {})
+        assert excinfo.value.path == "scenario.workload.qps"
+        assert "undefined placeholder" in excinfo.value.reason
+
+    def test_variable_values_may_not_contain_placeholders(self):
+        with pytest.raises(ValidationError) as excinfo:
+            substitute({"a": 1}, {"X": "{{ Y }}"})
+        assert "may not contain placeholders" in str(excinfo.value)
+
+    def test_non_strings_pass_through(self):
+        tree = {"n": 5, "f": 1.5, "b": False, "none": None}
+        assert substitute(tree, {}) == tree
+
+
+class TestFindPlaceholders:
+    def test_collects_from_every_level(self):
+        tree = {"a": "{{ X }}", "b": ["{{ Y }} and {{ X }}"],
+                "{{ K }}": 1}
+        assert find_placeholders(tree) == {"X", "Y", "K"}
+
+    def test_empty_for_plain_trees(self):
+        assert find_placeholders({"a": [1, "two", None]}) == set()

@@ -1,0 +1,98 @@
+"""The shipped starter pack: every file registers, no orphans, and the
+golden-verdict file covers every scenario."""
+
+import json
+from pathlib import Path
+
+from repro.experiments import REGISTRY          # registers the pack
+from repro.scenarios import (PACK_DIR, load_pack, load_scenario_file,
+                             pack_files, point_grid, register_pack)
+
+GOLDEN = Path(__file__).resolve().parent.parent / "experiments" / \
+    "golden_checks.json"
+
+SCENARIOS = load_pack()
+
+
+class TestPackIntegrity:
+    def test_pack_ships_at_least_ten_scenarios(self):
+        assert len(SCENARIOS) >= 10
+
+    def test_every_pack_file_is_registered_no_orphans(self):
+        file_names = {path.stem for path in pack_files()}
+        registered = {eid.removeprefix("scn-") for eid in REGISTRY
+                      if eid.startswith("scn-")}
+        orphans = file_names - registered
+        assert not orphans, f"pack files never registered: {orphans}"
+
+    def test_file_names_match_scenario_names(self):
+        for path in pack_files():
+            assert load_scenario_file(path).name == path.stem, \
+                f"{path.name} declares a different scenario name"
+
+    def test_names_are_unique(self):
+        names = [scenario.name for scenario in SCENARIOS]
+        assert len(set(names)) == len(names)
+
+    def test_register_pack_is_idempotent(self):
+        first = register_pack()
+        second = register_pack()
+        assert first == second
+        assert all(eid in REGISTRY for eid in first)
+
+    def test_pack_dir_is_the_package_data_dir(self):
+        assert PACK_DIR.is_dir()
+        assert PACK_DIR.name == "pack"
+
+
+class TestPackMetadata:
+    def test_titles_and_paper_refs(self):
+        for scenario in SCENARIOS:
+            assert scenario.title
+            assert "§" in scenario.paper_ref
+
+    def test_every_scenario_has_an_acceptance_check(self):
+        for scenario in SCENARIOS:
+            assert len(scenario.checks) >= 1
+
+    def test_fast_grids_stay_small(self):
+        # Fast mode is what CI runs; a scenario whose fast grid
+        # explodes would silently dominate the suite wall clock.
+        for scenario in SCENARIOS:
+            assert len(point_grid(scenario, fast=True)) <= 6, \
+                scenario.name
+
+    def test_pack_exercises_the_format_surface(self):
+        shapes = {scenario.traffic.shape for scenario in SCENARIOS}
+        assert {"constant", "bursty", "diurnal"} <= shapes
+        presets = {scenario.topology.device.preset
+                   for scenario in SCENARIOS}
+        assert "hetero-pool" in presets
+        assert any(scenario.faults is not None
+                   for scenario in SCENARIOS)
+        assert any(scenario.axis("device") for scenario in SCENARIOS)
+        assert any(scenario.router == "least-loaded"
+                   for scenario in SCENARIOS)
+
+
+class TestGoldenCoverage:
+    def test_golden_file_covers_every_scenario(self):
+        golden = json.loads(GOLDEN.read_text())["experiments"]
+        for scenario in SCENARIOS:
+            assert scenario.experiment_id in golden, \
+                (f"{scenario.experiment_id} missing from golden "
+                 f"checks; rerun with REPRO_REGEN_GOLDEN=1")
+
+    def test_golden_verdicts_all_pass(self):
+        golden = json.loads(GOLDEN.read_text())["experiments"]
+        for scenario in SCENARIOS:
+            checks = golden[scenario.experiment_id]
+            assert checks, scenario.experiment_id
+            failing = [c["claim"] for c in checks if not c["passed"]]
+            assert not failing, failing
+
+    def test_golden_check_count_matches_declared_checks(self):
+        golden = json.loads(GOLDEN.read_text())["experiments"]
+        for scenario in SCENARIOS:
+            assert len(golden[scenario.experiment_id]) == \
+                len(scenario.checks), scenario.experiment_id

@@ -1,0 +1,107 @@
+"""Hypothesis properties for the grid expander and substitution.
+
+Pinned properties (docs/SCENARIOS.md):
+
+* expansion is **order-deterministic** — same axes, same point list;
+* expansion covers the **full cross-product exactly once**, with the
+  last declared axis varying fastest (lexicographic in value indices);
+* substitution is **idempotent** — a substituted tree substitutes to
+  itself — and a whole-string placeholder takes the variable's native
+  type.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.scenarios import expand_grid, find_placeholders, substitute
+
+axes_st = st.dictionaries(
+    keys=st.sampled_from(["a", "b", "c", "d"]),
+    values=st.lists(st.integers(-50, 50), min_size=1, max_size=4,
+                    unique=True),
+    max_size=3)
+
+_scalars = st.one_of(
+    st.integers(-99, 99),
+    st.booleans(),
+    st.text(alphabet="abc xyz", max_size=8))
+
+_names = ("ALPHA", "BETA", "G_2")
+
+variables_st = st.fixed_dictionaries(
+    {name: _scalars for name in _names})
+
+_leaf = st.one_of(
+    _scalars,
+    st.none(),
+    st.sampled_from(_names).map(lambda n: f"{{{{ {n} }}}}"),
+    st.tuples(st.text(alphabet="ab", max_size=4),
+              st.sampled_from(_names)).map(
+        lambda pair: f"{pair[0]} {{{{ {pair[1]} }}}} end"))
+
+trees_st = st.recursive(
+    _leaf,
+    lambda child: st.one_of(
+        st.lists(child, max_size=3),
+        st.dictionaries(st.sampled_from(["k1", "k2", "k3"]), child,
+                        max_size=3)),
+    max_leaves=8)
+
+
+class TestGridProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(axes_st)
+    def test_expansion_is_order_deterministic(self, axes):
+        assert expand_grid(axes) == expand_grid(axes)
+
+    @settings(max_examples=100, deadline=None)
+    @given(axes_st)
+    def test_full_cross_product_exactly_once(self, axes):
+        points = expand_grid(axes)
+        expected = {
+            combo for combo in itertools.product(
+                *(axes[name] for name in axes))}
+        got = [tuple(point[name] for name in axes)
+               for point in points]
+        assert len(points) == len(expected)
+        assert set(got) == expected
+        assert len(set(got)) == len(got)
+
+    @settings(max_examples=100, deadline=None)
+    @given(axes_st)
+    def test_points_carry_axes_in_declaration_order(self, axes):
+        for point in expand_grid(axes):
+            assert list(point) == list(axes)
+
+    @settings(max_examples=100, deadline=None)
+    @given(axes_st)
+    def test_last_axis_varies_fastest(self, axes):
+        # The sequence of per-axis value indices is lexicographically
+        # sorted, which is exactly "declaration order, last fastest".
+        points = expand_grid(axes)
+        indices = [tuple(axes[name].index(point[name])
+                         for name in axes)
+                   for point in points]
+        assert indices == sorted(indices)
+
+
+class TestSubstitutionProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(trees_st, variables_st)
+    def test_substitution_is_idempotent(self, tree, variables):
+        once = substitute(tree, variables)
+        assert substitute(once, variables) == once
+
+    @settings(max_examples=100, deadline=None)
+    @given(trees_st, variables_st)
+    def test_substituted_tree_has_no_placeholders_left(self, tree,
+                                                       variables):
+        assert find_placeholders(substitute(tree, variables)) == set()
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.sampled_from(_names), variables_st)
+    def test_whole_string_placeholder_is_typed(self, name, variables):
+        value = substitute(f"{{{{ {name} }}}}", variables)
+        assert value == variables[name]
+        assert type(value) is type(variables[name])

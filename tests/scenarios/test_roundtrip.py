@@ -1,0 +1,63 @@
+"""Round-trip identity: ``parse -> to_dict -> parse`` is exact for
+every shipped scenario, which is what makes the content hash (and so
+the result-cache key) a stable function of the document."""
+
+import pytest
+
+from repro.scenarios import load_pack, parse_scenario
+
+SCENARIOS = load_pack()
+BY_NAME = {scenario.name: scenario for scenario in SCENARIOS}
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS,
+                         ids=[s.name for s in SCENARIOS])
+class TestPackRoundTrip:
+    def test_reparse_is_identity(self, scenario):
+        again = parse_scenario(scenario.to_dict())
+        assert again == scenario
+        assert again.to_dict() == scenario.to_dict()
+
+    def test_content_hash_is_stable(self, scenario):
+        again = parse_scenario(scenario.to_dict())
+        assert again.content_hash() == scenario.content_hash()
+        assert len(scenario.content_hash()) == 16
+
+
+class TestCanonicalForm:
+    def test_axis_swept_workload_key_is_omitted(self):
+        data = BY_NAME["steady-baseline"].to_dict()
+        assert "qps" not in data["workload"]
+        assert "qps" in data["axes"]
+
+    def test_axis_swept_topology_key_is_omitted(self):
+        data = BY_NAME["fleet-scaling"].to_dict()
+        assert "hosts" not in data["topology"]
+
+    def test_device_axis_omits_pinned_variant(self):
+        data = BY_NAME["asic-vs-fpga"].to_dict()
+        assert "variant" not in data["topology"]["device"]
+
+    def test_pinned_keys_survive(self):
+        data = BY_NAME["fault-severity"].to_dict()
+        assert "qps" in data["workload"]        # pinned, not swept
+        assert data["faults"]["monotone"] is True
+
+    def test_hashes_are_unique_across_the_pack(self):
+        hashes = {scenario.content_hash() for scenario in SCENARIOS}
+        assert len(hashes) == len(SCENARIOS)
+
+    def test_edit_changes_the_hash(self):
+        scenario = BY_NAME["steady-baseline"]
+        edited = dict(scenario.to_dict())
+        edited["seed"] = scenario.seed + 1
+        assert parse_scenario(edited).content_hash() != \
+            scenario.content_hash()
+
+    def test_vars_round_trip(self):
+        # steady-baseline declares SKEW and references it via a
+        # placeholder; the canonical form keeps the vars block.
+        scenario = BY_NAME["steady-baseline"]
+        assert dict(scenario.vars)
+        again = parse_scenario(scenario.to_dict())
+        assert again.vars == scenario.vars

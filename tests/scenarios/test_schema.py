@@ -1,0 +1,410 @@
+"""Negative-path schema validation: every failure is a structured
+:class:`~repro.scenarios.schema.ValidationError` naming the offending
+path — never a raw traceback."""
+
+import pytest
+
+from repro.scenarios import ValidationError, parse_scenario
+from repro.scenarios.loader import load_document
+
+
+def doc(**overrides):
+    """A minimal valid scenario document; overrides replace sections."""
+    base = {
+        "name": "unit",
+        "title": "Unit scenario",
+        "topology": {"hosts": 2, "keys_per_host": 2000},
+        "workload": {"qps": 50000, "requests": 400,
+                     "fast_requests": 120},
+        "checks": [{"kind": "all-complete"}],
+    }
+    base.update(overrides)
+    return base
+
+
+def doc_without(key):
+    data = doc()
+    del data[key]
+    return data
+
+
+def err(data, **kwargs):
+    with pytest.raises(ValidationError) as excinfo:
+        parse_scenario(data, **kwargs)
+    return excinfo.value
+
+
+class TestRequiredFields:
+    @pytest.mark.parametrize("key,path", [
+        ("name", "scenario.name"),
+        ("title", "scenario.title"),
+        ("topology", "scenario.topology"),
+        ("workload", "scenario.workload"),
+        ("checks", "scenario.checks"),
+    ])
+    def test_missing_top_level_field(self, key, path):
+        exc = err(doc_without(key))
+        assert exc.path == path
+        assert "required field is missing" in exc.reason
+
+    def test_minimal_document_parses(self):
+        scenario = parse_scenario(doc())
+        assert scenario.name == "unit"
+        assert scenario.experiment_id == "scn-unit"
+
+    def test_qps_needed_when_not_swept(self):
+        exc = err(doc(workload={"requests": 400}))
+        assert exc.path == "scenario.workload.qps"
+        assert "pin it or sweep" in exc.reason
+
+    def test_empty_checks_rejected(self):
+        exc = err(doc(checks=[]))
+        assert exc.path == "scenario.checks"
+        assert "at least one" in exc.reason
+
+    def test_faults_plan_required(self):
+        exc = err(doc(faults={"monotone": False}))
+        assert exc.path == "scenario.faults.plan"
+
+    def test_link_down_host_required(self):
+        exc = err(doc(faults={"plan": {"stall_rate": 0.01},
+                              "link_down": {}}))
+        assert exc.path == "scenario.faults.link_down.host"
+
+    def test_non_object_document(self):
+        exc = err([1, 2, 3])
+        assert exc.path == "scenario"
+        assert "expected object" in exc.reason
+
+
+class TestWrongTypes:
+    def test_bool_is_not_int(self):
+        exc = err(doc(topology={"hosts": True}))
+        assert exc.path == "scenario.topology.hosts"
+        assert "expected int, got bool" in exc.reason
+
+    def test_string_is_not_int(self):
+        exc = err(doc(topology={"hosts": "4"}))
+        assert exc.path == "scenario.topology.hosts"
+        assert "expected int" in exc.reason
+
+    def test_bool_is_not_number(self):
+        exc = err(doc(workload={"qps": 50000, "theta": True,
+                                "requests": 400}))
+        assert exc.path == "scenario.workload.theta"
+        assert "expected number, got bool" in exc.reason
+
+    def test_int_is_not_bool(self):
+        exc = err(doc(faults={"plan": {"stall_rate": 0.01},
+                              "monotone": 1}))
+        assert exc.path == "scenario.faults.monotone"
+        assert "expected bool" in exc.reason
+
+    def test_number_is_not_str(self):
+        exc = err(doc(title=3))
+        assert exc.path == "scenario.title"
+        assert "expected str" in exc.reason
+
+    def test_list_is_not_object(self):
+        exc = err(doc(topology=[1]))
+        assert exc.path == "scenario.topology"
+        assert "expected object, got list" in exc.reason
+
+    def test_check_entries_are_objects(self):
+        exc = err(doc(checks=["all-complete"]))
+        assert exc.path == "scenario.checks[0]"
+        assert "expected object" in exc.reason
+
+
+class TestUnknownKeys:
+    def test_top_level_unknown_key(self):
+        exc = err(doc(extra=1))
+        assert exc.path == "scenario.extra"
+        assert "unknown key" in exc.reason
+        assert "valid keys" in exc.reason
+
+    def test_topology_typo_names_path_and_valid_keys(self):
+        exc = err(doc(topology={"hostz": 4}))
+        assert exc.path == "scenario.topology.hostz"
+        assert "'hosts'" in exc.reason
+
+    def test_check_unknown_key(self):
+        exc = err(doc(checks=[{"kind": "bound", "metricc": "p99_us"}]))
+        assert exc.path == "scenario.checks[0].metricc"
+
+
+class TestChoicesAndRanges:
+    def test_unknown_router(self):
+        exc = err(doc(router="random"))
+        assert exc.path == "scenario.router"
+        assert "must be one of" in exc.reason
+
+    def test_unknown_device_preset(self):
+        exc = err(doc(topology={"device": {"preset": "quantum"}}))
+        assert exc.path == "scenario.topology.device.preset"
+
+    def test_unknown_traffic_shape(self):
+        exc = err(doc(traffic={"shape": "spiky"}))
+        assert exc.path == "scenario.traffic.shape"
+
+    def test_theta_zero_rejected(self):
+        exc = err(doc(workload={"qps": 50000, "theta": 0,
+                                "requests": 400}))
+        assert exc.path == "scenario.workload.theta"
+        assert "must be > 0" in exc.reason
+
+    def test_theta_one_rejected(self):
+        exc = err(doc(workload={"qps": 50000, "theta": 1,
+                                "requests": 400}))
+        assert exc.path == "scenario.workload.theta"
+        assert "must be < 1" in exc.reason
+
+    def test_pool_share_above_one(self):
+        exc = err(doc(topology={"pool_share": 1.5}))
+        assert exc.path == "scenario.topology.pool_share"
+
+    def test_negative_seed(self):
+        exc = err(doc(seed=-1))
+        assert exc.path == "scenario.seed"
+
+    def test_zero_requests(self):
+        exc = err(doc(workload={"qps": 50000, "requests": 0}))
+        assert exc.path == "scenario.workload.requests"
+
+    def test_name_must_be_kebab(self):
+        exc = err(doc(name="Not_Kebab"))
+        assert exc.path == "scenario.name"
+        assert "lowercase-kebab" in exc.reason
+
+    def test_single_socket_preset_is_single_device(self):
+        exc = err(doc(topology={"device": {"preset": "single-socket",
+                                           "devices": 2}}))
+        assert exc.path == "scenario.topology.device.devices"
+
+
+class TestAxisConflicts:
+    def test_qps_axis_conflicts_with_pinned_qps(self):
+        exc = err(doc(axes={"qps": [10000, 20000]}))
+        assert exc.path == "scenario.axes.qps"
+        assert "pinned scenario.workload.qps" in exc.reason
+
+    def test_hosts_axis_conflicts_with_pinned_hosts(self):
+        exc = err(doc(axes={"hosts": [2, 4]}))
+        assert exc.path == "scenario.axes.hosts"
+        assert "pinned scenario.topology.hosts" in exc.reason
+
+    def test_device_axis_conflicts_with_pinned_variant(self):
+        exc = err(doc(topology={"hosts": 2,
+                                "device": {"preset": "combined",
+                                           "variant": "fpga"}},
+                      axes={"device": ["fpga", "asic"]}))
+        assert exc.path == "scenario.axes.device"
+        assert "variant" in exc.reason
+
+    def test_device_axis_without_pinned_variant_is_fine(self):
+        scenario = parse_scenario(
+            doc(topology={"hosts": 2, "device": {"preset": "combined"}},
+                axes={"device": ["fpga", "asic"]},
+                checks=[{"kind": "all-complete"}]))
+        assert scenario.axis("device").values == ("fpga", "asic")
+
+    def test_severity_axis_needs_faults(self):
+        exc = err(doc(axes={"severity": [0.0, 1.0]}))
+        assert exc.path == "scenario.axes.severity"
+        assert "faults.plan" in exc.reason
+
+    def test_unknown_axis(self):
+        exc = err(doc(axes={"zipf": [1, 2]}))
+        assert exc.path == "scenario.axes.zipf"
+        assert "unknown axis" in exc.reason
+
+    def test_empty_axis_values(self):
+        exc = err(doc(axes={"qps": []}))
+        assert exc.path == "scenario.axes.qps"
+        assert "non-empty" in exc.reason
+
+    def test_duplicate_axis_values(self):
+        exc = err(doc(axes={"qps": [10000, 10000]}))
+        assert exc.path == "scenario.axes.qps"
+        assert "unique" in exc.reason
+
+    def test_fast_values_must_be_subset(self):
+        exc = err(doc(axes={"qps": {"values": [10000, 20000],
+                                    "fast": [30000]}}))
+        assert exc.path == "scenario.axes.qps.fast"
+        assert "subset" in exc.reason
+
+    def test_axis_value_type_checked(self):
+        exc = err(doc(axes={"qps": ["fast"]}))
+        assert exc.path == "scenario.axes.qps[0]"
+        assert "expected number" in exc.reason
+
+    def test_device_axis_value_choices_checked(self):
+        exc = err(doc(topology={"hosts": 2},
+                      axes={"device": ["fpga", "gpu"]}))
+        assert exc.path == "scenario.axes.device[1]"
+        assert "must be one of" in exc.reason
+
+
+class TestCheckValidation:
+    def test_unknown_kind(self):
+        exc = err(doc(checks=[{"kind": "eventually-correct"}]))
+        assert exc.path == "scenario.checks[0].kind"
+
+    def test_monotone_needs_axis(self):
+        exc = err(doc(checks=[{"kind": "monotone"}]))
+        assert exc.path == "scenario.checks[0].axis"
+        assert "needs an axis" in exc.reason
+
+    def test_monotone_axis_must_be_swept(self):
+        exc = err(doc(workload={"requests": 400},
+                      axes={"qps": [10000, 20000]},
+                      checks=[{"kind": "monotone", "axis": "hosts"}]))
+        assert exc.path == "scenario.checks[0].axis"
+        assert "not swept" in exc.reason
+
+    def test_monotone_direction_vocabulary(self):
+        exc = err(doc(workload={"requests": 400},
+                      axes={"qps": [10000, 20000]},
+                      checks=[{"kind": "monotone", "axis": "qps",
+                               "direction": "increasing"}]))
+        assert exc.path == "scenario.checks[0].direction"
+
+    def test_ordering_direction_vocabulary(self):
+        exc = err(doc(workload={"requests": 400},
+                      axes={"qps": [10000, 20000]},
+                      checks=[{"kind": "ordering", "axis": "qps",
+                               "direction": "nondecreasing"}]))
+        assert exc.path == "scenario.checks[0].direction"
+
+    def test_bound_needs_metric(self):
+        exc = err(doc(checks=[{"kind": "bound", "min": 0}]))
+        assert exc.path == "scenario.checks[0].metric"
+
+    def test_bound_needs_min_or_max(self):
+        exc = err(doc(checks=[{"kind": "bound", "metric": "p99_us"}]))
+        assert exc.path == "scenario.checks[0]"
+        assert "min and/or a max" in exc.reason
+
+    def test_all_complete_takes_no_parameters(self):
+        exc = err(doc(checks=[{"kind": "all-complete",
+                               "metric": "p99_us"}]))
+        assert exc.path == "scenario.checks[0]"
+        assert "takes no parameters" in exc.reason
+
+    def test_fault_monotone_needs_declared_monotonicity(self):
+        exc = err(doc(workload={"requests": 400},
+                      faults={"plan": {"stall_rate": 0.01},
+                              "monotone": False},
+                      axes={"qps": [10000], "severity": [0.0, 1.0]},
+                      checks=[{"kind": "fault-monotone"}]))
+        assert exc.path == "scenario.checks[0]"
+        assert "faults.monotone" in exc.reason
+
+    def test_unknown_metric(self):
+        exc = err(doc(checks=[{"kind": "bound", "metric": "p999_us",
+                               "max": 1}]))
+        assert exc.path == "scenario.checks[0].metric"
+
+
+class TestVarsAndPlaceholders:
+    def test_placeholder_takes_native_type(self):
+        scenario = parse_scenario(
+            doc(vars={"QPS": 120000},
+                workload={"qps": "{{ QPS }}", "requests": 400}))
+        assert scenario.workload.qps == 120000.0
+
+    def test_embedded_placeholder_interpolates(self):
+        scenario = parse_scenario(
+            doc(vars={"QPS": 120000}, title="run at {{ QPS }} qps",
+                workload={"qps": "{{ QPS }}", "requests": 400}))
+        assert scenario.title == "run at 120000 qps"
+
+    def test_caller_variables_override_document_vars(self):
+        scenario = parse_scenario(
+            doc(vars={"QPS": 100000},
+                workload={"qps": "{{ QPS }}", "requests": 400}),
+            variables={"QPS": 200000})
+        assert scenario.workload.qps == 200000.0
+
+    def test_undefined_placeholder_names_path(self):
+        exc = err(doc(workload={"qps": "{{ NOPE }}",
+                                "requests": 400}))
+        assert exc.path == "scenario.workload.qps"
+        assert "undefined placeholder" in exc.reason
+
+    def test_variable_names_are_identifiers(self):
+        exc = err(doc(vars={"1bad": 1}))
+        assert exc.path == "scenario.vars.1bad"
+
+    def test_variable_values_are_scalars(self):
+        exc = err(doc(vars={"X": [1, 2]}))
+        assert exc.path == "scenario.vars.X"
+        assert "scalars" in exc.reason
+
+    def test_variable_values_may_not_nest_placeholders(self):
+        exc = err(doc(vars={"X": "{{ Y }}"},
+                      title="{{ X }}"))
+        assert "may not contain placeholders" in exc.reason
+
+
+class TestFaultsValidation:
+    def test_bad_plan_field_surfaces_as_validation_error(self):
+        exc = err(doc(faults={"plan": {"bogus_rate": 1}}))
+        assert exc.path == "scenario.faults.plan"
+
+    def test_link_down_needs_surviving_host(self):
+        exc = err(doc(topology={"hosts": 1},
+                      faults={"plan": {"stall_rate": 0.01},
+                              "link_down": {"host": 0}}))
+        assert exc.path == "scenario.faults.link_down"
+        assert "surviving host" in exc.reason
+
+    def test_link_down_host_within_fleet(self):
+        exc = err(doc(faults={"plan": {"stall_rate": 0.01},
+                              "link_down": {"host": 5}}))
+        assert exc.path == "scenario.faults.link_down.host"
+
+    def test_link_down_at_fraction_range(self):
+        exc = err(doc(faults={"plan": {"stall_rate": 0.01},
+                              "link_down": {"host": 1,
+                                            "at_fraction": 0}}))
+        assert exc.path == "scenario.faults.link_down.at_fraction"
+
+
+class TestLoader:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError) as excinfo:
+            load_document(tmp_path / "nope.json")
+        assert "does not exist" in str(excinfo.value)
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError) as excinfo:
+            load_document(path)
+        assert "invalid JSON" in str(excinfo.value)
+
+    def test_duplicate_keys_rejected(self, tmp_path):
+        path = tmp_path / "dup.json"
+        path.write_text('{"name": "a", "name": "b"}')
+        with pytest.raises(ValidationError) as excinfo:
+            load_document(path)
+        assert "duplicate key" in str(excinfo.value)
+
+    def test_unknown_suffix(self, tmp_path):
+        path = tmp_path / "scenario.toml"
+        path.write_text("x = 1")
+        with pytest.raises(ValidationError) as excinfo:
+            load_document(path)
+        assert "unknown scenario suffix" in str(excinfo.value)
+
+    def test_yaml_without_pyyaml_is_a_clean_refusal(self, tmp_path):
+        from repro.scenarios import loader
+        if loader._yaml is not None:
+            pytest.skip("PyYAML installed; the refusal path is dormant")
+        path = tmp_path / "scenario.yaml"
+        path.write_text("name: x")
+        with pytest.raises(ValidationError) as excinfo:
+            load_document(path)
+        assert "PyYAML" in str(excinfo.value)
