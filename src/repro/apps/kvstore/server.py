@@ -72,6 +72,7 @@ class KvServer:
         if requests <= 0:
             raise WorkloadError(f"requests must be positive: {requests}")
         if (self.workers == 1 and not self.telemetry.enabled
+                and not self.telemetry.spans.enabled
                 and os.environ.get("REPRO_KV_FASTPATH", "") != "0"):
             # A capacity-1 FIFO station needs no event queue: the
             # Lindley recursion below replays the DES float-for-float.
@@ -79,6 +80,8 @@ class KvServer:
         engine = Engine(telemetry=self.telemetry)
         tracer = self.telemetry.tracer
         traced = tracer.enabled
+        spans = self.telemetry.spans
+        spanned = spans.enabled
         name = ("redis-event-loop" if self.workers == 1
                 else f"memcached-{self.workers}w")
         server = Server(self.workers, name=name)
@@ -98,7 +101,9 @@ class KvServer:
                     key = self.store.insert_record()
                 else:
                     key = self.store.chooser.next_key(arrivals)
-                service = self.store.sample_service_ns(op, key)
+                cpu, misses, miss_ns = \
+                    self.store.sample_service_parts(op, key)
+                service = cpu + misses * miss_ns
                 service_total[0] += service
 
                 def finish() -> None:
@@ -112,7 +117,39 @@ class KvServer:
                                         engine.now - arrival_time,
                                         request=index)
 
-                engine.schedule(service, finish)
+                if not spanned:
+                    engine.schedule(service, finish)
+                    return
+
+                # Spanned path only: defaults bind start()'s locals so
+                # the spans-off closure above keeps its exact shape (no
+                # extra cells on the hot path).
+                def finish_spanned(key=key, cpu=cpu, misses=misses,
+                                   mem_total=misses * miss_ns,
+                                   grant=engine.now) -> None:
+                    finish()
+                    # The memory part splits by the kind of node
+                    # backing the record's lines; the second entry
+                    # is a residual so the pair closes exactly on
+                    # misses * miss_ns.
+                    dram_share, cxl_share = \
+                        self.store.miss_node_split(key)
+                    segments = [
+                        ("client.wait", grant - arrival_time),
+                        ("kv.cpu", cpu)]
+                    if cxl_share == 0.0:
+                        segments.append(("mem.dram", mem_total))
+                    elif dram_share == 0.0:
+                        segments.append(("mem.cxl", mem_total))
+                    else:
+                        dram_part = misses * dram_share
+                        segments.append(("mem.dram", dram_part))
+                        segments.append(
+                            ("mem.cxl", mem_total - dram_part))
+                    spans.record(index, arrival_time, segments,
+                                 kind=op.value)
+
+                engine.schedule(service, finish_spanned)
 
             server.acquire(start)
 

@@ -196,8 +196,16 @@ class KvStore:
         return sum(share * self._node_read_ns[node]
                    for node, share in mix.items())
 
-    def sample_service_ns(self, op: Operation, key: int) -> float:
-        """One query's service time (CPU + memory), sampled."""
+    def sample_service_parts(self, op: Operation, key: int
+                             ) -> tuple[float, float, float]:
+        """One query's sampled ``(cpu_ns, misses, per_miss_ns)``.
+
+        The span layer records the parts separately;
+        :meth:`sample_service_ns` folds them into the scalar service
+        time.  Draw order is fixed (CPU jitter, miss jitter, cache
+        draw) so sampling parts or the scalar consumes the RNG stream
+        identically.
+        """
         rng = self._rng
         cpu = CPU_BASE_NS * rng.lognormal(0.0, CPU_JITTER_SIGMA)
         misses = EFFECTIVE_MISSES_MEAN * rng.lognormal(0.0, MISS_JITTER_SIGMA)
@@ -207,7 +215,31 @@ class KvStore:
             misses *= 1.15
         if rng.random() < self._cache_hit_prob:
             misses *= 0.1        # hot record: index + value mostly cached
-        return cpu + misses * self.average_miss_latency_ns(key)
+        return cpu, misses, self.average_miss_latency_ns(key)
+
+    def sample_service_ns(self, op: Operation, key: int) -> float:
+        """One query's service time (CPU + memory), sampled."""
+        cpu, misses, miss_ns = self.sample_service_parts(op, key)
+        return cpu + misses * miss_ns
+
+    def miss_node_split(self, key: int) -> tuple[float, float]:
+        """``(dram_share_ns, cxl_share_ns)`` of the per-miss latency.
+
+        Splits :meth:`average_miss_latency_ns` by the kind of node
+        backing each of the record's lines — the span layer's
+        DRAM-vs-CXL attribution.  Only called on spanned runs; uses the
+        exact per-node scalar path, no RNG.
+        """
+        mix = self.record_node_mix(key)
+        dram = 0.0
+        cxl = 0.0
+        for node, share in mix.items():
+            part = share * self._node_read_ns[node]
+            if self.system.topology.node(node).kind.is_cxl:
+                cxl += part
+            else:
+                dram += part
+        return dram, cxl
 
     def mean_service_ns(self, samples: int = 2000) -> float:
         """Monte-Carlo mean service time under the workload."""

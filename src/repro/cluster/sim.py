@@ -184,6 +184,8 @@ class ClusterSim:
         engine = Engine(telemetry=self.telemetry)
         tracer = self.telemetry.tracer
         traced = tracer.enabled
+        spans = self.telemetry.spans
+        spanned = spans.enabled
 
         servers = [Server(host.spec.workers, name=host.name)
                    for host in topo.hosts]
@@ -204,6 +206,13 @@ class ClusterSim:
         pool_ns_by_host = [topo.pool_read_ns(host)
                            for host in range(topo.num_hosts)]
         hit_prob = topo.cache_hit_prob(theta)
+
+        # Per-miss span decomposition of the two read paths; only built
+        # (and only consulted) when span recording is on.
+        if spanned:
+            dram_parts = topo.dram_components()
+            pool_parts_by_host = [topo.pool_components(host)
+                                  for host in range(topo.num_hosts)]
 
         # Per-request randomness, pre-drawn and indexed by request so
         # no simulation path can perturb another request's draws.
@@ -256,22 +265,15 @@ class ClusterSim:
                 miss_ns = pool_ns_by_host[owner] if resident \
                     else dram_ns
                 extra = penalty
+                fault_parts: tuple = ()
                 pending_recoveries = 0
                 injector = injectors.get(target) if resident else None
                 if injector is not None:
-                    extra += injector.stall_ns(index)
-                    if injector.timeout(index):
-                        extra += injector.plan.timeout_ns \
-                            + injector.plan.retry_backoff_ns
-                        injector.retried()
-                        pending_recoveries += 1
-                    if injector.poisoned(index):
-                        # Discard the poisoned response, re-read the
-                        # record's lines from the pool.
-                        extra += misses * miss_ns \
-                            + injector.plan.retry_backoff_ns
-                        injector.retried()
-                        pending_recoveries += 1
+                    fault_parts, pending_recoveries = \
+                        injector.request_extras(index,
+                                                reread_ns=misses * miss_ns)
+                    for _, part_ns in fault_parts:
+                        extra += part_ns
                 service = cpu + misses * miss_ns + extra
                 service_total[0] += service
 
@@ -294,7 +296,41 @@ class ClusterSim:
                             "put" if is_write else "get",
                             arrival, sojourn, request=index)
 
-                engine.schedule(service, finish)
+                if not spanned:
+                    engine.schedule(service, finish)
+                    return
+
+                # Spanned path only: the segment builder binds start()'s
+                # locals as defaults so the spans-off closure above keeps
+                # its exact shape (no extra cells on the hot path).
+                def finish_spanned(cpu=cpu, misses=misses,
+                                   mem_total=misses * miss_ns,
+                                   grant=engine.now,
+                                   parts=pool_parts_by_host[owner]
+                                   if resident else dram_parts,
+                                   fault_parts=fault_parts) -> None:
+                    finish()
+                    # Ordered waterfall; the memory components use a
+                    # residual on the last entry so their sum closes
+                    # exactly on misses * miss_ns.
+                    segments = [("client.wait", grant - arrival)]
+                    if rerouted_from is not None:
+                        segments.append(("route.reroute", penalty))
+                    segments.append(("shard.cpu", cpu))
+                    accounted = 0.0
+                    last = len(parts) - 1
+                    for pos, (part, per_miss) in enumerate(parts):
+                        if pos == last:
+                            dur = mem_total - accounted
+                        else:
+                            dur = misses * per_miss
+                            accounted += dur
+                        segments.append((part, dur))
+                    segments.extend(fault_parts)
+                    spans.record(index, arrival, segments,
+                                 kind="put" if is_write else "get")
+
+                engine.schedule(service, finish_spanned)
 
             servers[target].acquire(start)
 

@@ -148,6 +148,35 @@ class ClusterTopology:
                 + system.backend_for_node(system.cxl_node_id + device)
                 .idle_read_ns() + POOL_HOP_NS)
 
+    # -- span components ---------------------------------------------------
+
+    def dram_components(self) -> tuple[tuple[str, float], ...]:
+        """The local-DRAM miss path as labeled per-miss span components.
+
+        Sums to :meth:`dram_read_ns` (up to float association; span
+        recording closes the sum with a residual on the last entry).
+        """
+        system = self.system
+        backend = system.backend_for_node(system.LOCAL_NODE)
+        return (("cpu.stall", system.edge_ns()),) + tuple(
+            (f"dram.{part}", ns) for part, ns in backend.read_components_ns())
+
+    def pool_components(self, host: int | None = None
+                        ) -> tuple[tuple[str, float], ...]:
+        """The pool miss path as labeled per-miss span components.
+
+        Mirrors :meth:`pool_read_ns`: socket edge, then the owning CXL
+        device's link/ctrl/media decomposition, then the fabric hop.
+        """
+        system = self.system
+        device = 0 if host is None \
+            else host % len(system.config.cxl_devices)
+        backend = system.backend_for_node(system.cxl_node_id + device)
+        return ((("cpu.stall", system.edge_ns()),)
+                + tuple((f"cxl.{part}", ns)
+                        for part, ns in backend.read_components_ns())
+                + (("pool.hop", POOL_HOP_NS),))
+
     # -- workload-derived absorption --------------------------------------
 
     def cache_hit_prob(self, theta: float) -> float:

@@ -58,6 +58,21 @@ class CxlMemoryBackend(MemoryBackend):
                          extra_write_ns=write_path,
                          link_bandwidth=link_ceiling)
 
+    def read_components_ns(self) -> tuple[tuple[str, float], ...]:
+        """The paper's read-path decomposition, as span components.
+
+        ``link`` is the protocol round trip on the wire (both hops,
+        serialization, flit pack/unpack), ``ctrl`` the device-side
+        controller processing plus any expected fault latency, and
+        ``media`` the DRAM access behind the controller — the same
+        split §4 of the paper measures between IP-provided counters.
+        """
+        link = self.port.transaction_round_trip_ns(read_transaction())
+        ctrl = (self.device_controller.processing_ns()
+                + self.device_controller.expected_fault_latency_ns())
+        return (("link", link), ("ctrl", ctrl),
+                ("media", self.controller.config.access_ns))
+
     def bus_ceiling(self, pattern: AccessPattern, block_bytes: int,
                     streams: int, *, write_fraction: float = 0.0) -> float:
         """DRAM-side ceiling behind the controller, capped by the link.

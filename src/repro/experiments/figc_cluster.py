@@ -29,7 +29,10 @@ from ..analysis.tables import series_table
 from ..cluster.sim import ClusterResult, LinkDown
 from ..faults import FaultPlan
 from ..parallel import ParallelRunner
+from ..parallel.merge import TelemetrySpec
 from ..parallel.sweeps import run_cluster_point
+from ..telemetry.spans import (SpanConfig, combine_aggregates,
+                               render_attribution, render_waterfall)
 from .registry import ExperimentResult, register, series_payload
 
 NUM_HOSTS = 4
@@ -52,18 +55,20 @@ def _label(eid: str, qps: float, **axes) -> str:
     return f"{eid}[{','.join(parts)}]"
 
 
-def _sweep(units: list[tuple], names: list[str],
-           jobs: int) -> list[ClusterResult]:
+def _sweep(units: list[tuple], names: list[str], jobs: int
+           ) -> tuple[list[ClusterResult], list[dict | None]]:
     """Run the labeled units, optionally sharded across processes."""
     runner = ParallelRunner(jobs, names=names)
-    return [result for result, _export
-            in runner.map(run_cluster_point, units)]
+    pairs = runner.map(run_cluster_point, units)
+    return ([result for result, _export in pairs],
+            [export for _result, export in pairs])
 
 
 def _point(keys: int, pool_share: float, qps: float, theta: float,
            requests: int, *, router: str = "hash-shard",
            fault_plans: dict | None = None,
-           link_down: LinkDown | None = None) -> tuple:
+           link_down: LinkDown | None = None,
+           tspec: TelemetrySpec | None = None) -> tuple:
     """One picklable :func:`run_cluster_point` spec."""
     topo_kwargs = {"num_hosts": NUM_HOSTS, "keys_per_host": keys,
                    "pool_share": pool_share}
@@ -73,13 +78,64 @@ def _point(keys: int, pool_share: float, qps: float, theta: float,
     if link_down is not None:
         sim_kwargs["link_down"] = link_down
     run_kwargs = {"qps": qps, "theta": theta, "requests": requests}
-    return (topo_kwargs, sim_kwargs, run_kwargs, None)
+    return (topo_kwargs, sim_kwargs, run_kwargs, tspec)
+
+
+def _span_tspec(span_config: SpanConfig | None) -> TelemetrySpec | None:
+    """Worker telemetry shape for a spanned sweep (``None`` = spans off)."""
+    if span_config is None:
+        return None
+    return TelemetrySpec(traced=False, metered=False, spans=span_config)
+
+
+def _spans_payload(span_config: SpanConfig, names: list[str],
+                   exports: list[dict | None]) -> dict:
+    """Per-point span aggregates keyed by unit label."""
+    return {"config": span_config.to_dict(),
+            "points": {name: export["spans"]
+                       for name, export in zip(names, exports)
+                       if export and export.get("spans")}}
+
+
+def _spans_checks_and_render(payload: dict
+                             ) -> tuple[list[ShapeCheck], str]:
+    """Shape checks plus the rendered attribution section.
+
+    The closure check is the span layer's core guarantee: per point,
+    the per-component totals sum back to the recorded end-to-end time
+    within float rounding.
+    """
+    points = payload["points"]
+    worst = 0.0
+    for aggregate in points.values():
+        total = aggregate["total_ns"]
+        parts = sum(slot["total_ns"]
+                    for slot in aggregate["components"].values())
+        worst = max(worst, abs(parts - total) / total if total else 0.0)
+    combined = combine_aggregates(list(points.values()))
+    k = payload["config"]["exemplars"]
+    checks = [
+        ShapeCheck("span components sum to end-to-end latency within "
+                   "rounding, at every sweep point",
+                   worst < 1e-9, f"worst relative gap {worst:.2e}"),
+        ShapeCheck(f"each sweep point retains its {k} slowest traces",
+                   all(len(agg["exemplars"]) == min(k, agg["requests"])
+                       for agg in points.values()),
+                   f"{len(points)} points x {k} exemplars"),
+    ]
+    sections = [render_attribution(combined,
+                                   title="Tail attribution (all points)")]
+    if combined["exemplars"]:
+        sections.append("Slowest trace:\n"
+                        + render_waterfall(combined["exemplars"][0]))
+    return checks, "\n\n".join(sections)
 
 
 @register("cluster-pooling", "Cluster-scale CXL memory pooling",
           "extension of §5.2 (pooling outlook)")
 def run_pooling(fast: bool, jobs: int = 1,
-                fault_plan: FaultPlan | None = None) -> ExperimentResult:
+                fault_plan: FaultPlan | None = None,
+                span_config: SpanConfig | None = None) -> ExperimentResult:
     keys = 50_000 if fast else 100_000
     requests = 2_500 if fast else 8_000
     qps_points = [60_000.0, 140_000.0, 220_000.0, 300_000.0] if fast \
@@ -87,23 +143,25 @@ def run_pooling(fast: bool, jobs: int = 1,
               240_000.0, 280_000.0, 320_000.0]
     plans = {host: fault_plan for host in range(NUM_HOSTS)} \
         if fault_plan is not None else None
+    tspec = _span_tspec(span_config)
 
     grid = [(theta, share) for theta in THETAS for share in POOL_SHARES]
     units, names = [], []
     for theta, share in grid:
         for qps in qps_points:
             units.append(_point(keys, share, qps, theta, requests,
-                                fault_plans=plans))
+                                fault_plans=plans, tspec=tspec))
             names.append(_label("figC", qps, skew=theta,
                                 pool=f"{share:.0%}"))
     # The routing comparison rides the hottest combo: skewed traffic,
     # half the working set pooled, least-loaded balancing.
     for qps in qps_points:
         units.append(_point(keys, 0.5, qps, 0.99, requests,
-                            router="least-loaded", fault_plans=plans))
+                            router="least-loaded", fault_plans=plans,
+                            tspec=tspec))
         names.append(_label("figC", qps, skew=0.99, pool="50%",
                             router="least-loaded"))
-    results = _sweep(units, names, jobs)
+    results, exports = _sweep(units, names, jobs)
 
     per_combo = {combo: results[i * len(qps_points):
                                 (i + 1) * len(qps_points)]
@@ -197,18 +255,26 @@ def run_pooling(fast: bool, jobs: int = 1,
         series_table(utilization, y_format="{:.3f}",
                      title="Pool utilization (carved/capacity)"),
     ])
+    spans_payload: dict = {}
+    if span_config is not None:
+        spans_payload = _spans_payload(span_config, names, exports)
+        span_checks, span_section = _spans_checks_and_render(spans_payload)
+        checks += span_checks
+        rendered += "\n\n" + span_section
     return ExperimentResult(
         "cluster-pooling", "Cluster-scale CXL memory pooling", rendered,
         checks, series=series_payload({
             "p99-vs-qps": p99_curves,
             "routing": routing_curves,
-            "pool-utilization": utilization}))
+            "pool-utilization": utilization}),
+        spans=spans_payload)
 
 
 @register("cluster-degraded", "Degraded fleet: CXL link loss mid-run",
           "extension of §2.1 (RAS) at fleet scale")
 def run_degraded(fast: bool, jobs: int = 1,
-                 fault_plan: FaultPlan | None = None) -> ExperimentResult:
+                 fault_plan: FaultPlan | None = None,
+                 span_config: SpanConfig | None = None) -> ExperimentResult:
     keys = 50_000 if fast else 100_000
     requests = 2_500 if fast else 8_000
     qps_points = [80_000.0, 140_000.0, 200_000.0] if fast \
@@ -216,16 +282,18 @@ def run_degraded(fast: bool, jobs: int = 1,
     plan = fault_plan if fault_plan is not None else CLUSTER_PLAN
     plans = {host: plan for host in range(NUM_HOSTS)}
     down = LinkDown(host=DOWN_HOST, at_fraction=DOWN_AT_FRACTION)
+    tspec = _span_tspec(span_config)
 
     units, names = [], []
     for qps in qps_points:
-        units.append(_point(keys, 0.5, qps, 0.99, requests))
+        units.append(_point(keys, 0.5, qps, 0.99, requests, tspec=tspec))
         names.append(_label("figC-deg", qps, fleet="healthy"))
     for qps in qps_points:
         units.append(_point(keys, 0.5, qps, 0.99, requests,
-                            fault_plans=plans, link_down=down))
+                            fault_plans=plans, link_down=down,
+                            tspec=tspec))
         names.append(_label("figC-deg", qps, fleet="degraded"))
-    results = _sweep(units, names, jobs)
+    results, exports = _sweep(units, names, jobs)
     healthy = results[:len(qps_points)]
     degraded = results[len(qps_points):]
 
@@ -286,8 +354,15 @@ def run_degraded(fast: bool, jobs: int = 1,
         title=f"Degraded fleet: host {DOWN_HOST} loses its CXL link "
               f"{DOWN_AT_FRACTION:.0%} into the run "
               f"({NUM_HOSTS} hosts, skew=0.99, pool=50%)")
+    spans_payload: dict = {}
+    if span_config is not None:
+        spans_payload = _spans_payload(span_config, names, exports)
+        span_checks, span_section = _spans_checks_and_render(spans_payload)
+        checks += span_checks
+        rendered += "\n\n" + span_section
     return ExperimentResult(
         "cluster-degraded", "Degraded fleet: CXL link loss mid-run",
         rendered, checks,
         series=series_payload({"degraded-fleet": [
-            healthy_p99, degraded_p99, rerouted, injected]}))
+            healthy_p99, degraded_p99, rerouted, injected]}),
+        spans=spans_payload)

@@ -21,6 +21,10 @@ class ExperimentResult:
     series: dict = field(default_factory=dict)
     # {panel: {series: {"x": [...], "y": [...], ...}}} — numeric payload
     # mirroring the rendered tables, for machine diffing.
+    spans: dict = field(default_factory=dict)
+    # Span-attribution payload ({"config": ..., "points": {...}}) when
+    # the run recorded per-request spans; empty otherwise.  Kept out of
+    # to_dict() when empty so spans-off output is unchanged.
 
     @property
     def passed(self) -> bool:
@@ -34,7 +38,7 @@ class ExperimentResult:
 
     def to_dict(self) -> dict:
         """JSON-serializable form: id, pass/fail, checks, series data."""
-        return {
+        data = {
             "experiment_id": self.experiment_id,
             "title": self.title,
             "passed": self.passed,
@@ -44,6 +48,9 @@ class ExperimentResult:
                        for check in self.checks],
             "series": self.series,
         }
+        if self.spans:
+            data["spans"] = self.spans
+        return data
 
     def payload(self) -> dict:
         """Full JSON round-trip form (everything :meth:`from_payload`
@@ -68,7 +75,8 @@ class ExperimentResult:
                    title=data["title"],
                    rendered=data["rendered"],
                    checks=checks,
-                   series=data["series"])
+                   series=data["series"],
+                   spans=data.get("spans") or {})
 
 
 def series_payload(report) -> dict:
@@ -105,6 +113,9 @@ class Experiment:
     accepts_faults: bool = False
     # True when the runner takes a ``fault_plan`` keyword — it can run
     # its simulations under a degraded-mode FaultPlan (docs/FAULTS.md).
+    accepts_spans: bool = False
+    # True when the runner takes a ``span_config`` keyword — it records
+    # per-request spans for tail attribution (docs/TELEMETRY.md).
     extra_config: tuple | None = None
     # Extra (key, value) pairs folded into this experiment's cache /
     # checkpoint config.  Scenario-derived experiments carry their
@@ -113,7 +124,7 @@ class Experiment:
     # a stale cached result.
 
     def run(self, *, fast: bool = True, jobs: int = 1,
-            fault_plan=None) -> ExperimentResult:
+            fault_plan=None, span_config=None) -> ExperimentResult:
         """Execute; ``fast`` trims sweep sizes for CI-speed runs.
 
         ``jobs > 1`` shards the experiment's own sweep points when the
@@ -122,6 +133,9 @@ class Experiment:
         fault configuration for experiments that accept one; passing a
         plan to one that does not is an error (silently dropping a
         fault request would misreport healthy numbers as degraded).
+        ``span_config`` likewise: experiments that accept one record
+        per-request spans, and passing it to one that does not raises
+        (a silently un-spanned run would look like spans found nothing).
         """
         kwargs: dict = {}
         if self.accepts_jobs:
@@ -132,6 +146,12 @@ class Experiment:
                     f"experiment {self.experiment_id!r} does not accept "
                     f"a fault plan")
             kwargs["fault_plan"] = fault_plan
+        if span_config is not None:
+            if not self.accepts_spans:
+                raise ExperimentError(
+                    f"experiment {self.experiment_id!r} does not accept "
+                    f"a span config")
+            kwargs["span_config"] = span_config
         return self.runner(fast, **kwargs)
 
 
@@ -156,9 +176,10 @@ def register(experiment_id: str, title: str, paper_ref: str, *,
         params = inspect.signature(runner).parameters
         accepts_jobs = "jobs" in params
         accepts_faults = "fault_plan" in params
+        accepts_spans = "span_config" in params
         REGISTRY[experiment_id] = Experiment(
             experiment_id, title, paper_ref, runner, accepts_jobs,
-            accepts_faults,
+            accepts_faults, accepts_spans,
             tuple(sorted(extra_config.items()))
             if extra_config else None)
         return runner

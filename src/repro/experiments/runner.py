@@ -89,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(keys: crc poison timeout stall stall-ns "
                              "timeout-ns backoff-ns retries width speed "
                              "seed; see docs/FAULTS.md)")
+    parser.add_argument("--spans", metavar="SPEC", nargs="?",
+                        const="", default=None,
+                        help="record per-request spans for tail "
+                             "attribution, e.g. 'k=8,windows=6' "
+                             "(keys: k/exemplars windows; bare --spans "
+                             "uses defaults; see docs/TELEMETRY.md)")
     parser.add_argument("--unit-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="kill and retry any worker unit exceeding "
@@ -159,13 +165,15 @@ class _SweepControl:
             runner.request_drain()
 
 
-def run_config(fast: bool, *, fault_plan=None) -> dict:
+def run_config(fast: bool, *, fault_plan=None, span_config=None) -> dict:
     """The result-shaping config material for cache keys and journals.
 
     Everything that can change an experiment's payload belongs here:
     ``fast`` mode, the engine scheduling mode
     (:func:`repro.sim.engine.scheduling_fingerprint`) and, when given,
-    the full fault-plan configuration.  Tests that predict cache or
+    the full fault-plan and span configurations (a spanned result
+    carries its attribution payload, so it must never be served from —
+    or land in — a spans-off cache slot).  Tests that predict cache or
     journal paths should build their material through this function
     rather than hard-coding the dict shape.
     """
@@ -175,6 +183,8 @@ def run_config(fast: bool, *, fault_plan=None) -> dict:
                     "scheduler": scheduling_fingerprint()}
     if fault_plan is not None:
         config["faults"] = fault_plan.to_dict()
+    if span_config is not None:
+        config["spans"] = span_config.to_dict()
     return config
 
 
@@ -206,7 +216,8 @@ def _suite_config(ids: list[str], config: dict) -> dict:
 
 
 def _run_ids(ids: list[str], *, fast: bool, jobs: int,
-             use_cache: bool, fault_plan=None, hooks: RunHooks = None,
+             use_cache: bool, fault_plan=None, span_config=None,
+             hooks: RunHooks = None,
              profiler: Profiler = None, policy=None,
              resume: bool = False, checkpoint: bool = True,
              control: _SweepControl | None = None):
@@ -255,7 +266,8 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
         profiler = Profiler(enabled=False)
     if policy is None:
         policy = SupervisionPolicy()
-    config = run_config(fast, fault_plan=fault_plan)
+    config = run_config(fast, fault_plan=fault_plan,
+                        span_config=span_config)
     cache = ResultCache(on_quarantine=hooks.cache_quarantined) \
         if use_cache else None
     keys = {eid: result_key(eid, config_for(eid, config))
@@ -354,7 +366,8 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
             try:
                 outcomes = runner.map(
                     run_experiment,
-                    [(eid, fast, 1, fault_plan) for eid in pooled])
+                    [(eid, fast, 1, fault_plan, span_config)
+                     for eid in pooled])
             except KeyboardInterrupt:
                 outcomes = []
                 interrupted = True
@@ -384,7 +397,8 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
                     try:
                         record(eid, REGISTRY[eid].run(
                             fast=fast, jobs=jobs,
-                            fault_plan=fault_plan))
+                            fault_plan=fault_plan,
+                            span_config=span_config))
                         hooks.unit_finished(eid)
                     except KeyboardInterrupt:
                         interrupted = True
@@ -412,7 +426,8 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
 def _append_ledger(args, argv, ids, *, started_at: str, wall_s: float,
                    hooks: RunHooks, results, fault_plan,
                    exit_code: int, runlog: RunLog,
-                   interrupted: bool = False) -> None:
+                   interrupted: bool = False,
+                   spans: dict | None = None) -> None:
     """Best-effort ledger append (a ledger I/O error never fails a run)."""
     from ..obs import append_record, describe_append_failure, run_record
 
@@ -430,6 +445,7 @@ def _append_ledger(args, argv, ids, *, started_at: str, wall_s: float,
             cache_misses=hooks.cache_misses,
             verdicts=hooks.verdicts(results),
             resilience=hooks.resilience_record(interrupted=interrupted),
+            spans=spans,
             exit_code=exit_code)
         path = append_record(record)
         runlog.debug("ledger-appended", path=str(path))
@@ -515,6 +531,20 @@ def main(argv: list[str] | None = None) -> int:
             return runlog.error(
                 "experiment(s) do not accept a fault plan: "
                 + " ".join(sorted(refusing)))
+    span_config = None
+    if args.spans is not None:
+        from ..telemetry.spans import SpanConfig, SpanError
+
+        try:
+            span_config = SpanConfig.parse(args.spans)
+        except SpanError as exc:
+            return runlog.error(f"bad --spans spec: {exc}")
+        refusing = [eid for eid in ids
+                    if not REGISTRY[eid].accepts_spans]
+        if refusing:
+            return runlog.error(
+                "experiment(s) do not accept a span config: "
+                + " ".join(sorted(refusing)))
     save_dir = None
     if args.save:
         from pathlib import Path
@@ -541,9 +571,25 @@ def main(argv: list[str] | None = None) -> int:
     reporter = None if args.no_progress else ProgressReporter(
         total=len(ids), runlog=runlog)
     hooks = RunHooks(reporter=reporter, runlog=runlog)
+    if args.jobs > 1:
+        from ..parallel import effective_cpu_count
+
+        cpus = effective_cpu_count()
+        if args.jobs > cpus:
+            # Oversubscribed pools *slow the suite down* (workers fight
+            # for the same cores); say so up front rather than leaving
+            # a suite.speedup < 1 surprise for repro-report --baseline.
+            runlog.warn("jobs-oversubscribed", jobs=args.jobs,
+                        cpus=cpus)
+            note = (f"note: --jobs {args.jobs} exceeds the "
+                    f"{cpus} CPU(s) available to this process; "
+                    f"expect a slowdown, not a speedup")
+            if reporter is not None:
+                reporter.note(note)
     runlog.info("run-start", ids=" ".join(ids), jobs=args.jobs,
                 full=args.full, cache=not args.no_cache,
-                faults=args.faults, resume=args.resume)
+                faults=args.faults, spans=args.spans,
+                resume=args.resume)
     start = time.perf_counter()
     control = _SweepControl()
     previous_handlers = {}
@@ -568,6 +614,7 @@ def main(argv: list[str] | None = None) -> int:
         results, failures, interrupted, journal = _run_ids(
             ids, fast=not args.full, jobs=args.jobs,
             use_cache=not args.no_cache, fault_plan=fault_plan,
+            span_config=span_config,
             hooks=hooks, profiler=profiler, policy=policy,
             resume=args.resume, checkpoint=not args.no_checkpoint,
             control=control)
@@ -601,6 +648,13 @@ def main(argv: list[str] | None = None) -> int:
         return EXIT_INTERRUPTED
 
     failed = 0
+    spans_ledger = None
+    if span_config is not None:
+        from ..telemetry.spans import spans_digest
+
+        spans_ledger = spans_digest(
+            {eid: result.spans for eid, result in results
+             if result.spans})
     with profiler.phase("render+save"):
         for eid, result in results:
             print(result.render())
@@ -613,6 +667,17 @@ def main(argv: list[str] | None = None) -> int:
                 (save_dir / f"{eid}.json").write_text(
                     json.dumps(result.to_dict(), indent=2,
                                sort_keys=True) + "\n")
+                if result.spans:
+                    from ..telemetry.spans import perfetto_spans_trace
+
+                    (save_dir / f"{eid}.spans.json").write_text(
+                        json.dumps(result.spans, indent=2,
+                                   sort_keys=True) + "\n")
+                    (save_dir / f"{eid}.spans.trace.json").write_text(
+                        json.dumps(perfetto_spans_trace(
+                            result.spans.get("points", {}),
+                            process_name=f"repro-spans:{eid}"),
+                            indent=2, sort_keys=True) + "\n")
             if not result.passed:
                 failed += 1
         if save_dir is not None:
@@ -655,7 +720,7 @@ def main(argv: list[str] | None = None) -> int:
         _append_ledger(args, argv, ids, started_at=started_at,
                        wall_s=wall_s, hooks=hooks, results=results,
                        fault_plan=fault_plan, exit_code=exit_code,
-                       runlog=runlog)
+                       runlog=runlog, spans=spans_ledger)
     runlog.info("run-end", wall_s=wall_s, failed=failed,
                 unit_failures=len(failures),
                 resumed=len(hooks.resumed),

@@ -112,6 +112,42 @@ class FaultInjector:
             return self.plan.stall_ns
         return 0.0
 
+    # -- labeled per-request extras ----------------------------------------
+
+    def request_extras(self, index: int, *, reread_ns: float
+                       ) -> tuple[list[tuple[str, float]], int]:
+        """All request-level fault latency for one request, labeled.
+
+        Draws the stall / timeout / poison decisions for ``index`` in
+        the canonical order and returns ``(parts, pending_recoveries)``
+        where ``parts`` is a list of ``(span_component, ns)`` entries —
+        one per fault that hit — and ``pending_recoveries`` counts the
+        request-level retries to absolve via :meth:`recovery` once the
+        request completes.  ``reread_ns`` is what re-fetching the
+        record's lines costs (the poison path re-reads them all).
+
+        The summed parts equal exactly what inlined draws would have
+        added to a request's service time, so callers can use this on
+        both spanned and spans-off paths without perturbing results.
+        """
+        parts: list[tuple[str, float]] = []
+        pending = 0
+        stall = self.stall_ns(index)
+        if stall:
+            parts.append(("fault.stall", stall))
+        if self.timeout(index):
+            parts.append(("fault.timeout",
+                          self.plan.timeout_ns + self.plan.retry_backoff_ns))
+            self.retried()
+            pending += 1
+        if self.poisoned(index):
+            # Discard the poisoned response, re-read every line.
+            parts.append(("fault.reread",
+                          reread_ns + self.plan.retry_backoff_ns))
+            self.retried()
+            pending += 1
+        return parts, pending
+
     # -- recovery accounting ----------------------------------------------
 
     def retried(self) -> None:

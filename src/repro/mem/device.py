@@ -41,6 +41,20 @@ class MemoryBackend:
         """Unloaded read latency from the socket edge to data return."""
         return self.controller.config.access_ns + self.extra_read_ns
 
+    def read_components_ns(self) -> tuple[tuple[str, float], ...]:
+        """The read path decomposed into labeled span components.
+
+        Components sum to :meth:`idle_read_ns` (up to float association
+        order — span recorders close the sum with a residual).  Plain
+        DRAM is all media; a remote path adds its interconnect hop as
+        ``link``.  The CXL backend overrides this with the finer
+        link/controller/media split the paper measures.
+        """
+        parts: tuple[tuple[str, float], ...] = ()
+        if self.extra_read_ns > 0.0:
+            parts += (("link", self.extra_read_ns),)
+        return parts + (("media", self.controller.config.access_ns),)
+
     def idle_write_ns(self) -> float:
         """Unloaded posted-write acceptance latency."""
         return self.controller.config.access_ns + self.extra_write_ns

@@ -99,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="build the testbed from a scenario's device profile "
              "(a shipped pack name or a scenario file; see "
              "docs/SCENARIOS.md) instead of the combined testbed")
+    telemetry.add_argument(
+        "--spans", action="store_true",
+        help="print the analytic read-path attribution per scheme "
+             "(cpu.stall / link / ctrl / media shares) and record a "
+             "spans digest in the run ledger; see docs/TELEMETRY.md")
 
     parallel = argparse.ArgumentParser(add_help=False)
     parallel.add_argument(
@@ -301,9 +306,58 @@ def _run_replay(system, args, telemetry):
     return report
 
 
+def _span_schemes(system, args):
+    """The schemes the ``--spans`` attribution covers (selection order)."""
+    names = getattr(args, "scheme", None)
+    if isinstance(names, str):
+        names = [names]
+    schemes = _parse_schemes(names)
+    return schemes if schemes is not None else system.available_schemes()
+
+
+def _analytic_spans_payload(system, schemes) -> dict:
+    """Per-scheme read-path spans from the closed-form latency model.
+
+    The benches here are analytic (no per-request DES), so the span
+    waterfall is derived the same way the paper decomposes an idle
+    read: CPU edge stall, then the backend's link / controller / media
+    components (:meth:`~repro.mem.device.MemoryBackend.read_components_ns`).
+    One synthetic request per scheme keeps the payload shape identical
+    to a DES-spanned experiment's, so the same digest, report section,
+    and Perfetto export apply.
+    """
+    from ..telemetry.spans import SpanConfig, SpanRecorder
+
+    points = {}
+    for scheme in schemes:
+        backend = system.scheme_backend(scheme)
+        recorder = SpanRecorder(SpanConfig(exemplars=1))
+        segments = (("cpu.stall", system.edge_ns()),) \
+            + tuple(backend.read_components_ns())
+        recorder.record(0, 0.0, segments, kind=scheme.label)
+        points[scheme.label] = recorder.export()
+    return {"config": SpanConfig(exemplars=1).to_dict(),
+            "points": points}
+
+
+def _render_analytic_spans(payload: dict) -> str:
+    from ..telemetry.spans import render_waterfall
+
+    lines = ["Analytic read-path attribution (idle read, per scheme)"]
+    for label in sorted(payload["points"]):
+        exemplar = payload["points"][label]["exemplars"][0]
+        lines.append("")
+        lines.append(f"{label}: {exemplar['total_ns']:.1f} ns end-to-end")
+        # The waterfall header names a request index; the scheme label
+        # above already identifies the trace, so keep the bars only.
+        lines.extend(render_waterfall(exemplar).splitlines()[1:])
+    return "\n".join(lines)
+
+
 def _append_ledger(args, argv, *, started_at: str, wall_s: float,
                    telemetry, exit_code: int = 0,
-                   failed_units: str | None = None) -> None:
+                   failed_units: str | None = None,
+                   spans: dict | None = None) -> None:
     """Best-effort ledger append (I/O trouble never fails a bench run)."""
     from ..obs import append_record, describe_append_failure, run_record
     from ..telemetry.report import snapshot_digest
@@ -323,6 +377,7 @@ def _append_ledger(args, argv, *, started_at: str, wall_s: float,
                     "scheme": getattr(args, "scheme", None)},
             verdicts={bench_id: verdict},
             metrics_digest=snapshot_digest(telemetry.registry),
+            spans=spans,
             exit_code=exit_code)
         path = append_record(record)
         RUNLOG.debug("ledger-appended", path=str(path))
@@ -337,6 +392,16 @@ def main(argv: list[str] | None = None) -> int:
     wants_metrics = bool(getattr(args, "metrics", False))
     telemetry = (Telemetry.on(process_name=f"memo-{args.bench}")
                  if tracing or wants_metrics else NULL_TELEMETRY)
+    jobs = getattr(args, "jobs", 1)
+    if jobs > 1:
+        from ..parallel import effective_cpu_count
+
+        cpus = effective_cpu_count()
+        if jobs > cpus:
+            RUNLOG.warn("jobs-oversubscribed", jobs=jobs, cpus=cpus)
+            print(f"note: --jobs {jobs} exceeds the {cpus} CPU(s) "
+                  f"available to this process; expect a slowdown, "
+                  f"not a speedup", file=sys.stderr)
     profiler = Profiler(enabled=bool(args.profile))
     started_at = datetime.now(timezone.utc).strftime(
         "%Y-%m-%dT%H:%M:%SZ")
@@ -385,6 +450,12 @@ def main(argv: list[str] | None = None) -> int:
                           + ".metrics.json"))
             print(f"\ntrace written to {trace_path} "
                   f"(metrics: {metrics_path})")
+        spans_payload = None
+        if getattr(args, "spans", False):
+            spans_payload = _analytic_spans_payload(
+                system, _span_schemes(system, args))
+            print()
+            print(_render_analytic_spans(spans_payload))
         if wants_metrics:
             from ..telemetry.report import render_metrics
 
@@ -399,8 +470,12 @@ def main(argv: list[str] | None = None) -> int:
             extra={"bench": args.bench, "wall_s": round(wall_s, 6)})
         RUNLOG.info("profile-written", path=str(path))
     if not args.no_ledger:
+        from ..telemetry.spans import spans_digest
+
         _append_ledger(args, argv, started_at=started_at,
-                       wall_s=wall_s, telemetry=telemetry)
+                       wall_s=wall_s, telemetry=telemetry,
+                       spans=spans_digest(spans_payload)
+                       if spans_payload is not None else None)
     return 0
 
 

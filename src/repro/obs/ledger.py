@@ -95,12 +95,16 @@ def run_record(*, tool: str, argv: list[str], ids: list[str],
                verdicts: dict | None = None,
                metrics_digest: str | None = None,
                resilience: dict | None = None,
+               spans: dict | None = None,
                exit_code: int = 0,
                rev: str | None = None) -> dict:
     """Build one schema-1 ledger record (pure data, no I/O).
 
     ``rev`` defaults to :func:`git_rev` — pass it explicitly in tests
-    to keep records deterministic.
+    to keep records deterministic.  ``spans`` is the span-output digest
+    (``{"exemplars": N, "digest": 12-hex}`` from
+    :func:`repro.telemetry.spans.spans_digest`) of a spanned run, so
+    tail-attribution output is auditable the same way metrics are.
     """
     if not tool:
         raise ReproError("ledger record needs a tool name")
@@ -120,6 +124,7 @@ def run_record(*, tool: str, argv: list[str], ids: list[str],
         "verdicts": verdicts or {},
         "metrics_digest": metrics_digest,
         "resilience": resilience,
+        "spans": spans,
         "exit_code": exit_code,
     }
 

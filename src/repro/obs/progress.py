@@ -128,6 +128,23 @@ class ProgressReporter:
     def cache_miss(self, name: str) -> None:
         self.cache_misses += 1
 
+    def note(self, text: str) -> None:
+        """Persist one advisory line above the live status.
+
+        On a TTY the current status line is replaced by the note (which
+        scrolls away instead of being overwritten) and then repainted;
+        off-TTY the note lands as a structured warn event.  Used for
+        run-level advisories like ``--jobs`` oversubscription.
+        """
+        if self.is_tty:
+            if self._line_width:
+                self.stream.write("\r" + " " * self._line_width + "\r")
+                self._line_width = 0
+            self.stream.write(text + "\n")
+            self.stream.flush()
+        else:
+            self.runlog.warn("note", text=text)
+
     def _render(self, tail: str, *, force: bool = False) -> None:
         # Repaint throttle: fine-grained shards can finish every few
         # hundred microseconds, and an unthrottled reporter turns that

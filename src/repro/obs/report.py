@@ -5,6 +5,9 @@ Aggregates four result streams into a single deterministic Markdown
 
 * ``repro-experiments --save DIR`` JSON (``<id>.json`` verdict files);
 * telemetry metrics snapshots (``*.metrics.json``);
+* span payloads from ``--spans`` runs (``<id>.spans.json``) — the
+  "Tail attribution" section: critical-path breakdown bars plus the
+  slowest-request waterfalls (docs/TELEMETRY.md);
 * the run ledger (``results/runs.jsonl``, docs/OBSERVABILITY.md) —
   per-figure wall-clock trend lines;
 * ``BENCH_*.json`` wall-clock trajectories (``bench_to_json.py``,
@@ -18,7 +21,10 @@ report itself never reads a clock.  Tables iterate sorted keys only.
 the report into a regression gate: the process exits non-zero when a
 previously-passing shape check flips to failing or a bench metric
 regresses beyond ``--threshold`` percent (seconds-like metrics are
-lower-is-better; ``speedup`` is higher-is-better).
+lower-is-better; ``speedup`` is higher-is-better).  A ``suite.speedup``
+below 1.0 is reported as a non-failing *advisory* — parallel slower
+than serial means the run was oversubscribed (``--jobs`` above the
+available CPUs), not that the code regressed.
 
 Examples::
 
@@ -59,7 +65,8 @@ def load_experiments(results_dir: Path) -> dict[str, dict]:
     if not results_dir.is_dir():
         return experiments
     for path in sorted(results_dir.glob("*.json")):
-        if path.name.endswith((".metrics.json", ".profile.json")):
+        if path.name.endswith((".metrics.json", ".profile.json",
+                               ".spans.json", ".trace.json")):
             continue
         try:
             data = json.loads(path.read_text())
@@ -69,6 +76,27 @@ def load_experiments(results_dir: Path) -> dict[str, dict]:
                 and "checks" in data:
             experiments[data["experiment_id"]] = data
     return experiments
+
+
+def load_spans(results_dir: Path) -> dict[str, dict]:
+    """``{experiment_id: span payload}`` from ``<id>.spans.json`` files.
+
+    These are written by ``repro-experiments --spans --save DIR``
+    (docs/TELEMETRY.md); the Perfetto companions
+    (``<id>.spans.trace.json``) are viewer food, not report input.
+    """
+    spans: dict[str, dict] = {}
+    if not results_dir.is_dir():
+        return spans
+    for path in sorted(results_dir.glob("*.spans.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            continue
+        if isinstance(data, dict) and isinstance(data.get("points"),
+                                                 dict):
+            spans[path.name[: -len(".spans.json")]] = data
+    return spans
 
 
 def load_metrics_snapshots(results_dir: Path) -> dict[str, dict]:
@@ -168,13 +196,21 @@ def _is_higher_better(metric: str) -> bool:
 def find_regressions(experiments: dict[str, dict],
                      bench_trends: dict[str, list[float]],
                      baseline: dict, *,
-                     threshold_pct: float) -> list[str]:
+                     threshold_pct: float,
+                     advisories: list[str] | None = None) -> list[str]:
     """Deterministic list of regression descriptions (empty = clean).
 
     Only inputs present on *both* sides are compared: a baseline
     experiment or metric missing from the current inputs is skipped
     (CI sweeps cover a subset of the full suite), and anything new has
     no baseline to regress against.
+
+    When ``advisories`` is passed (the CLI path), a ``suite.speedup``
+    drop *below 1.0* is appended there instead of to the returned
+    regressions: parallel-slower-than-serial is the signature of an
+    oversubscribed ``--jobs`` run (more workers than
+    :func:`repro.parallel.effective_cpu_count` CPUs), an environment
+    problem the gate should flag without failing the build over.
     """
     regressions: list[str] = []
     for eid in sorted(baseline.get("experiments", {})):
@@ -203,11 +239,20 @@ def find_regressions(experiments: dict[str, dict],
         change = (value - base_value) / base_value
         regressed = change < -factor if _is_higher_better(metric) \
             else change > factor
-        if regressed:
-            regressions.append(
-                f"bench {metric}: {base_value:g} -> {value:g} "
-                f"({change * 100.0:+.1f}% past {threshold_pct:g}% "
-                f"threshold)")
+        if not regressed:
+            continue
+        if advisories is not None \
+                and metric.endswith(".suite.speedup") and value < 1.0:
+            advisories.append(
+                f"bench {metric}: {value:g} < 1 — the parallel suite "
+                f"ran slower than serial, the signature of an "
+                f"oversubscribed --jobs run (more workers than "
+                f"available CPUs), not a code regression")
+            continue
+        regressions.append(
+            f"bench {metric}: {base_value:g} -> {value:g} "
+            f"({change * 100.0:+.1f}% past {threshold_pct:g}% "
+            f"threshold)")
     return regressions
 
 
@@ -227,7 +272,10 @@ def build_report(*, experiments: dict[str, dict],
                  bench_trends: dict[str, list[float]],
                  regressions: list[str] | None = None,
                  baseline_name: str | None = None,
-                 last: int = 10) -> str:
+                 last: int = 10,
+                 spans: dict[str, dict] | None = None,
+                 advisories: list[str] | None = None,
+                 waterfalls: int = 2) -> str:
     """The full Markdown dashboard (pure function of its inputs)."""
     lines: list[str] = ["# repro observability report", ""]
 
@@ -297,6 +345,27 @@ def build_report(*, experiments: dict[str, dict],
         lines += ["No BENCH_*.json files found."]
     lines += [""]
 
+    if spans:
+        from ..telemetry.spans import (
+            combine_aggregates,
+            render_attribution,
+            render_waterfall,
+        )
+
+        lines += ["## Tail attribution", ""]
+        for eid in sorted(spans):
+            points = spans[eid].get("points", {})
+            if not points:
+                continue
+            combined = combine_aggregates(
+                [points[name] for name in sorted(points)])
+            lines += [f"### {eid}", "", "```"]
+            lines += render_attribution(
+                combined, title="critical path").splitlines()
+            for exemplar in combined.get("exemplars", [])[:waterfalls]:
+                lines += [""] + render_waterfall(exemplar).splitlines()
+            lines += ["```", ""]
+
     if metrics:
         lines += ["## Metrics snapshots", ""]
         rows = [[name, str(len(snapshot))]
@@ -310,6 +379,10 @@ def build_report(*, experiments: dict[str, dict],
             lines += [f"- REGRESSION: {item}" for item in regressions]
         else:
             lines += ["No regressions against the baseline."]
+        if advisories:
+            lines += ["", f"{len(advisories)} advisory(ies) "
+                          f"(non-failing):", ""]
+            lines += [f"- ADVISORY: {item}" for item in advisories]
         lines += [""]
 
     return "\n".join(lines).rstrip() + "\n"
@@ -320,8 +393,8 @@ def markdown_to_html(markdown: str, *, title: str = "repro report") \
     """A small deterministic Markdown-to-HTML conversion.
 
     Covers exactly what :func:`build_report` emits — headings, pipe
-    tables, bullet lists, inline code, paragraphs — so the dashboard
-    needs no third-party renderer.
+    tables, bullet lists, fenced code blocks, inline code, paragraphs —
+    so the dashboard needs no third-party renderer.
     """
     def inline(text: str) -> str:
         out, parts = html.escape(text), []
@@ -340,7 +413,15 @@ def markdown_to_html(markdown: str, *, title: str = "repro report") \
     index = 0
     while index < len(lines):
         line = lines[index]
-        if line.startswith("#"):
+        if line.startswith("```"):
+            code: list[str] = []
+            index += 1
+            while index < len(lines) \
+                    and not lines[index].startswith("```"):
+                code.append(html.escape(lines[index]))
+                index += 1
+            body.append("<pre>" + "\n".join(code) + "</pre>")
+        elif line.startswith("#"):
             level = len(line) - len(line.lstrip("#"))
             body.append(f"<h{level}>{inline(line[level:].strip())}"
                         f"</h{level}>")
@@ -429,11 +510,13 @@ def main(argv: list[str] | None = None) -> int:
 
     experiments = load_experiments(Path(args.results))
     metrics = load_metrics_snapshots(Path(args.results))
+    spans = load_spans(Path(args.results))
     ledger = read_ledger(args.ledger)
     bench_trends = bench_metric_trends(
         load_bench_histories(Path(args.bench)))
     runlog.debug("inputs", experiments=len(experiments),
-                 snapshots=len(metrics), ledger_records=len(ledger),
+                 snapshots=len(metrics), spans=len(spans),
+                 ledger_records=len(ledger),
                  bench_metrics=len(bench_trends))
 
     if args.write_baseline:
@@ -448,6 +531,7 @@ def main(argv: list[str] | None = None) -> int:
         return EXIT_OK
 
     regressions: list[str] | None = None
+    advisories: list[str] = []
     baseline_name: str | None = None
     if args.baseline:
         baseline_path = Path(args.baseline)
@@ -465,12 +549,16 @@ def main(argv: list[str] | None = None) -> int:
         baseline_name = baseline_path.name
         regressions = find_regressions(experiments, bench_trends,
                                        baseline,
-                                       threshold_pct=args.threshold)
+                                       threshold_pct=args.threshold,
+                                       advisories=advisories)
+        if advisories:
+            runlog.warn("baseline-advisories", count=len(advisories))
 
     report = build_report(experiments=experiments, metrics=metrics,
                           ledger=ledger, bench_trends=bench_trends,
                           regressions=regressions,
-                          baseline_name=baseline_name, last=args.last)
+                          baseline_name=baseline_name, last=args.last,
+                          spans=spans, advisories=advisories)
     if args.out == "-":
         sys.stdout.write(report)
     else:

@@ -42,13 +42,14 @@ from .merge import (
     merge_telemetry,
     telemetry_spec,
 )
-from .runner import ParallelRunner, unit_seed
+from .runner import ParallelRunner, effective_cpu_count, unit_seed
 
 __all__ = [
     "ParallelRunner",
     "QUARANTINE_DIR_NAME",
     "ResultCache",
     "TelemetrySpec",
+    "effective_cpu_count",
     "export_telemetry",
     "fresh_telemetry",
     "merge_all",

@@ -31,6 +31,8 @@ from ..telemetry import (
     Histogram,
     NullRegistry,
     Registry,
+    SpanConfig,
+    SpanRecorder,
     Telemetry,
     Tracer,
 )
@@ -47,6 +49,7 @@ class TelemetrySpec:
     traced: bool
     metered: bool
     process_name: str = "repro-sim"
+    spans: SpanConfig | None = None
 
 
 def telemetry_spec(telemetry: Telemetry) -> TelemetrySpec:
@@ -55,17 +58,19 @@ def telemetry_spec(telemetry: Telemetry) -> TelemetrySpec:
     return TelemetrySpec(
         traced=tracer.enabled,
         metered=not isinstance(telemetry.registry, NullRegistry),
-        process_name=getattr(tracer, "process_name", "repro-sim"))
+        process_name=getattr(tracer, "process_name", "repro-sim"),
+        spans=telemetry.spans.config if telemetry.spans.enabled else None)
 
 
 def fresh_telemetry(spec: TelemetrySpec) -> Telemetry:
     """A new, empty session matching ``spec`` (worker side)."""
-    if not spec.traced and not spec.metered:
+    if not spec.traced and not spec.metered and spec.spans is None:
         return NULL_TELEMETRY
     return Telemetry(
         registry=Registry() if spec.metered else NullRegistry(),
         tracer=Tracer(process_name=spec.process_name)
-        if spec.traced else None)
+        if spec.traced else None,
+        spans=SpanRecorder(spec.spans) if spec.spans is not None else None)
 
 
 def export_telemetry(telemetry: Telemetry) -> dict | None:
@@ -102,6 +107,10 @@ def export_telemetry(telemetry: Telemetry) -> dict | None:
                 raise TelemetryError(
                     f"cannot export metric type {type(metric).__name__}")
         export["metrics"] = metrics
+    if telemetry.spans.enabled:
+        spans = telemetry.spans.export()
+        if spans is not None:
+            export["spans"] = spans
     return export or None
 
 
@@ -149,6 +158,8 @@ def merge_telemetry(parent: Telemetry, export: dict | None) -> None:
                 histogram.record(sample)
         else:
             raise TelemetryError(f"cannot merge metric type {kind!r}")
+    if parent.spans.enabled:
+        parent.spans.absorb(export.get("spans"))
 
 
 def merge_all(parent: Telemetry, exports) -> int:

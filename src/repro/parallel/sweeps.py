@@ -103,9 +103,11 @@ def run_sim_point(spec: tuple) -> tuple[Any, dict | None]:
 def run_experiment(spec: tuple) -> Any:
     """Run one registered experiment: ``spec = (experiment_id, fast)``,
     ``(experiment_id, fast, jobs)`` to shard the experiment's own sweep
-    points (experiments that don't accept ``jobs`` ignore it), or
+    points (experiments that don't accept ``jobs`` ignore it),
     ``(experiment_id, fast, jobs, fault_plan)`` to run it under a
-    degraded-mode :class:`~repro.faults.FaultPlan`.
+    degraded-mode :class:`~repro.faults.FaultPlan`, or
+    ``(experiment_id, fast, jobs, fault_plan, span_config)`` to record
+    per-request spans (:mod:`repro.telemetry.spans`).
 
     Importing :mod:`repro.experiments` populates the registry in the
     worker (fresh interpreters under spawn; a no-op under fork).
@@ -113,11 +115,13 @@ def run_experiment(spec: tuple) -> Any:
     experiment_id, fast, *rest = spec
     jobs = rest[0] if rest else 1
     fault_plan = rest[1] if len(rest) > 1 else None
+    span_config = rest[2] if len(rest) > 2 else None
     _apply_test_faults(experiment_id)
     from ..experiments import get
 
     return get(experiment_id).run(fast=fast, jobs=jobs,
-                                  fault_plan=fault_plan)
+                                  fault_plan=fault_plan,
+                                  span_config=span_config)
 
 
 def run_kv_p99_point(spec: tuple) -> Any:

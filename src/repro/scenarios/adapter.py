@@ -67,7 +67,8 @@ def _point_testbed(scenario: Scenario, point: dict) -> SystemConfig:
 
 
 def _point_units(scenario: Scenario, point: dict, *, fast: bool,
-                 fault_plan: FaultPlan | None) -> tuple[list, list]:
+                 fault_plan: FaultPlan | None,
+                 tspec=None) -> tuple[list, list]:
     """The (specs, segment_labels) for one sweep point."""
     hosts = int(point.get("hosts", scenario.topology.hosts))
     pool_share = float(point.get("pool_share",
@@ -104,7 +105,7 @@ def _point_units(scenario: Scenario, point: dict, *, fast: bool,
         run_kwargs = {"qps": segment_qps, "theta": theta,
                       "requests": segment_requests,
                       "write_fraction": write_fraction}
-        specs.append((topo_kwargs, sim_kwargs, run_kwargs, None))
+        specs.append((topo_kwargs, sim_kwargs, run_kwargs, tspec))
         labels.append(label)
     return specs, labels
 
@@ -297,40 +298,60 @@ def _metric_series(points: list[dict],
 
 
 def scenario_runner(scenario: Scenario):
-    """Build the ``runner(fast, jobs=1, fault_plan=None)`` callable
-    the registry drives — the generic ScenarioExperiment."""
+    """Build the ``runner(fast, jobs=1, fault_plan=None,
+    span_config=None)`` callable the registry drives — the generic
+    ScenarioExperiment."""
 
-    def run(fast: bool, jobs: int = 1, fault_plan: FaultPlan | None = None):
+    def run(fast: bool, jobs: int = 1, fault_plan: FaultPlan | None = None,
+            span_config=None):
+        from ..experiments.figc_cluster import (_span_tspec,
+                                                _spans_checks_and_render,
+                                                _spans_payload)
         from ..experiments.registry import (ExperimentResult,
                                             series_payload)
 
+        tspec = _span_tspec(span_config)
         points = point_grid(scenario, fast=fast)
-        units, names, spans = [], [], []
+        units, names, slices = [], [], []
         for point in points:
             specs, segment_labels = _point_units(
-                scenario, point, fast=fast, fault_plan=fault_plan)
+                scenario, point, fast=fast, fault_plan=fault_plan,
+                tspec=tspec)
             label = point_label(scenario, point)
             start = len(units)
             units.extend(specs)
             names.extend(f"{label}/{segment}"
                          for segment in segment_labels)
-            spans.append((start, len(units)))
+            slices.append((start, len(units)))
 
         runner = ParallelRunner(jobs, names=names)
-        results = [result for result, _export
-                   in runner.map(run_cluster_point, units)]
+        pairs = runner.map(run_cluster_point, units)
+        results = [result for result, _export in pairs]
+        exports = [export for _result, export in pairs]
 
-        segments = [results[start:stop] for start, stop in spans]
+        segments = [results[start:stop] for start, stop in slices]
         metrics = [_aggregate(point_segments)
                    for point_segments in segments]
         expected = scenario.workload.requests_for(fast)
         checks = _evaluate_checks(scenario, points, metrics, segments,
                                   expected)
         rendered = _render_points(scenario, points, metrics)
+        spans_payload: dict = {}
+        if span_config is not None:
+            # Each (point, traffic segment) unit keeps its own
+            # aggregate: a burst window's tail is conditioned against
+            # that window, which is the "when and why" the scenario
+            # packs ask.
+            spans_payload = _spans_payload(span_config, names, exports)
+            span_checks, span_section = \
+                _spans_checks_and_render(spans_payload)
+            checks += span_checks
+            rendered += "\n\n" + span_section
         return ExperimentResult(
             scenario.experiment_id, scenario.title, rendered, checks,
             series=series_payload(
-                {"points": _metric_series(points, metrics)}))
+                {"points": _metric_series(points, metrics)}),
+            spans=spans_payload)
 
     run.__name__ = f"run_{scenario.name.replace('-', '_')}"
     run.__doc__ = scenario.description or scenario.title

@@ -19,7 +19,13 @@ Public surface:
 from .engine import Engine
 from .process import Process, Timeout, Acquire, Release, Serve, Get, Put, WaitEvent, Signal
 from .resources import Server, Store, SimEvent
-from .stats import LatencyRecorder, RateMeter, percentile
+from .stats import (
+    LatencyRecorder,
+    RateMeter,
+    percentile,
+    window_slot,
+    window_width,
+)
 from .rng import substream
 
 __all__ = [
@@ -39,5 +45,7 @@ __all__ = [
     "LatencyRecorder",
     "RateMeter",
     "percentile",
+    "window_slot",
+    "window_width",
     "substream",
 ]

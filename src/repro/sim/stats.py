@@ -123,3 +123,29 @@ class RateMeter:
         self.bytes_total = 0.0
         self.ops_total = 0
         self.window_start_ns = now_ns
+
+
+def window_width(end_ns: float, count: int) -> float:
+    """Width of each of ``count`` equal windows covering [0, end_ns).
+
+    Degenerate spans (``end_ns <= 0`` — e.g. a single instantaneous
+    event at t=0) get a 1 ns width so callers never divide by zero.
+    Used by the fixed-interval measurement style of §4.3 and by the
+    span layer's time-windowed series
+    (:mod:`repro.telemetry.spans`).
+    """
+    if count <= 0:
+        raise ValueError(f"window count must be positive, got {count}")
+    return end_ns / count if end_ns > 0.0 else 1.0
+
+
+def window_slot(ts_ns: float, width_ns: float, count: int) -> int:
+    """Index of the window containing ``ts_ns``.
+
+    The final window is closed on the right: a timestamp exactly at
+    (or past, from float rounding) the end of the covered span lands
+    in window ``count - 1`` rather than out of range.
+    """
+    if count <= 0:
+        raise ValueError(f"window count must be positive, got {count}")
+    return min(count - 1, int(ts_ns // width_ns))

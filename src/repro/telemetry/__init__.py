@@ -35,16 +35,20 @@ from .metrics import (
     default_latency_buckets_ns,
     interpolate_percentile,
 )
+from .spans import NULL_SPANS, NullSpanRecorder, SpanConfig, SpanRecorder
 from .tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
 
 
 class Telemetry:
-    """One run's observability session: a registry plus a tracer."""
+    """One run's observability session: a registry, a tracer, and an
+    optional per-request span recorder."""
 
     def __init__(self, *, registry: Registry | None = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 spans: SpanRecorder | NullSpanRecorder | None = None) -> None:
         self.registry = registry if registry is not None else Registry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.spans = spans if spans is not None else NULL_SPANS
 
     @property
     def enabled(self) -> bool:
@@ -83,10 +87,14 @@ __all__ = [
     "Gauge",
     "Histogram",
     "NullRegistry",
+    "NullSpanRecorder",
     "NullTracer",
+    "NULL_SPANS",
     "NULL_TELEMETRY",
     "NULL_TRACER",
     "Registry",
+    "SpanConfig",
+    "SpanRecorder",
     "Telemetry",
     "TraceEvent",
     "Tracer",

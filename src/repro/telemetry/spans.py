@@ -1,0 +1,491 @@
+"""Per-request span recording with critical-path tail attribution.
+
+The paper's core move is *decomposing* an access — how much is CPU
+stall, link transfer, controller queueing, media — rather than quoting
+one end-to-end number.  This module brings that decomposition to the
+DES: every simulated request can emit an ordered list of **segments**
+(``("client.wait", ns)``, ``("kv.cpu", ns)``, ``("cxl.link", ns)``,
+...), recorded in *sim time* so output is a pure function of the run
+configuration — byte-identical between serial and ``--jobs N`` runs.
+
+Three artifacts are derived from the raw segments:
+
+* **Attribution aggregates** — per-component totals over all requests
+  and, separately, over the requests at or above the p99 end-to-end
+  latency ("for requests above p99, 61% of time is shard queueing").
+* **Tail exemplars** — the K slowest requests, kept with their full
+  segment waterfalls.  Ties break on ``(total_ns, index)`` so the
+  selection is seed- and schedule-independent.
+* **Time windows** (optional) — per-window request count, throughput,
+  p99 and component totals, so bursty/diurnal scenarios show *when*
+  degradation happens, not just that it did.
+
+:class:`SpanRecorder` is the recording half; :data:`NULL_SPANS` is the
+shared disabled recorder (``enabled`` is ``False`` and ``record`` is a
+no-op) that keeps spans-off hot paths — including the KV fast path —
+free of any per-request work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from .metrics import interpolate_percentile
+
+TAIL_PCT = 99.0
+"""Conditioning percentile for the tail breakdown."""
+
+
+class SpanError(ValueError):
+    """Raised for malformed span configs or exports."""
+
+
+# ---------------------------------------------------------------------------
+# configuration
+
+
+@dataclass(frozen=True)
+class SpanConfig:
+    """Span-layer knobs, folded into cache/checkpoint keys.
+
+    ``exemplars`` is K, the number of slowest traces retained per sweep
+    point; ``windows`` > 0 slices the run into that many equal sim-time
+    windows for the time-series breakdown.
+    """
+
+    exemplars: int = 4
+    windows: int = 0
+
+    def __post_init__(self) -> None:
+        if self.exemplars < 1:
+            raise SpanError(f"exemplars must be >= 1, got {self.exemplars}")
+        if self.windows < 0:
+            raise SpanError(f"windows must be >= 0, got {self.windows}")
+
+    def to_dict(self) -> dict:
+        """Canonical form used in cache keys and saved payloads."""
+        return {"exemplars": self.exemplars, "windows": self.windows}
+
+    @classmethod
+    def parse(cls, spec: str) -> "SpanConfig":
+        """Parse a CLI spec like ``""``, ``"k=8"`` or ``"k=8,windows=6"``.
+
+        Accepted keys: ``k``/``exemplars`` and ``windows``.
+        """
+        kwargs: dict[str, int] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise SpanError(f"bad span option {part!r} (expected key=value)")
+            key, _, value = part.partition("=")
+            key = key.strip().lower()
+            if key in ("k", "exemplars"):
+                key = "exemplars"
+            elif key != "windows":
+                raise SpanError(f"unknown span option {key!r} "
+                                "(expected k/exemplars or windows)")
+            try:
+                kwargs[key] = int(value)
+            except ValueError:
+                raise SpanError(f"span option {key}={value!r} is not an "
+                                "integer") from None
+        return cls(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# recording
+
+
+class NullSpanRecorder:
+    """Disabled recorder: drops everything, records nothing."""
+
+    enabled = False
+    config: SpanConfig | None = None
+
+    def record(self, index: int, start_ns: float,
+               segments: Sequence[tuple[str, float]], *,
+               kind: str = "request") -> None:
+        pass
+
+    def absorb(self, export: Mapping | None) -> None:
+        pass
+
+    def export(self) -> dict | None:
+        return None
+
+
+NULL_SPANS = NullSpanRecorder()
+"""Shared disabled recorder — the default on every :class:`Telemetry`."""
+
+
+class SpanRecorder:
+    """Collects request segment waterfalls and aggregates them.
+
+    ``record`` is called once per finished request with the request's
+    ordered ``(component, duration_ns)`` segments; durations are sim-time
+    floats, so aggregation is deterministic regardless of worker count
+    or wall-clock scheduling.
+    """
+
+    enabled = True
+
+    def __init__(self, config: SpanConfig | None = None) -> None:
+        self.config = config if config is not None else SpanConfig()
+        # (total_ns, index, kind, start_ns, segments)
+        self._requests: list[tuple[float, int, str, float, tuple]] = []
+        self._absorbed: list[dict] = []
+
+    def record(self, index: int, start_ns: float,
+               segments: Sequence[tuple[str, float]], *,
+               kind: str = "request") -> None:
+        kept = tuple((name, float(dur)) for name, dur in segments if dur != 0.0)
+        total = 0.0
+        for _, dur in kept:
+            total += dur
+        self._requests.append((total, int(index), kind, float(start_ns), kept))
+
+    # -- merging ------------------------------------------------------------
+
+    def absorb(self, export: Mapping | None) -> None:
+        """Fold a worker's exported aggregate into this recorder.
+
+        Workers ship finished aggregates (not raw requests); the parent
+        absorbs them in sweep-unit order, which keeps the merged result
+        byte-identical to a serial run recording into one recorder per
+        unit.
+        """
+        if export:
+            self._absorbed.append(dict(export))
+
+    # -- export -------------------------------------------------------------
+
+    def export(self) -> dict | None:
+        """The aggregate payload for this recorder, or ``None`` if empty."""
+        own = self._aggregate() if self._requests else None
+        parts = list(self._absorbed)
+        if own is not None:
+            parts.append(own)
+        if not parts:
+            return None
+        if len(parts) == 1:
+            return parts[0]
+        return combine_aggregates(parts)
+
+    def _aggregate(self) -> dict:
+        requests = self._requests
+        totals = sorted(total for total, *_ in requests)
+        components = _component_sums(seg for *_, seg in requests)
+        threshold = interpolate_percentile(totals, TAIL_PCT)
+        tail = [req for req in requests if req[0] >= threshold]
+        agg = {
+            "requests": len(requests),
+            "total_ns": _float_sum(totals),
+            "components": components,
+            "tail": {
+                "threshold_ns": threshold,
+                "requests": len(tail),
+                "total_ns": _float_sum(req[0] for req in tail),
+                "components": _component_sums(seg for *_, seg in tail),
+            },
+            "exemplars": self._exemplars(),
+        }
+        if self.config.windows > 0:
+            agg["windows"] = self._windows()
+        return agg
+
+    def _exemplars(self) -> list[dict]:
+        # Slowest first; ties break on the deterministic request index,
+        # never on insertion order, so the pick is schedule-independent.
+        ranked = sorted(self._requests, key=lambda r: (-r[0], r[1]))
+        keep = ranked[: self.config.exemplars]
+        return [
+            {
+                "index": index,
+                "kind": kind,
+                "start_ns": start,
+                "total_ns": total,
+                "segments": [[name, dur] for name, dur in segments],
+            }
+            for total, index, kind, start, segments in keep
+        ]
+
+    def _windows(self) -> list[dict]:
+        # Lazy import: repro.sim pulls repro.telemetry at package init,
+        # and this module *is* part of that init.
+        from ..sim.stats import RateMeter, window_slot, window_width
+
+        count = self.config.windows
+        end = 0.0
+        for total, _, _, start, _ in self._requests:
+            end = max(end, start + total)
+        width = window_width(end, count)
+        buckets: list[list[tuple]] = [[] for _ in range(count)]
+        for req in self._requests:
+            buckets[window_slot(req[3], width, count)].append(req)
+        windows = []
+        for slot, bucket in enumerate(buckets):
+            start_ns = slot * width
+            window = {
+                "start_ns": start_ns,
+                "end_ns": start_ns + width,
+                "requests": len(bucket),
+            }
+            if bucket:
+                totals = sorted(total for total, *_ in bucket)
+                meter = RateMeter(name=f"window-{slot}",
+                                  window_start_ns=start_ns)
+                meter.add(0.0, len(bucket))
+                window["p99_ns"] = interpolate_percentile(totals, TAIL_PCT)
+                window["throughput_rps"] = meter.throughput(
+                    start_ns + width)
+                window["components"] = _component_sums(
+                    seg for *_, seg in bucket)
+            windows.append(window)
+        return windows
+
+
+def _component_sums(segment_lists: Iterable[Sequence[tuple[str, float]]]
+                    ) -> dict:
+    sums: dict[str, dict] = {}
+    for segments in segment_lists:
+        for name, dur in segments:
+            slot = sums.get(name)
+            if slot is None:
+                sums[name] = {"count": 1, "total_ns": dur}
+            else:
+                slot["count"] += 1
+                slot["total_ns"] += dur
+    return {name: sums[name] for name in sorted(sums)}
+
+
+def _float_sum(values: Iterable[float]) -> float:
+    total = 0.0
+    for value in values:
+        total += value
+    return total
+
+
+# ---------------------------------------------------------------------------
+# aggregate combination (parent-side merge across sweep units / workers)
+
+
+def combine_aggregates(aggregates: Sequence[Mapping]) -> dict:
+    """Merge per-unit aggregates into one.
+
+    Component totals add; the tail section sums each unit's own
+    p99-conditioned slice (each request is conditioned against *its*
+    sweep point's distribution, which is the attribution question the
+    report asks).  Exemplars are re-ranked globally and trimmed to the
+    largest K present.  Per-unit time windows are not combinable across
+    different timelines and are dropped here.
+    """
+    if not aggregates:
+        raise SpanError("cannot combine zero span aggregates")
+    if len(aggregates) == 1:
+        return dict(aggregates[0])
+    combined = {
+        "requests": sum(a["requests"] for a in aggregates),
+        "total_ns": _float_sum(a["total_ns"] for a in aggregates),
+        "components": _merge_components(a["components"] for a in aggregates),
+        "tail": {
+            "requests": sum(a["tail"]["requests"] for a in aggregates),
+            "total_ns": _float_sum(a["tail"]["total_ns"] for a in aggregates),
+            "components": _merge_components(
+                a["tail"]["components"] for a in aggregates),
+        },
+    }
+    keep = max(len(a.get("exemplars", ())) for a in aggregates)
+    ranked = sorted(
+        (ex for a in aggregates for ex in a.get("exemplars", ())),
+        key=lambda ex: (-ex["total_ns"], ex["index"]))
+    combined["exemplars"] = ranked[:keep]
+    return combined
+
+
+def _merge_components(component_maps: Iterable[Mapping]) -> dict:
+    merged: dict[str, dict] = {}
+    for components in component_maps:
+        for name, slot in components.items():
+            out = merged.get(name)
+            if out is None:
+                merged[name] = {"count": slot["count"],
+                                "total_ns": slot["total_ns"]}
+            else:
+                out["count"] += slot["count"]
+                out["total_ns"] += slot["total_ns"]
+    return {name: merged[name] for name in sorted(merged)}
+
+
+# ---------------------------------------------------------------------------
+# rendering
+
+
+BAR_WIDTH = 24
+
+
+def _bar(share: float) -> str:
+    cells = int(round(share * BAR_WIDTH))
+    cells = max(0, min(BAR_WIDTH, cells))
+    return "#" * cells + "." * (BAR_WIDTH - cells)
+
+
+def breakdown_rows(aggregate: Mapping) -> list[tuple[str, float, float]]:
+    """``(component, mean_share, tail_share)`` rows, largest mean first."""
+    total = aggregate["total_ns"] or 1.0
+    tail = aggregate.get("tail", {})
+    tail_total = tail.get("total_ns") or 1.0
+    tail_components = tail.get("components", {})
+    rows = []
+    for name, slot in aggregate["components"].items():
+        tail_slot = tail_components.get(name)
+        rows.append((name,
+                     slot["total_ns"] / total,
+                     (tail_slot["total_ns"] / tail_total) if tail_slot
+                     else 0.0))
+    rows.sort(key=lambda row: (-row[1], row[0]))
+    return rows
+
+
+def render_attribution(aggregate: Mapping, *, title: str = "attribution"
+                       ) -> str:
+    """A fixed-width critical-path table (mean vs p99-conditioned)."""
+    lines = [f"{title}: {aggregate['requests']} requests, "
+             f"tail >= p{TAIL_PCT:g} = {aggregate['tail']['requests']} requests"]
+    lines.append(f"  {'component':<14} {'mean':>6}  {'p99+':>6}  share")
+    for name, mean_share, tail_share in breakdown_rows(aggregate):
+        lines.append(f"  {name:<14} {mean_share:>5.1%}  {tail_share:>5.1%}  "
+                     f"{_bar(tail_share)}")
+    return "\n".join(lines)
+
+
+def render_waterfall(exemplar: Mapping) -> str:
+    """One exemplar's segment waterfall as indented proportional bars."""
+    total = exemplar["total_ns"] or 1.0
+    lines = [f"request #{exemplar['index']} ({exemplar['kind']}): "
+             f"{exemplar['total_ns']:.1f} ns"]
+    for name, dur in exemplar["segments"]:
+        share = dur / total
+        lines.append(f"  {name:<14} {dur:>12.1f} ns  {share:>5.1%}  "
+                     f"{_bar(share)}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Perfetto flow-event export
+
+
+def perfetto_spans_trace(points: Mapping[str, Mapping], *,
+                         process_name: str = "repro-spans") -> dict:
+    """Exemplar waterfalls as a Chrome/Perfetto flow-event trace.
+
+    Each component gets its own track (thread); each exemplar is a chain
+    of complete (``X``) slices — laid out back-to-back in sim time —
+    linked with ``s``/``t``/``f`` flow events so Perfetto draws the
+    request's path across tracks.
+    """
+    events: list[dict] = []
+    tracks: dict[str, int] = {}
+    pid = 1
+    events.append({"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                   "ts": 0, "args": {"name": process_name}})
+
+    def track(name: str) -> int:
+        tid = tracks.get(name)
+        if tid is None:
+            tid = len(tracks) + 1
+            tracks[name] = tid
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": tid, "ts": 0, "args": {"name": name}})
+        return tid
+
+    flow_id = 0
+    for point in sorted(points):
+        for exemplar in points[point].get("exemplars", ()):
+            flow_id += 1
+            ts = exemplar["start_ns"] / 1000.0  # trace ts is microseconds
+            segments = exemplar["segments"]
+            last = len(segments) - 1
+            for pos, (name, dur) in enumerate(segments):
+                tid = track(name)
+                dur_us = dur / 1000.0
+                args = {"point": point, "request": exemplar["index"],
+                        "kind": exemplar["kind"], "dur_ns": dur}
+                events.append({"name": name, "ph": "X", "pid": pid,
+                               "tid": tid, "ts": ts, "dur": dur_us,
+                               "cat": "span", "args": args})
+                flow_ph = "s" if pos == 0 else ("f" if pos == last else "t")
+                flow = {"name": f"request-{exemplar['index']}",
+                        "ph": flow_ph, "pid": pid, "tid": tid,
+                        "ts": ts, "cat": "span", "id": flow_id}
+                if flow_ph == "f":
+                    flow["bp"] = "e"
+                events.append(flow)
+                ts += dur_us
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+# ---------------------------------------------------------------------------
+# digests (run-ledger auditability)
+
+
+def spans_digest(payload: Mapping) -> dict:
+    """``{"exemplars": N, "digest": 12-hex}`` summary for the run ledger.
+
+    The digest hashes the canonical JSON form of the payload, so two
+    runs with identical span output share a digest and any breakdown
+    drift changes it.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    count = 0
+    stack = [payload]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Mapping):
+            exemplars = node.get("exemplars")
+            if isinstance(exemplars, (list, tuple)):
+                count += len(exemplars)
+            stack.extend(v for v in node.values() if isinstance(v, Mapping))
+    return {"exemplars": count,
+            "digest": hashlib.sha256(blob.encode()).hexdigest()[:12]}
+
+
+# ---------------------------------------------------------------------------
+# module CLI (golden-waterfall extraction)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Render every tail-exemplar waterfall from a ``.spans.json``.
+
+    One ``[sweep point]`` header + waterfall block per exemplar, sweep
+    points in sorted order — the byte-stable form CI diffs against the
+    committed golden (``results/spans_golden_waterfalls.txt``).  After
+    an intentional recalibration, regenerate with::
+
+        repro-experiments --only figC --spans --no-cache --save out/
+        python -m repro.telemetry.spans out/cluster-pooling.spans.json \\
+            > results/spans_golden_waterfalls.txt
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.spans",
+        description="render exemplar waterfalls from a .spans.json")
+    parser.add_argument("payload", help="path to a <id>.spans.json")
+    args = parser.parse_args(argv)
+    with open(args.payload) as handle:
+        payload = json.load(handle)
+    blocks = []
+    for point in sorted(payload["points"]):
+        for exemplar in payload["points"][point]["exemplars"]:
+            blocks.append(f"[{point}]\n{render_waterfall(exemplar)}")
+    print("\n\n".join(blocks))
+    return 0
+
+
+if __name__ == "__main__":          # pragma: no cover
+    raise SystemExit(main())

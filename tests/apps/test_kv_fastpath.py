@@ -101,3 +101,54 @@ class TestGating:
         # its events_processed gauge comes from Engine.run's finally.
         assert telemetry.registry.gauge(
             "sim.engine.events_processed").value == 200
+
+
+class TestSpanGating:
+    """Span recording opts into the DES; spans-off keeps the fast path.
+
+    The tracing layer must cost nothing when disabled: the default
+    NULL_SPANS recorder leaves the ``workers == 1`` gate exactly as it
+    was (pinned by :class:`TestGating` above), while an enabled
+    recorder needs real event interleaving and therefore the engine.
+    """
+
+    def test_spans_enabled_forces_des(self, study, monkeypatch):
+        from repro.telemetry import SpanRecorder
+
+        monkeypatch.setattr(KvServer, "_run_fast", _explode)
+        telemetry = Telemetry(spans=SpanRecorder())
+        result = _run(study, monkeypatch, fastpath=True,
+                      telemetry=telemetry)
+        assert result.requests == REQUESTS
+        export = telemetry.spans.export()
+        assert export["requests"] == REQUESTS
+
+    def test_spanned_run_result_matches_plain_des(self, study,
+                                                  monkeypatch):
+        """Recording spans must not perturb a single RunResult float."""
+        from repro.telemetry import SpanRecorder
+
+        telemetry = Telemetry(spans=SpanRecorder())
+        spanned = _run(study, monkeypatch, fastpath=True,
+                       telemetry=telemetry)
+        plain = _run(study, monkeypatch, fastpath=False)
+        assert spanned == plain
+
+    def test_service_components_close_on_service_total(self, study,
+                                                       monkeypatch):
+        """kv.cpu + mem.* segments sum to the mean-service total —
+        client.wait is the only segment outside the service time."""
+        from repro.telemetry import SpanRecorder
+
+        telemetry = Telemetry(spans=SpanRecorder())
+        result = _run(study, monkeypatch, fastpath=True,
+                      telemetry=telemetry)
+        agg = telemetry.spans.export()
+        service_total = sum(
+            slot["total_ns"]
+            for name, slot in agg["components"].items()
+            if name != "client.wait")
+        assert service_total == pytest.approx(
+            result.mean_service_ns * result.requests, rel=1e-9)
+        assert {"kv.cpu", "mem.dram", "mem.cxl"} <= set(
+            agg["components"])

@@ -1,0 +1,68 @@
+"""``repro-experiments --spans`` end to end: save files, ledger digest,
+and argument validation (docs/TELEMETRY.md)."""
+
+import json
+
+from repro.experiments.runner import main
+from repro.obs.ledger import read_ledger
+from repro.telemetry.report import validate_chrome_trace
+
+
+def _run(tmp_path, monkeypatch, argv):
+    monkeypatch.setenv("REPRO_LEDGER_PATH",
+                       str(tmp_path / "runs.jsonl"))
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return main(argv + ["--no-checkpoint", "--no-progress"])
+
+
+class TestSaveAndLedger:
+    def test_spanned_run_writes_span_files_and_digest(self, tmp_path,
+                                                      monkeypatch,
+                                                      capsys):
+        save = tmp_path / "out"
+        code = _run(tmp_path, monkeypatch,
+                    ["scn-steady-baseline", "--spans", "k=2",
+                     "--save", str(save)])
+        assert code == 0
+        capsys.readouterr()
+
+        payload = json.loads(
+            (save / "scn-steady-baseline.spans.json").read_text())
+        assert payload["config"] == {"exemplars": 2, "windows": 0}
+        assert payload["points"]
+        for agg in payload["points"].values():
+            assert len(agg["exemplars"]) == min(2, agg["requests"])
+
+        trace = json.loads(
+            (save / "scn-steady-baseline.spans.trace.json").read_text())
+        validate_chrome_trace(trace)
+
+        records = read_ledger(tmp_path / "runs.jsonl")
+        assert records[-1]["spans"]["exemplars"] > 0
+        assert len(records[-1]["spans"]["digest"]) == 12
+
+    def test_spans_off_run_writes_no_span_files(self, tmp_path,
+                                                monkeypatch, capsys):
+        save = tmp_path / "out"
+        code = _run(tmp_path, monkeypatch,
+                    ["scn-steady-baseline", "--save", str(save)])
+        assert code == 0
+        capsys.readouterr()
+        assert not list(save.glob("*.spans.json"))
+        assert read_ledger(tmp_path / "runs.jsonl")[-1]["spans"] is None
+
+
+class TestValidation:
+    def test_bad_spec_is_exit_2(self, tmp_path, monkeypatch, capsys):
+        code = _run(tmp_path, monkeypatch,
+                    ["scn-steady-baseline", "--spans", "depth=3"])
+        assert code == 2
+        assert "bad --spans spec" in capsys.readouterr().err
+
+    def test_non_accepting_experiment_is_exit_2(self, tmp_path,
+                                                monkeypatch, capsys):
+        code = _run(tmp_path, monkeypatch, ["fig3", "--spans"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "do not accept a span config" in err
+        assert "fig3" in err

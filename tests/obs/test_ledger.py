@@ -59,6 +59,15 @@ class TestRecord:
         assert rec["resilience"] == data
         json.dumps(rec)                      # JSON-clean
 
+    def test_spans_defaults_to_null(self):
+        assert record()["spans"] is None
+
+    def test_spans_digest_passes_through(self):
+        digest = {"exemplars": 12, "digest": "5b23dbc94c94"}
+        rec = record(spans=digest)
+        assert rec["spans"] == digest
+        json.dumps(rec)                      # JSON-clean
+
 
 class TestAppendRead:
     def test_append_then_read_round_trips(self, tmp_path):

@@ -1,0 +1,141 @@
+"""Report-side span handling: loading, rendering, and the
+oversubscription advisory (docs/OBSERVABILITY.md)."""
+
+import json
+
+import pytest
+
+from repro.obs.report import (
+    build_report,
+    find_regressions,
+    load_experiments,
+    load_spans,
+    markdown_to_html,
+)
+from repro.telemetry.spans import SpanConfig, SpanRecorder
+
+
+def _span_payload():
+    recorder = SpanRecorder(SpanConfig(exemplars=2))
+    for i in range(10):
+        recorder.record(i, i * 100.0,
+                        [("client.wait", 40.0 + i), ("kv.cpu", 60.0)])
+    return {"config": {"exemplars": 2, "windows": 0},
+            "points": {"point-a": recorder.export()}}
+
+
+class TestLoadSpans:
+    def test_loads_spans_files_only(self, tmp_path):
+        payload = _span_payload()
+        (tmp_path / "figX.spans.json").write_text(json.dumps(payload))
+        (tmp_path / "figX.spans.trace.json").write_text(
+            json.dumps({"traceEvents": []}))
+        (tmp_path / "figX.json").write_text(json.dumps(
+            {"experiment_id": "figX", "checks": [], "passed": True}))
+        spans = load_spans(tmp_path)
+        assert list(spans) == ["figX"]
+        assert spans["figX"]["points"]
+
+    def test_span_files_do_not_pollute_experiments(self, tmp_path):
+        (tmp_path / "figX.spans.json").write_text(
+            json.dumps(_span_payload()))
+        (tmp_path / "figX.spans.trace.json").write_text(
+            json.dumps({"traceEvents": []}))
+        assert load_experiments(tmp_path) == {}
+
+    def test_corrupt_file_skipped(self, tmp_path):
+        (tmp_path / "bad.spans.json").write_text("{nope")
+        assert load_spans(tmp_path) == {}
+
+
+class TestTailAttributionSection:
+    def _report(self, spans):
+        return build_report(experiments={}, metrics={}, ledger=[],
+                            bench_trends={}, spans=spans)
+
+    def test_section_renders_breakdown_and_waterfalls(self):
+        report = self._report({"figX": _span_payload()})
+        assert "## Tail attribution" in report
+        assert "### figX" in report
+        assert "client.wait" in report
+        assert "request #" in report
+
+    def test_no_spans_no_section(self):
+        assert "Tail attribution" not in self._report({})
+
+    def test_html_renders_code_fences_as_pre(self):
+        html = markdown_to_html(self._report({"figX": _span_payload()}))
+        assert "<pre>" in html
+        assert "```" not in html
+
+
+class TestOversubscriptionAdvisory:
+    BASELINE = {"schema": 1, "experiments": {},
+                "bench": {"host.suite.speedup": 1.8,
+                          "host.suite.serial_s": 10.0}}
+
+    def test_speedup_below_one_becomes_advisory(self):
+        advisories: list = []
+        regressions = find_regressions(
+            {}, {"host.suite.speedup": [0.8],
+                 "host.suite.serial_s": [10.0]},
+            self.BASELINE, threshold_pct=10.0, advisories=advisories)
+        assert regressions == []
+        assert len(advisories) == 1
+        assert "oversubscribed" in advisories[0]
+
+    def test_speedup_drop_above_one_still_regresses(self):
+        advisories: list = []
+        regressions = find_regressions(
+            {}, {"host.suite.speedup": [1.2]}, self.BASELINE,
+            threshold_pct=10.0, advisories=advisories)
+        assert advisories == []
+        assert len(regressions) == 1
+
+    def test_without_advisories_list_behavior_unchanged(self):
+        regressions = find_regressions(
+            {}, {"host.suite.speedup": [0.8]}, self.BASELINE,
+            threshold_pct=10.0)
+        assert len(regressions) == 1
+
+    def test_non_suite_speedup_is_not_reclassified(self):
+        baseline = {"schema": 1, "experiments": {},
+                    "bench": {"host.engine.speedup": 1.8}}
+        advisories: list = []
+        regressions = find_regressions(
+            {}, {"host.engine.speedup": [0.8]}, baseline,
+            threshold_pct=10.0, advisories=advisories)
+        assert advisories == []
+        assert len(regressions) == 1
+
+    def test_report_renders_advisories_as_non_failing(self):
+        report = build_report(
+            experiments={}, metrics={}, ledger=[], bench_trends={},
+            regressions=[], baseline_name="base.json",
+            advisories=["bench host.suite.speedup: 0.8 < 1 — "
+                        "oversubscribed"])
+        assert "ADVISORY" in report
+        assert "No regressions against the baseline." in report
+
+
+class TestCliGate:
+    def test_advisory_does_not_fail_the_gate(self, tmp_path, capsys,
+                                             monkeypatch):
+        from repro.obs.report import main
+
+        monkeypatch.setenv("REPRO_LEDGER_PATH",
+                           str(tmp_path / "runs.jsonl"))
+        bench = {"label": "host", "history": [
+            {"suite": {"speedup": 0.8, "serial_s": 10.0}}]}
+        (tmp_path / "BENCH_host.json").write_text(json.dumps(bench))
+        baseline = {"schema": 1, "experiments": {},
+                    "bench": {"host.suite.speedup": 1.8,
+                              "host.suite.serial_s": 10.0}}
+        (tmp_path / "base.json").write_text(json.dumps(baseline))
+        code = main(["--results", str(tmp_path / "results"),
+                     "--bench", str(tmp_path),
+                     "--baseline", str(tmp_path / "base.json")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ADVISORY" in out
+        assert "REGRESSION" not in out

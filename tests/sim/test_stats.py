@@ -105,6 +105,32 @@ class TestRateMeter:
             RateMeter().add(nbytes=-1)
 
 
+class TestWindowing:
+    def test_width_partitions_span_evenly(self):
+        from repro.sim import window_width
+        assert window_width(1e9, 4) == pytest.approx(0.25e9)
+
+    def test_degenerate_span_gets_unit_width(self):
+        from repro.sim import window_width
+        assert window_width(0.0, 4) == 1.0
+
+    def test_slot_assignment_and_right_closure(self):
+        from repro.sim import window_slot
+        assert window_slot(0.0, 250.0, 4) == 0
+        assert window_slot(749.9, 250.0, 4) == 2
+        # The last window is closed on the right: a timestamp at the
+        # span end (or past it via float rounding) stays in range.
+        assert window_slot(1000.0, 250.0, 4) == 3
+        assert window_slot(1000.1, 250.0, 4) == 3
+
+    def test_non_positive_count_rejected(self):
+        from repro.sim import window_slot, window_width
+        with pytest.raises(ValueError):
+            window_width(1e9, 0)
+        with pytest.raises(ValueError):
+            window_slot(0.0, 1.0, 0)
+
+
 class TestSubstream:
     def test_same_name_same_stream(self):
         from repro.sim import substream
