@@ -11,6 +11,9 @@ CXL link dies mid-run.  See docs/CLUSTER.md.
 """
 
 from .pool import PoolAllocator, PoolSlice, SpillPlan, plan_spill
+from .resilience import (CircuitBreaker, PRESETS, ResiliencePolicy,
+                         ResilienceStats, RetryBudget, SHED_REJECT_NS,
+                         hedge_delay_ns, make_policy, parse_policy)
 from .routing import (HashShardRouter, HostView, LeastLoadedRouter,
                       Router, make_router)
 from .sim import (ClusterResult, ClusterSim, HostResult, LinkDown,
@@ -20,9 +23,12 @@ from .topology import (ClusterTopology, Host, HostSpec, POOL_HOP_NS,
 from .traffic import OpenLoopZipfian, Request
 
 __all__ = [
-    "ClusterResult", "ClusterSim", "ClusterTopology", "HashShardRouter",
-    "Host", "HostResult", "HostSpec", "HostView", "LeastLoadedRouter",
-    "LinkDown", "OpenLoopZipfian", "POOL_HOP_NS", "PoolAllocator",
-    "PoolSlice", "RECORD_BYTES", "REROUTE_HOP_NS", "Request", "Router",
-    "SpillPlan", "make_router", "plan_spill",
+    "CircuitBreaker", "ClusterResult", "ClusterSim", "ClusterTopology",
+    "HashShardRouter", "Host", "HostResult", "HostSpec", "HostView",
+    "LeastLoadedRouter", "LinkDown", "OpenLoopZipfian", "POOL_HOP_NS",
+    "PRESETS", "PoolAllocator", "PoolSlice", "RECORD_BYTES",
+    "REROUTE_HOP_NS", "Request", "ResiliencePolicy", "ResilienceStats",
+    "RetryBudget", "Router", "SHED_REJECT_NS", "SpillPlan",
+    "hedge_delay_ns", "make_policy", "make_router", "parse_policy",
+    "plan_spill",
 ]

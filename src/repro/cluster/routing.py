@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import ClusterError
+from ..errors import ClusterError, unknown_option
 from ..workloads.distributions import fnv1a_64
 
 
@@ -65,13 +65,12 @@ class HashShardRouter(Router):
 
     def route(self, key: int, owner: int,
               hosts: list[HostView]) -> int:
-        self.survivors(hosts)          # raises when the fleet is gone
         total = len(hosts)
         for probe in range(total):
             candidate = (owner + probe) % total
             if hosts[candidate].up:
                 return candidate
-        raise ClusterError("unreachable: survivors() guaranteed a host")
+        raise ClusterError("no surviving hosts to route to")
 
 
 class LeastLoadedRouter(Router):
@@ -102,8 +101,7 @@ ROUTERS: dict[str, type[Router]] = {
 def make_router(name: str) -> Router:
     """Instantiate a registered routing policy by name."""
     if name not in ROUTERS:
-        raise ClusterError(
-            f"unknown router {name!r}; available: {sorted(ROUTERS)}")
+        raise ClusterError(unknown_option("router", name, ROUTERS))
     return ROUTERS[name]()
 
 

@@ -58,3 +58,14 @@ class ClusterError(ReproError):
 
 class ScenarioError(ReproError):
     """A declarative scenario could not be loaded, validated, or run."""
+
+
+def unknown_option(kind: str, name: object, options) -> str:
+    """The uniform message for name-keyed factories: ``unknown <kind>
+    <name>; available: [...]``.
+
+    Both :func:`repro.cluster.routing.make_router` and
+    :func:`repro.cluster.resilience.make_policy` raise with this shape,
+    so CLI error output stays greppable across subsystems.
+    """
+    return f"unknown {kind} {name!r}; available: {sorted(options)}"

@@ -25,6 +25,7 @@ from . import (          # noqa: F401  (imported for registration side effect)
     fig10_dsb,
     figc_cluster,
     figf_degraded_cxl,
+    figr_resilience,
     extensions,
 )
 

@@ -68,6 +68,7 @@ def _point(keys: int, pool_share: float, qps: float, theta: float,
            requests: int, *, router: str = "hash-shard",
            fault_plans: dict | None = None,
            link_down: LinkDown | None = None,
+           policy=None,
            tspec: TelemetrySpec | None = None) -> tuple:
     """One picklable :func:`run_cluster_point` spec."""
     topo_kwargs = {"num_hosts": NUM_HOSTS, "keys_per_host": keys,
@@ -77,6 +78,8 @@ def _point(keys: int, pool_share: float, qps: float, theta: float,
         sim_kwargs["fault_plans"] = fault_plans
     if link_down is not None:
         sim_kwargs["link_down"] = link_down
+    if policy is not None:
+        sim_kwargs["policy"] = policy
     run_kwargs = {"qps": qps, "theta": theta, "requests": requests}
     return (topo_kwargs, sim_kwargs, run_kwargs, tspec)
 
@@ -135,7 +138,8 @@ def _spans_checks_and_render(payload: dict
           "extension of §5.2 (pooling outlook)")
 def run_pooling(fast: bool, jobs: int = 1,
                 fault_plan: FaultPlan | None = None,
-                span_config: SpanConfig | None = None) -> ExperimentResult:
+                span_config: SpanConfig | None = None,
+                resilience=None) -> ExperimentResult:
     keys = 50_000 if fast else 100_000
     requests = 2_500 if fast else 8_000
     qps_points = [60_000.0, 140_000.0, 220_000.0, 300_000.0] if fast \
@@ -150,7 +154,8 @@ def run_pooling(fast: bool, jobs: int = 1,
     for theta, share in grid:
         for qps in qps_points:
             units.append(_point(keys, share, qps, theta, requests,
-                                fault_plans=plans, tspec=tspec))
+                                fault_plans=plans, policy=resilience,
+                                tspec=tspec))
             names.append(_label("figC", qps, skew=theta,
                                 pool=f"{share:.0%}"))
     # The routing comparison rides the hottest combo: skewed traffic,
@@ -158,7 +163,7 @@ def run_pooling(fast: bool, jobs: int = 1,
     for qps in qps_points:
         units.append(_point(keys, 0.5, qps, 0.99, requests,
                             router="least-loaded", fault_plans=plans,
-                            tspec=tspec))
+                            policy=resilience, tspec=tspec))
         names.append(_label("figC", qps, skew=0.99, pool="50%",
                             router="least-loaded"))
     results, exports = _sweep(units, names, jobs)
@@ -274,7 +279,8 @@ def run_pooling(fast: bool, jobs: int = 1,
           "extension of §2.1 (RAS) at fleet scale")
 def run_degraded(fast: bool, jobs: int = 1,
                  fault_plan: FaultPlan | None = None,
-                 span_config: SpanConfig | None = None) -> ExperimentResult:
+                 span_config: SpanConfig | None = None,
+                 resilience=None) -> ExperimentResult:
     keys = 50_000 if fast else 100_000
     requests = 2_500 if fast else 8_000
     qps_points = [80_000.0, 140_000.0, 200_000.0] if fast \
@@ -286,12 +292,13 @@ def run_degraded(fast: bool, jobs: int = 1,
 
     units, names = [], []
     for qps in qps_points:
-        units.append(_point(keys, 0.5, qps, 0.99, requests, tspec=tspec))
+        units.append(_point(keys, 0.5, qps, 0.99, requests,
+                            policy=resilience, tspec=tspec))
         names.append(_label("figC-deg", qps, fleet="healthy"))
     for qps in qps_points:
         units.append(_point(keys, 0.5, qps, 0.99, requests,
                             fault_plans=plans, link_down=down,
-                            tspec=tspec))
+                            policy=resilience, tspec=tspec))
         names.append(_label("figC-deg", qps, fleet="degraded"))
     results, exports = _sweep(units, names, jobs)
     healthy = results[:len(qps_points)]

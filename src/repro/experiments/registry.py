@@ -116,6 +116,9 @@ class Experiment:
     accepts_spans: bool = False
     # True when the runner takes a ``span_config`` keyword — it records
     # per-request spans for tail attribution (docs/TELEMETRY.md).
+    accepts_resilience: bool = False
+    # True when the runner takes a ``resilience`` keyword — its cluster
+    # simulations can run under a ResiliencePolicy (docs/CLUSTER.md).
     extra_config: tuple | None = None
     # Extra (key, value) pairs folded into this experiment's cache /
     # checkpoint config.  Scenario-derived experiments carry their
@@ -124,7 +127,8 @@ class Experiment:
     # a stale cached result.
 
     def run(self, *, fast: bool = True, jobs: int = 1,
-            fault_plan=None, span_config=None) -> ExperimentResult:
+            fault_plan=None, span_config=None,
+            resilience=None) -> ExperimentResult:
         """Execute; ``fast`` trims sweep sizes for CI-speed runs.
 
         ``jobs > 1`` shards the experiment's own sweep points when the
@@ -136,6 +140,9 @@ class Experiment:
         ``span_config`` likewise: experiments that accept one record
         per-request spans, and passing it to one that does not raises
         (a silently un-spanned run would look like spans found nothing).
+        ``resilience`` likewise again: a ResiliencePolicy for the
+        cluster experiments that take one — a silently dropped policy
+        would report unprotected numbers as protected.
         """
         kwargs: dict = {}
         if self.accepts_jobs:
@@ -152,6 +159,12 @@ class Experiment:
                     f"experiment {self.experiment_id!r} does not accept "
                     f"a span config")
             kwargs["span_config"] = span_config
+        if resilience is not None:
+            if not self.accepts_resilience:
+                raise ExperimentError(
+                    f"experiment {self.experiment_id!r} does not accept "
+                    f"a resilience policy")
+            kwargs["resilience"] = resilience
         return self.runner(fast, **kwargs)
 
 
@@ -162,7 +175,9 @@ REGISTRY: dict[str, Experiment] = {}
 # descriptive name).
 ALIASES: dict[str, str] = {"figF": "degraded-cxl",
                            "figC": "cluster-pooling",
-                           "figC-deg": "cluster-degraded"}
+                           "figC-deg": "cluster-degraded",
+                           "figR": "cluster-resilient",
+                           "figR-storm": "cluster-retry-storm"}
 
 
 def register(experiment_id: str, title: str, paper_ref: str, *,
@@ -174,13 +189,13 @@ def register(experiment_id: str, title: str, paper_ref: str, *,
             raise ExperimentError(
                 f"duplicate experiment id {experiment_id!r}")
         params = inspect.signature(runner).parameters
-        accepts_jobs = "jobs" in params
-        accepts_faults = "fault_plan" in params
-        accepts_spans = "span_config" in params
         REGISTRY[experiment_id] = Experiment(
-            experiment_id, title, paper_ref, runner, accepts_jobs,
-            accepts_faults, accepts_spans,
-            tuple(sorted(extra_config.items()))
+            experiment_id, title, paper_ref, runner,
+            accepts_jobs="jobs" in params,
+            accepts_faults="fault_plan" in params,
+            accepts_spans="span_config" in params,
+            accepts_resilience="resilience" in params,
+            extra_config=tuple(sorted(extra_config.items()))
             if extra_config else None)
         return runner
 

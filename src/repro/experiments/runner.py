@@ -95,6 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "attribution, e.g. 'k=8,windows=6' "
                              "(keys: k/exemplars windows; bare --spans "
                              "uses defaults; see docs/TELEMETRY.md)")
+    parser.add_argument("--resilience", metavar="SPEC", default=None,
+                        help="run cluster experiments under a request "
+                             "resilience policy: a preset name "
+                             "('hedged', 'guarded', ...) or a spec "
+                             "like 'deadline-ns=60000,retries=2,"
+                             "budget=0.1' (keys: deadline-ns retries "
+                             "backoff-ns budget hedge breaker "
+                             "breaker-alpha breaker-min "
+                             "breaker-cooldown-ns shed; see "
+                             "docs/CLUSTER.md)")
     parser.add_argument("--unit-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="kill and retry any worker unit exceeding "
@@ -165,7 +175,8 @@ class _SweepControl:
             runner.request_drain()
 
 
-def run_config(fast: bool, *, fault_plan=None, span_config=None) -> dict:
+def run_config(fast: bool, *, fault_plan=None, span_config=None,
+               resilience=None) -> dict:
     """The result-shaping config material for cache keys and journals.
 
     Everything that can change an experiment's payload belongs here:
@@ -185,6 +196,8 @@ def run_config(fast: bool, *, fault_plan=None, span_config=None) -> dict:
         config["faults"] = fault_plan.to_dict()
     if span_config is not None:
         config["spans"] = span_config.to_dict()
+    if resilience is not None:
+        config["resilience"] = resilience.to_dict()
     return config
 
 
@@ -217,6 +230,7 @@ def _suite_config(ids: list[str], config: dict) -> dict:
 
 def _run_ids(ids: list[str], *, fast: bool, jobs: int,
              use_cache: bool, fault_plan=None, span_config=None,
+             resilience=None,
              hooks: RunHooks = None,
              profiler: Profiler = None, policy=None,
              resume: bool = False, checkpoint: bool = True,
@@ -267,7 +281,8 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
     if policy is None:
         policy = SupervisionPolicy()
     config = run_config(fast, fault_plan=fault_plan,
-                        span_config=span_config)
+                        span_config=span_config,
+                        resilience=resilience)
     cache = ResultCache(on_quarantine=hooks.cache_quarantined) \
         if use_cache else None
     keys = {eid: result_key(eid, config_for(eid, config))
@@ -366,7 +381,8 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
             try:
                 outcomes = runner.map(
                     run_experiment,
-                    [(eid, fast, 1, fault_plan, span_config)
+                    [(eid, fast, 1, fault_plan, span_config,
+                      resilience)
                      for eid in pooled])
             except KeyboardInterrupt:
                 outcomes = []
@@ -398,7 +414,8 @@ def _run_ids(ids: list[str], *, fast: bool, jobs: int,
                         record(eid, REGISTRY[eid].run(
                             fast=fast, jobs=jobs,
                             fault_plan=fault_plan,
-                            span_config=span_config))
+                            span_config=span_config,
+                            resilience=resilience))
                         hooks.unit_finished(eid)
                     except KeyboardInterrupt:
                         interrupted = True
@@ -545,6 +562,25 @@ def main(argv: list[str] | None = None) -> int:
             return runlog.error(
                 "experiment(s) do not accept a span config: "
                 + " ".join(sorted(refusing)))
+    resilience = None
+    if args.resilience is not None:
+        from ..cluster.resilience import parse_policy
+        from ..errors import ClusterError
+
+        try:
+            resilience = parse_policy(args.resilience)
+        except ClusterError as exc:
+            return runlog.error(f"bad --resilience spec: {exc}")
+        if not resilience.active:
+            return runlog.error(
+                "bad --resilience spec: the policy is inactive "
+                "(every knob is zero); drop the flag instead")
+        refusing = [eid for eid in ids
+                    if not REGISTRY[eid].accepts_resilience]
+        if refusing:
+            return runlog.error(
+                "experiment(s) do not accept a resilience policy: "
+                + " ".join(sorted(refusing)))
     save_dir = None
     if args.save:
         from pathlib import Path
@@ -589,6 +625,7 @@ def main(argv: list[str] | None = None) -> int:
     runlog.info("run-start", ids=" ".join(ids), jobs=args.jobs,
                 full=args.full, cache=not args.no_cache,
                 faults=args.faults, spans=args.spans,
+                resilience=args.resilience,
                 resume=args.resume)
     start = time.perf_counter()
     control = _SweepControl()
@@ -614,7 +651,7 @@ def main(argv: list[str] | None = None) -> int:
         results, failures, interrupted, journal = _run_ids(
             ids, fast=not args.full, jobs=args.jobs,
             use_cache=not args.no_cache, fault_plan=fault_plan,
-            span_config=span_config,
+            span_config=span_config, resilience=resilience,
             hooks=hooks, profiler=profiler, policy=policy,
             resume=args.resume, checkpoint=not args.no_checkpoint,
             control=control)

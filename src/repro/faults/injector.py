@@ -114,17 +114,20 @@ class FaultInjector:
 
     # -- labeled per-request extras ----------------------------------------
 
-    def request_extras(self, index: int, *, reread_ns: float
+    def request_extras(self, *key: object, reread_ns: float
                        ) -> tuple[list[tuple[str, float]], int]:
         """All request-level fault latency for one request, labeled.
 
-        Draws the stall / timeout / poison decisions for ``index`` in
-        the canonical order and returns ``(parts, pending_recoveries)``
-        where ``parts`` is a list of ``(span_component, ns)`` entries —
-        one per fault that hit — and ``pending_recoveries`` counts the
-        request-level retries to absolve via :meth:`recovery` once the
-        request completes.  ``reread_ns`` is what re-fetching the
-        record's lines costs (the poison path re-reads them all).
+        Draws the stall / timeout / poison decisions for the decision
+        key (usually a request index; resilient runs add an attempt
+        discriminator so each retry/hedge attempt draws independently)
+        in the canonical order and returns ``(parts,
+        pending_recoveries)`` where ``parts`` is a list of
+        ``(span_component, ns)`` entries — one per fault that hit — and
+        ``pending_recoveries`` counts the request-level retries to
+        absolve via :meth:`recovery` once the request completes.
+        ``reread_ns`` is what re-fetching the record's lines costs (the
+        poison path re-reads them all).
 
         The summed parts equal exactly what inlined draws would have
         added to a request's service time, so callers can use this on
@@ -132,15 +135,15 @@ class FaultInjector:
         """
         parts: list[tuple[str, float]] = []
         pending = 0
-        stall = self.stall_ns(index)
+        stall = self.stall_ns(*key)
         if stall:
             parts.append(("fault.stall", stall))
-        if self.timeout(index):
+        if self.timeout(*key):
             parts.append(("fault.timeout",
                           self.plan.timeout_ns + self.plan.retry_backoff_ns))
             self.retried()
             pending += 1
-        if self.poisoned(index):
+        if self.poisoned(*key):
             # Discard the poisoned response, re-read every line.
             parts.append(("fault.reread",
                           reread_ns + self.plan.retry_backoff_ns))

@@ -105,9 +105,12 @@ def run_experiment(spec: tuple) -> Any:
     ``(experiment_id, fast, jobs)`` to shard the experiment's own sweep
     points (experiments that don't accept ``jobs`` ignore it),
     ``(experiment_id, fast, jobs, fault_plan)`` to run it under a
-    degraded-mode :class:`~repro.faults.FaultPlan`, or
+    degraded-mode :class:`~repro.faults.FaultPlan`,
     ``(experiment_id, fast, jobs, fault_plan, span_config)`` to record
-    per-request spans (:mod:`repro.telemetry.spans`).
+    per-request spans (:mod:`repro.telemetry.spans`), or
+    ``(experiment_id, fast, jobs, fault_plan, span_config,
+    resilience)`` to run cluster simulations under a
+    :class:`~repro.cluster.resilience.ResiliencePolicy`.
 
     Importing :mod:`repro.experiments` populates the registry in the
     worker (fresh interpreters under spawn; a no-op under fork).
@@ -116,12 +119,14 @@ def run_experiment(spec: tuple) -> Any:
     jobs = rest[0] if rest else 1
     fault_plan = rest[1] if len(rest) > 1 else None
     span_config = rest[2] if len(rest) > 2 else None
+    resilience = rest[3] if len(rest) > 3 else None
     _apply_test_faults(experiment_id)
     from ..experiments import get
 
     return get(experiment_id).run(fast=fast, jobs=jobs,
                                   fault_plan=fault_plan,
-                                  span_config=span_config)
+                                  span_config=span_config,
+                                  resilience=resilience)
 
 
 def run_kv_p99_point(spec: tuple) -> Any:

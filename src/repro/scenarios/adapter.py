@@ -68,8 +68,13 @@ def _point_testbed(scenario: Scenario, point: dict) -> SystemConfig:
 
 def _point_units(scenario: Scenario, point: dict, *, fast: bool,
                  fault_plan: FaultPlan | None,
-                 tspec=None) -> tuple[list, list]:
-    """The (specs, segment_labels) for one sweep point."""
+                 resilience=None, tspec=None) -> tuple[list, list]:
+    """The (specs, segment_labels) for one sweep point.
+
+    ``resilience`` is the CLI ``--resilience`` override; when given it
+    wins over the scenario's own ``resilience`` block, mirroring how
+    ``fault_plan`` overrides ``scenario.faults.plan``.
+    """
     hosts = int(point.get("hosts", scenario.topology.hosts))
     pool_share = float(point.get("pool_share",
                                  scenario.topology.pool_share))
@@ -98,6 +103,10 @@ def _point_units(scenario: Scenario, point: dict, *, fast: bool,
     if plan is not None and plan.active:
         sim_kwargs["fault_plans"] = {host: plan
                                      for host in range(hosts)}
+    policy = resilience if resilience is not None \
+        else scenario.resilience
+    if policy is not None:
+        sim_kwargs["policy"] = policy
 
     specs, labels = [], []
     for label, segment_qps, segment_requests in \
@@ -119,6 +128,12 @@ def _aggregate(segments: list) -> dict:
     """
     total = sum(seg.requests for seg in segments)
     wall_s = sum(seg.requests / seg.achieved_qps for seg in segments)
+
+    def stat(name: str) -> float:
+        return float(sum(getattr(seg.resilience, name)
+                         for seg in segments
+                         if seg.resilience is not None))
+
     return {
         "p99_us": max(seg.p99_ns for seg in segments) / 1000.0,
         "p50_us": max(seg.p50_ns for seg in segments) / 1000.0,
@@ -130,6 +145,11 @@ def _aggregate(segments: list) -> dict:
         "injected": float(sum(seg.injected for seg in segments)),
         "recovered": float(sum(seg.recovered for seg in segments)),
         "rerouted": float(sum(seg.rerouted for seg in segments)),
+        "goodput_qps": sum(seg.successes for seg in segments) / wall_s,
+        "rejected": stat("rejected"),
+        "retries": stat("retries_issued"),
+        "hedges": stat("hedges_launched"),
+        "deadline_exceeded": stat("deadline_exceeded"),
     }
 
 
@@ -299,11 +319,11 @@ def _metric_series(points: list[dict],
 
 def scenario_runner(scenario: Scenario):
     """Build the ``runner(fast, jobs=1, fault_plan=None,
-    span_config=None)`` callable the registry drives — the generic
-    ScenarioExperiment."""
+    span_config=None, resilience=None)`` callable the registry drives
+    — the generic ScenarioExperiment."""
 
     def run(fast: bool, jobs: int = 1, fault_plan: FaultPlan | None = None,
-            span_config=None):
+            span_config=None, resilience=None):
         from ..experiments.figc_cluster import (_span_tspec,
                                                 _spans_checks_and_render,
                                                 _spans_payload)
@@ -316,7 +336,7 @@ def scenario_runner(scenario: Scenario):
         for point in points:
             specs, segment_labels = _point_units(
                 scenario, point, fast=fast, fault_plan=fault_plan,
-                tspec=tspec)
+                resilience=resilience, tspec=tspec)
             label = point_label(scenario, point)
             start = len(units)
             units.extend(specs)

@@ -14,6 +14,11 @@ cluster-scale CXL experiment end to end:
 * **faults** — an optional :class:`~repro.faults.FaultPlan` applied to
   every host, an optional mid-run :class:`~repro.cluster.sim.LinkDown`,
   and a ``monotone`` declaration gating the ``fault-monotone`` check;
+* **resilience** — an optional
+  :class:`~repro.cluster.resilience.ResiliencePolicy` applied to every
+  request (deadlines, retries, hedging, circuit breaking, shedding);
+  the block folds into the content hash, so toggling a policy is a
+  cache miss like any other edit;
 * **axes** — sweep axes expanded into the point grid by
   :func:`~repro.scenarios.expand.expand_grid`;
 * **checks** — declarative acceptance checks evaluated over the swept
@@ -33,6 +38,7 @@ import re
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from ..cluster.resilience import ResiliencePolicy
 from ..cluster.sim import LinkDown
 from ..errors import ClusterError, FaultError
 from ..faults import FaultPlan
@@ -44,7 +50,8 @@ NAME_PATTERN = re.compile(r"^[a-z0-9][a-z0-9-]*$")
 
 METRICS = ("p99_us", "p50_us", "mean_service_us", "achieved_qps",
            "pool_utilization", "requests", "injected", "recovered",
-           "rerouted")
+           "rerouted", "goodput_qps", "rejected", "retries", "hedges",
+           "deadline_exceeded")
 """Per-point metrics a check may reference."""
 
 CHECK_KINDS = ("monotone", "ordering", "bound", "all-complete",
@@ -209,6 +216,7 @@ class Scenario:
     workload: WorkloadSpec
     traffic: TrafficSpec
     faults: FaultSpec | None
+    resilience: ResiliencePolicy | None
     axes: tuple[AxisSpec, ...]
     checks: tuple[CheckSpec, ...]
 
@@ -272,6 +280,8 @@ class Scenario:
         data["traffic"] = traffic
         if self.faults is not None:
             data["faults"] = self.faults.to_dict()
+        if self.resilience is not None:
+            data["resilience"] = self.resilience.to_dict()
         if self.axes:
             axes: dict = {}
             for axis in self.axes:
@@ -370,6 +380,7 @@ _TOP_SCHEMA = {
     "workload": Field("object", required=True),
     "traffic": Field("object", default=None, allow_none=True),
     "faults": Field("object", default=None, allow_none=True),
+    "resilience": Field("object", default=None, allow_none=True),
     "axes": Field("object", default=None, allow_none=True),
     "checks": Field("list", required=True,
                     item=Field("object")),
@@ -588,6 +599,17 @@ def parse_scenario(data: Any, *,
         faults = FaultSpec(plan=plan, link_down=link_down,
                            monotone=faults_body["monotone"])
 
+    resilience: ResiliencePolicy | None = None
+    if top.get("resilience") is not None:
+        try:
+            resilience = ResiliencePolicy.from_dict(top["resilience"])
+        except (ClusterError, TypeError) as exc:
+            raise ValidationError("scenario.resilience",
+                                  str(exc)) from exc
+        require(resilience.active, "scenario.resilience",
+                "a resilience block must enable at least one policy "
+                "(deadline, hedging, breaker, or shedding)")
+
     axes = _parse_axes(top.get("axes"))
 
     # -- cross-field conflicts --------------------------------------------
@@ -638,7 +660,7 @@ def parse_scenario(data: Any, *,
         description=top["description"], paper_ref=top["paper_ref"],
         seed=top["seed"], router=top["router"], vars=declared,
         topology=topology, workload=workload, traffic=traffic,
-        faults=faults, axes=axes, checks=checks)
+        faults=faults, resilience=resilience, axes=axes, checks=checks)
 
 
 def point_grid(scenario: Scenario, *, fast: bool) -> list[dict]:

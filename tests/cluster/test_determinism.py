@@ -65,3 +65,17 @@ class TestRunnerByteIdentity:
                      "--save", str(parallel)]) == 0
         capsys.readouterr()
         assert_dirs_byte_identical(serial, parallel)
+
+    def test_figr_resilient_serial_matches_jobs(self, tmp_path, capsys):
+        # The policy layer adds retries, hedges, breaker state, and
+        # shedding on top of the base sim — all of it must stay a pure
+        # function of (seed, config) for the sharded sweep to merge
+        # byte-for-byte.
+        serial = tmp_path / "serial"
+        parallel = tmp_path / "parallel"
+        assert main(["--only", "figR", "--no-cache",
+                     "--save", str(serial)]) == 0
+        assert main(["--only", "figR", "--no-cache", "--jobs", "2",
+                     "--save", str(parallel)]) == 0
+        capsys.readouterr()
+        assert_dirs_byte_identical(serial, parallel)

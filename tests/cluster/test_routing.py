@@ -32,6 +32,22 @@ class TestHashShard:
         with pytest.raises(ClusterError, match="no surviving"):
             HashShardRouter().route(0, 0, fleet(3, down={0, 1, 2}))
 
+    def test_probe_order_with_multiple_hosts_down(self):
+        # The failover sequence is owner+1, owner+2, ... mod fleet —
+        # pinned here for every owner of a 6-host fleet with three
+        # hosts down, because serial/parallel byte-identity depends on
+        # every worker computing the same rehash.
+        router = HashShardRouter()
+        hosts = fleet(6, down={1, 2, 4})
+        expected = {0: 0, 1: 3, 2: 3, 3: 3, 4: 5, 5: 5}
+        for owner, target in expected.items():
+            assert router.route(0, owner, hosts) == target, owner
+
+    def test_probe_wraps_past_a_downed_tail(self):
+        router = HashShardRouter()
+        assert router.route(0, 4, fleet(6, down={4, 5})) == 0
+        assert router.route(0, 5, fleet(6, down={5, 0, 1})) == 2
+
 
 class TestLeastLoaded:
     def test_picks_minimum_in_flight(self):
@@ -50,6 +66,18 @@ class TestLeastLoaded:
         router = LeastLoadedRouter()
         hosts = fleet(3, down={0}, load={0: 0, 1: 4, 2: 5})
         assert router.route(0, owner=0, hosts=hosts) == 1
+
+    def test_tie_breaks_by_index_when_owner_is_down(self):
+        # With the owner ejected (link down or circuit-breaker open),
+        # the affinity tie-break is moot and the lowest surviving index
+        # wins — the total order the breaker composition relies on.
+        router = LeastLoadedRouter()
+        hosts = fleet(4, down={2}, load={0: 1, 1: 1, 2: 0, 3: 1})
+        assert router.route(0, owner=2, hosts=hosts) == 0
+
+    def test_all_down_fleet_raises_through_survivors(self):
+        with pytest.raises(ClusterError, match="no surviving"):
+            LeastLoadedRouter().route(0, 0, fleet(4, down={0, 1, 2, 3}))
 
 
 class TestFactory:

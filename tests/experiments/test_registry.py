@@ -13,7 +13,8 @@ class TestRegistry:
         paper = {"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
                  "fig7", "fig8", "fig9", "fig10"}
         named_extensions = {"degraded-cxl", "cluster-pooling",
-                            "cluster-degraded"}
+                            "cluster-degraded", "cluster-resilient",
+                            "cluster-retry-storm"}
         assert paper <= set(REGISTRY)
         extras = set(REGISTRY) - paper - named_extensions
         # ext- = hand-written extension experiments; scn- = declarative
